@@ -1,0 +1,21 @@
+(* The `day` benchmark: a mixed multi-user soak of the whole
+   installation, reporting aggregate operation counts, latency and wire
+   statistics. Deterministic; doubles as a long-run stability check. *)
+
+module K = Vkernel.Kernel
+module E = Vnet.Ethernet
+module Tables = Vworkload.Tables
+module Day = Vworkload.Day
+
+let run () =
+  Tables.print_title "DAY: multi-user mixed workload (60 simulated seconds)";
+  let totals, t = Day.run ~users:4 ~duration_ms:60_000.0 () in
+  Fmt.pr "@[<v>%a@]@." Day.pp_totals totals;
+  let net = E.counters t.Vworkload.Scenario.net in
+  Fmt.pr "@.wire: %d frames sent, %d delivered, %d dropped, %d bytes@."
+    net.E.frames_sent net.E.frames_delivered net.E.frames_dropped
+    net.E.bytes_sent;
+  Fmt.pr "message transactions: %d@."
+    (K.ipc_transaction_count t.Vworkload.Scenario.domain);
+  Fmt.pr "@.operation latency distribution (ms):@.";
+  Fmt.pr "%a" (Vsim.Stats.Series.pp_histogram ~buckets:10 ~bar_width:40) totals.Day.latency

@@ -1,0 +1,48 @@
+(* The benchmark harness: regenerates every quantitative claim and
+   figure of the paper (see DESIGN.md's experiment index).
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe e1 e4 f1   -- run a subset
+
+   Experiments: e1 e2 e3 e4 e5 e6 e7, figures: f1 f2 f3 f4 (or "figs"),
+   micro-benchmarks: micro. *)
+
+let registry =
+  [
+    ("e1", E1_ipc.run);
+    ("e2", E2_moveto.run);
+    ("e3", E3_stream.run);
+    ("e4", E4_open.run);
+    ("e5", E5_footprint.run);
+    ("e6", E6_comparison.run);
+    ("e7", E7_group.run);
+    ("figs", Figures.run);
+    ("f1", Figures.f1);
+    ("f2", Figures.f2);
+    ("f3", Figures.f3);
+    ("f4", Figures.f4);
+    ("micro", Micro.run);
+    ("day", Day_bench.run);
+    ("ablations", Ablations.run);
+    ("a1", Ablations.a1);
+    ("a2", Ablations.a2);
+    ("a3", Ablations.a3);
+    ("a4", Ablations.a4);
+  ]
+
+let default =
+  [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "figs"; "ablations"; "day"; "micro" ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with [] | [ _ ] -> default | _ :: args -> args
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name registry with
+      | Some run -> run ()
+      | None ->
+          Fmt.epr "unknown experiment %S; known: %s@." name
+            (String.concat " " (List.map fst registry));
+          exit 1)
+    requested

@@ -1,0 +1,34 @@
+(* Shared helpers for the benchmark harness. *)
+
+module K = Vkernel.Kernel
+module E = Vnet.Ethernet
+module C = Vnet.Calibration
+
+(* A bare two-or-more-host kernel rig with string messages, for the raw
+   IPC experiments (E1, E2). *)
+type raw = {
+  eng : Vsim.Engine.t;
+  net : string K.packet E.t;
+  domain : string K.domain;
+}
+
+let raw_cost = { K.payload_bytes = String.length; K.segment_bytes = (fun _ -> 0) }
+
+let make_raw ?(config = C.ethernet_3mbit) () =
+  let eng = Vsim.Engine.create () in
+  let net = E.create ~config eng in
+  let domain = K.create_domain ~cost:raw_cost eng net in
+  { eng; net; domain }
+
+(* Run a one-shot measurement fiber and return what it produced. *)
+let measure eng body =
+  let result = ref None in
+  Vsim.Proc.spawn eng (fun () -> result := Some (body ()));
+  Vsim.Engine.run eng;
+  match !result with
+  | Some v -> v
+  | None -> failwith "bench: measurement fiber did not complete"
+
+let fail_verr what e = failwith (Fmt.str "%s: %a" what Vio.Verr.pp e)
+
+let ok what = function Ok v -> v | Error e -> fail_verr what e

@@ -1,0 +1,102 @@
+(* Group-based name resolution (§7, future work made real): instead of
+   the broadcast GetPid, a context can be implemented transparently by a
+   GROUP of servers — a multicast Send reaches every member, and the
+   first reply wins.
+
+   Run with: dune exec examples/group_naming.exe *)
+
+module K = Vkernel.Kernel
+module Service = Vkernel.Service
+module Scenario = Vworkload.Scenario
+module Runtime = Vruntime.Runtime
+module File_server = Vservices.File_server
+module E = Vnet.Ethernet
+open Vnaming
+
+let () =
+  let t = Scenario.build ~workstations:1 ~file_servers:3 () in
+  (* All storage servers join one process group. *)
+  let group = K.create_group t.Scenario.domain in
+  Array.iteri
+    (fun i fs ->
+      let host =
+        Option.get (K.host_of_addr t.Scenario.domain (Scenario.fs_addr i))
+      in
+      K.join_group host ~group (File_server.pid fs))
+    t.Scenario.file_servers;
+
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"group-client" (fun self env ->
+         let eng = Runtime.engine env in
+         let frames () = (E.counters t.Scenario.net).E.frames_sent in
+
+         (* 1. Classic service binding: broadcast GetPid. *)
+         let f0 = frames () in
+         let t0 = Vsim.Engine.now eng in
+         let pid = Option.get (K.get_pid self ~service:Service.Id.storage Service.Both) in
+         Fmt.pr "broadcast GetPid: resolved to %a in %.2f ms, %d frames@."
+           Vkernel.Pid.pp pid
+           (Vsim.Engine.now eng -. t0)
+           (frames () - f0);
+
+         (* 2. Group-based resolution: multicast a MapContext to the
+            storage group; the first member's reply binds the name. *)
+         let f0 = frames () in
+         let t0 = Vsim.Engine.now eng in
+         let msg =
+           Vmsg.request ~name:(Csname.make_req "") Vmsg.Op.map_context
+         in
+         (match K.send_group self ~group msg with
+         | Ok (reply, replier) ->
+             let target =
+               match reply.Vmsg.payload with
+               | Vmsg.P_context_spec spec -> Fmt.str "%a" Context.pp_spec spec
+               | _ -> "?"
+             in
+             Fmt.pr "group MapContext:  first reply from %a -> %s in %.2f ms, %d frames@."
+               Vkernel.Pid.pp replier target
+               (Vsim.Engine.now eng -. t0)
+               (frames () - f0)
+         | Error e -> Fmt.pr "group send failed: %a@." K.pp_error e);
+
+         (* 3. A prefix bound to the GROUP: the context is implemented
+            transparently by all three servers (§7's closing idea). *)
+         Array.iter
+           (fun fs ->
+             let fsys = File_server.fs fs in
+             match
+               Vservices.Fs.create_file fsys ~dir:Vservices.Fs.root_ino
+                 ~owner:"repl" "motd.txt"
+             with
+             | Ok ino ->
+                 ignore
+                   (Vservices.Fs.write_file fsys ~ino
+                      (Bytes.of_string "replicated message of the day"))
+             | Error _ -> ())
+           t.Scenario.file_servers;
+         let ws = Scenario.workstation t 0 in
+         (match
+            Prefix_server.add_binding ws.Scenario.ws_prefix "anyfs"
+              (Prefix_server.Replicated
+                 { group; context = Context.Well_known.default })
+          with
+         | Ok () -> ()
+         | Error _ -> failwith "bind anyfs");
+         (match Runtime.read_file env "[anyfs]motd.txt" with
+         | Ok data ->
+             Fmt.pr "@.open via the group-bound prefix [anyfs]: %S@."
+               (Bytes.to_string data)
+         | Error e -> Fmt.pr "group-bound open failed: %a@." Vio.Verr.pp e);
+
+         (* 4. The group survives one member's death transparently. *)
+         K.crash_host
+           (Option.get (K.host_of_addr t.Scenario.domain (Scenario.fs_addr 0)));
+         (match K.send_group self ~group msg with
+         | Ok (_, replier) ->
+             Fmt.pr "after crashing fs0: group still answers, via %a@."
+               Vkernel.Pid.pp replier
+         | Error e -> Fmt.pr "group send failed after crash: %a@." K.pp_error e);
+         (match Runtime.read_file env "[anyfs]motd.txt" with
+         | Ok _ -> Fmt.pr "[anyfs] still resolves after the crash@."
+         | Error e -> Fmt.pr "[anyfs] failed after crash: %a@." Vio.Verr.pp e)));
+  Scenario.run t

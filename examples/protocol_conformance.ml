@@ -1,0 +1,40 @@
+(* Protocol conformance: run the CSNH battery against every server in
+   the installation — files, prefixes, terminals, printer jobs,
+   mailboxes and TCP connections all present the same client interface,
+   which is the paper's uniformity claim made mechanical.
+
+   Run with: dune exec examples/protocol_conformance.exe *)
+
+module Scenario = Vworkload.Scenario
+module Conformance = Vworkload.Conformance
+module File_server = Vservices.File_server
+module Prefix_server = Vnaming.Prefix_server
+
+let () =
+  let t = Scenario.build ~workstations:1 ~file_servers:1 () in
+  let ws = Scenario.workstation t 0 in
+  let servers =
+    [
+      ("file server", File_server.pid (Scenario.file_server t 0));
+      ("prefix server", Prefix_server.pid ws.Scenario.ws_prefix);
+      ("terminal server", Vservices.Terminal_server.pid ws.Scenario.ws_terminal);
+      ("printer server", Vservices.Printer_server.pid t.Scenario.printer);
+      ("mail server", Vservices.Mail_server.pid t.Scenario.mail);
+      ("internet server", Vservices.Internet_server.pid t.Scenario.internet);
+    ]
+  in
+  let all_passed = ref true in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"conformance" (fun self _env ->
+         List.iter
+           (fun (label, server) ->
+             let report = Conformance.check self ~label server in
+             if not (Conformance.passed report) then all_passed := false;
+             Fmt.pr "%a@." Conformance.pp_report report)
+           servers));
+  Scenario.run t;
+  Fmt.pr "%s@."
+    (if !all_passed then
+       "every server speaks the same name-handling protocol: uniform access"
+     else "CONFORMANCE FAILURES FOUND");
+  exit (if !all_passed then 0 else 1)

@@ -1,0 +1,53 @@
+(* The multiple-window workstation: windows are named objects on the
+   virtual graphics terminal server, created, written, listed, moved and
+   resized entirely through the uniform naming operations — then the
+   server paints the screen.
+
+   Run with: dune exec examples/window_system.exe *)
+
+module Scenario = Vworkload.Scenario
+module Runtime = Vruntime.Runtime
+module Vgts = Vservices.Vgts
+open Vnaming
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Fmt.str "operation failed: %a" Vio.Verr.pp e)
+
+let () =
+  let t = Scenario.build ~workstations:1 ~file_servers:1 () in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"session" (fun _self env ->
+         (* An executive, an editor and a clock, like a V screen. *)
+         ok (Runtime.append_file env "[windows]executive" (Bytes.of_string "% ls [home]"));
+         ok (Runtime.append_file env "[windows]executive" (Bytes.of_string "% run editor"));
+         ok (Runtime.append_file env "[windows]editor"
+               (Bytes.of_string "Uniform Access to Distributed"));
+         ok (Runtime.append_file env "[windows]editor"
+               (Bytes.of_string "Name Interpretation in V"));
+         ok (Runtime.append_file env "[windows]clock" (Bytes.of_string "16:25"));
+
+         (* Window management through the uniform Modify operation. *)
+         let d = ok (Runtime.query env "[windows]clock") in
+         ok
+           (Runtime.modify env "[windows]clock"
+              {
+                d with
+                Descriptor.attrs = [ ("x", "36"); ("y", "0"); ("w", "12"); ("h", "3") ];
+              });
+         let d = ok (Runtime.query env "[windows]editor") in
+         ok
+           (Runtime.modify env "[windows]editor"
+              {
+                d with
+                Descriptor.attrs = [ ("x", "14"); ("y", "4"); ("w", "34"); ("h", "6") ];
+              });
+
+         Fmt.pr "windows on this workstation (one list-directory call):@.";
+         List.iter
+           (fun r -> Fmt.pr "   %a@." Descriptor.pp r)
+           (ok (Runtime.list_directory env "[windows]"))));
+  Scenario.run t;
+  let ws = Scenario.workstation t 0 in
+  Fmt.pr "@.the screen (windows overlap in z-order; '.' is desktop):@.@.";
+  Fmt.pr "%s@." (Vgts.render ws.Scenario.ws_vgts ~width:50 ~height:12)

@@ -1,0 +1,51 @@
+(* Contexts (§5.2): a context is a set of (name, object) tuples,
+   identified by the pair (server pid, context identifier). The context
+   identifier is a numeric id meaningful only to the server that
+   implements it, except for a few well-known values. *)
+
+module Pid = Vkernel.Pid
+
+type id = int
+
+(* A fully specified context: which process interprets names, and which
+   of its name spaces to start in. *)
+type spec = { server : Pid.t; context : id }
+
+let spec ~server ~context = { server; context }
+
+let equal_spec a b = Pid.equal a.server b.server && Int.equal a.context b.context
+
+let pp_spec ppf s = Fmt.pf ppf "(%a, ctx %d)" Pid.pp s.server s.context
+
+(* Well-known context identifiers (§5.2): fixed values naming generic
+   name spaces. A server implementing only one context uses [default]. *)
+module Well_known = struct
+  let default = 0
+
+  (* The user's home directory on a storage server. *)
+  let home = 1
+
+  (* The standard program directory used by program loading. *)
+  let programs = 2
+
+  (* A per-server space of temporary objects (instances). *)
+  let instances = 3
+
+  (* The user accounts implemented by a storage server (§5.2: "a file
+     server may implement both files and user accounts"). *)
+  let accounts = 4
+
+  let first_ordinary = 16
+
+  let to_string = function
+    | 0 -> "default"
+    | 1 -> "home"
+    | 2 -> "programs"
+    | 3 -> "instances"
+    | 4 -> "accounts"
+    | n -> Fmt.str "ctx%d" n
+end
+
+let pp_id ppf id =
+  if id < Well_known.first_ordinary then Fmt.string ppf (Well_known.to_string id)
+  else Fmt.pf ppf "ctx%d" id

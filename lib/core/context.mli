@@ -1,0 +1,47 @@
+(** Contexts (paper §5.2).
+
+    A context is a set of (name, object) tuples — the environment in
+    which a CSname is interpreted. A context is identified system-wide
+    by the pair (server pid, context identifier); the identifier itself
+    is a numeric value meaningful only to the implementing server,
+    except for a handful of well-known values. *)
+
+module Pid = Vkernel.Pid
+
+(** A context identifier, scoped to one server. *)
+type id = int
+
+(** A fully specified context: the process that interprets names in it,
+    and which of that server's name spaces to start from. *)
+type spec = { server : Pid.t; context : id }
+
+val spec : server:Pid.t -> context:id -> spec
+val equal_spec : spec -> spec -> bool
+val pp_spec : Format.formatter -> spec -> unit
+
+(** Well-known context identifiers: fixed values naming generic name
+    spaces (§5.2), so that e.g. "the home directory on whatever storage
+    server answers" can be named before any server is contacted. *)
+module Well_known : sig
+  (** The single/default context of a server. *)
+  val default : id
+
+  (** The user's home directory on a storage server. *)
+  val home : id
+
+  (** The standard program directory (program loading). *)
+  val programs : id
+
+  (** A server's space of temporary object instances. *)
+  val instances : id
+
+  (** The user accounts a storage server implements (§5.2). *)
+  val accounts : id
+
+  (** Identifiers >= this value are ordinary, server-assigned. *)
+  val first_ordinary : id
+
+  val to_string : id -> string
+end
+
+val pp_id : Format.formatter -> id -> unit

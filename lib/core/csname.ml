@@ -1,0 +1,77 @@
+(* Character string names (§5.1): a CSname is a sequence of bytes,
+   usually human-readable. This module holds the pure name-syntax
+   operations: component splitting, the '[prefix]' syntax of the context
+   prefix servers, and the standard request fields that accompany every
+   CSname on the wire. *)
+
+let separator = '/'
+let prefix_open = '['
+let prefix_close = ']'
+
+(* The standard fields of every CSname request (§5.3): the name, the
+   index at which interpretation is to begin or continue, and the
+   context identifier it is interpreted in. The server-pid part of the
+   context is implicit in the message's destination. *)
+type req = { name : string; index : int; context : Context.id }
+
+let make_req ?(index = 0) ?(context = Context.Well_known.default) name =
+  { name; index; context }
+
+let pp_req ppf r =
+  Fmt.pf ppf "%S[%d..] in %a" r.name r.index Context.pp_id r.context
+
+(* The part of the name not yet interpreted. *)
+let remaining r =
+  if r.index >= String.length r.name then ""
+  else String.sub r.name r.index (String.length r.name - r.index)
+
+(* Split a byte string into non-empty '/'-separated components. *)
+let components s =
+  String.split_on_char separator s |> List.filter (fun c -> c <> "")
+
+let join = String.concat (String.make 1 separator)
+
+(* Does the uninterpreted part of the name start with a context prefix? *)
+let starts_with_prefix r =
+  r.index < String.length r.name && r.name.[r.index] = prefix_open
+
+(* [parse_prefix r] splits "[prefix]rest" into the prefix and a request
+   advanced past the closing bracket. *)
+let parse_prefix r =
+  if not (starts_with_prefix r) then Error Reply.Illegal_name
+  else
+    match String.index_from_opt r.name r.index prefix_close with
+    | None -> Error Reply.Illegal_name
+    | Some close ->
+        let prefix = String.sub r.name (r.index + 1) (close - r.index - 1) in
+        if prefix = "" then Error Reply.Illegal_name
+        else Ok (prefix, { r with index = close + 1 })
+
+(* [advance_past r component] moves the index past one interpreted
+   component (and a following separator, if any), for forwarding a
+   partially interpreted request (§5.4). *)
+let advance_past r component =
+  let skip_separators name i =
+    let rec loop i =
+      if i < String.length name && name.[i] = separator then loop (i + 1) else i
+    in
+    loop i
+  in
+  let start = skip_separators r.name r.index in
+  let len = String.length component in
+  if
+    start + len <= String.length r.name
+    && String.sub r.name start len = component
+  then { r with index = skip_separators r.name (start + len) }
+  else invalid_arg "Csname.advance_past: component does not match name"
+
+(* Valid names may contain any byte except NUL; a '[' is only legal as
+   the very first character of the uninterpreted part (prefix syntax). *)
+let validate r =
+  if String.contains r.name '\000' then Error Reply.Illegal_name
+  else if r.index < 0 || r.index > String.length r.name then
+    Error Reply.Illegal_name
+  else Ok ()
+
+(* Wire size of the name as an appended segment. *)
+let segment_bytes r = String.length r.name

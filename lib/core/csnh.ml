@@ -1,0 +1,134 @@
+(* The standard name-mapping procedure (§5.4) and the generic CSNH
+   server loop.
+
+   Any server implementing one or more name spaces conforms to this
+   procedure: interpret components of the uninterpreted part of the name
+   left-to-right in a running CurrentContext; when a component resolves
+   to a context implemented by another server, rewrite the standard
+   fields (name index, context id) and forward the request — which the
+   server need not otherwise understand — to that server. *)
+
+module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Calibration = Vnet.Calibration
+
+(* What one name component means inside a given context. *)
+type lookup_result =
+  | Descend of Context.id  (** a context on this same server *)
+  | Cross of Context.spec  (** a pointer to a context on another server *)
+  | Stop  (** not a context here: a leaf object, or absent *)
+
+type outcome =
+  | Local of Context.id * string list
+      (** interpretation ends here: final context and the components not
+          consumed by context resolution (possibly none) *)
+  | Forward of Context.spec * Csname.req
+      (** crossed into another server's context: forward the request,
+          rewritten with the new index and context id *)
+  | Fail of Reply.code
+
+(* [walk ~valid_context ~lookup req] runs the §5.4 procedure. Does not
+   handle '[prefix]' syntax: the client run-time routes prefixed names
+   to the context prefix server, so another server receiving one
+   rejects it. *)
+let walk ~valid_context ~lookup req =
+  match Csname.validate req with
+  | Error code -> Fail code
+  | Ok () ->
+      if Csname.starts_with_prefix req then Fail Reply.Illegal_name
+      else if not (valid_context req.Csname.context) then Fail Reply.Bad_context
+      else begin
+        let rec loop ctx req comps =
+          match comps with
+          | [] -> Local (ctx, [])
+          | component :: rest -> (
+              match lookup ctx component with
+              | Descend ctx' -> loop ctx' (Csname.advance_past req component) rest
+              | Cross spec ->
+                  let req = Csname.advance_past req component in
+                  Forward (spec, { req with Csname.context = spec.Context.context })
+              | Stop -> Local (ctx, comps))
+        in
+        loop req.Csname.context req (Csname.components (Csname.remaining req))
+      end
+
+(* --- the generic server loop --- *)
+
+type handlers = {
+  valid_context : Context.id -> bool;
+  lookup : Context.id -> string -> lookup_result;
+      (** one component in one context; charged [component_lookup_cpu] *)
+  handle_csname :
+    sender:Pid.t -> Vmsg.t -> Csname.req -> Context.id -> string list -> Vmsg.t;
+      (** a CSname request whose interpretation ended on this server:
+          [ctx] is the final context and the string list the unconsumed
+          components; returns the reply *)
+  handle_other : sender:Pid.t -> Vmsg.t -> Vmsg.t option;
+      (** non-CSname requests; [None] means not implemented *)
+}
+
+(* Statistics a CSNH server keeps about its own processing, used by the
+   measurement harness to separate protocol cost from server-specific
+   cost (the paper's Open figures exclude "server-specific actions"). *)
+type server_stats = {
+  requests : Vsim.Stats.Counter.t;
+  forwards : Vsim.Stats.Counter.t;
+  specific_ms : Vsim.Stats.Series.t;
+      (** per-request processing time beyond the common CSname handling *)
+}
+
+let make_stats name =
+  {
+    requests = Vsim.Stats.Counter.create (name ^ ".requests");
+    forwards = Vsim.Stats.Counter.create (name ^ ".forwards");
+    specific_ms = Vsim.Stats.Series.create (name ^ ".specific-ms");
+  }
+
+(* Handle one request according to the protocol; replies or forwards as
+   appropriate. Exposed so servers with custom receive loops (e.g. the
+   prefix server) can reuse it. *)
+let handle_request self handlers stats ~sender (msg : Vmsg.t) =
+  let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
+  let now () = Vsim.Engine.now engine in
+  let charge ms = if ms > 0.0 then Vsim.Proc.delay engine ms in
+  Vsim.Stats.Counter.incr stats.requests;
+  let reply_with m = ignore (Kernel.reply self ~to_:sender m) in
+  match msg.Vmsg.name with
+  | Some req when Vmsg.Op.is_csname_request msg.Vmsg.code ->
+      let t0 = now () in
+      charge Calibration.csname_common_cpu;
+      let lookup ctx component =
+        charge Calibration.component_lookup_cpu;
+        handlers.lookup ctx component
+      in
+      (match walk ~valid_context:handlers.valid_context ~lookup req with
+      | Fail code -> reply_with (Vmsg.reply code)
+      | Forward (spec, req') ->
+          Vsim.Stats.Counter.incr stats.forwards;
+          let msg' = Vmsg.with_name msg req' in
+          (match
+             Kernel.forward self ~from_:sender ~to_:spec.Context.server msg'
+           with
+          | Ok () -> ()
+          | Error _ ->
+              (* The kernel already failed the sender's transaction if it
+                 could; nothing more to do here. *)
+              ())
+      | Local (ctx, remaining) ->
+          let reply = handlers.handle_csname ~sender msg req ctx remaining in
+          Vsim.Stats.Series.add stats.specific_ms
+            (now () -. t0 -. Calibration.csname_common_cpu);
+          reply_with reply)
+  | Some _ | None -> (
+      match handlers.handle_other ~sender msg with
+      | Some reply -> reply_with reply
+      | None -> reply_with (Vmsg.reply Reply.Bad_operation))
+
+(* Run a CSNH server forever. *)
+let serve self ?(stats = make_stats "csnh") handlers =
+  let rec loop () =
+    let msg, sender = Kernel.receive self in
+    handle_request self handlers stats ~sender msg;
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,79 @@
+(* Server-side object instances over read-only byte images.
+
+   Context directories are "logically files" (§5.6): a client opens and
+   reads them through the I/O protocol. This module gives any CSNH
+   server a small instance table for serving such dynamically fabricated
+   images (directory listings, status reports). Servers with real
+   mutable storage (the file server) keep their own richer table. *)
+
+type instance = {
+  id : int;
+  image : bytes;
+  block_size : int;
+  created : float;
+  describe : unit -> Descriptor.t;
+}
+
+type t = {
+  name : string;
+  mutable next_id : int;
+  table : (int, instance) Hashtbl.t;
+}
+
+let default_block_size = 512
+
+let create ?(name = "instances") () = { name; next_id = 1; table = Hashtbl.create 8 }
+
+let count t = Hashtbl.length t.table
+
+(* Allocate an instance serving [image]; ids maximize time before
+   reuse (§4.3) by monotonically increasing. *)
+let open_image t ~now ?(block_size = default_block_size) ~describe image =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let inst = { id; image; block_size; created = now; describe } in
+  Hashtbl.replace t.table id inst;
+  { Vmsg.instance = id; file_size = Bytes.length image; block_size }
+
+let release t id =
+  if Hashtbl.mem t.table id then begin
+    Hashtbl.remove t.table id;
+    true
+  end
+  else false
+
+let find t id = Hashtbl.find_opt t.table id
+
+let read t ~instance ~block =
+  match Hashtbl.find_opt t.table instance with
+  | None -> Error Reply.Invalid_instance
+  | Some inst ->
+      let off = block * inst.block_size in
+      if block < 0 then Error Reply.Invalid_instance
+      else if off >= Bytes.length inst.image then Error Reply.End_of_file
+      else begin
+        let len = min inst.block_size (Bytes.length inst.image - off) in
+        Ok (Bytes.sub inst.image off len)
+      end
+
+(* Handle the I/O-protocol operations this table can serve. Returns
+   [None] for requests that are not instance operations. *)
+let handle_io t (msg : Vmsg.t) =
+  match msg.Vmsg.payload with
+  | Vmsg.P_read { instance; block } when msg.Vmsg.code = Vmsg.Op.read_instance -> (
+      match read t ~instance ~block with
+      | Ok data ->
+          Some
+            (Vmsg.ok ~extra_bytes:(Bytes.length data) ~payload:(Vmsg.P_data data) ())
+      | Error code -> Some (Vmsg.reply code))
+  | Vmsg.P_instance_arg instance when msg.Vmsg.code = Vmsg.Op.query_instance -> (
+      match find t instance with
+      | None -> Some (Vmsg.reply Reply.Invalid_instance)
+      | Some inst ->
+          Some (Vmsg.ok ~payload:(Vmsg.P_descriptor (inst.describe ())) ()))
+  | Vmsg.P_instance_arg instance when msg.Vmsg.code = Vmsg.Op.release_instance ->
+      if release t instance then Some (Vmsg.ok ())
+      else Some (Vmsg.reply Reply.Invalid_instance)
+  | Vmsg.P_write _ when msg.Vmsg.code = Vmsg.Op.write_instance ->
+      Some (Vmsg.reply Reply.No_permission)
+  | _ -> None

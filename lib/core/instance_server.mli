@@ -1,0 +1,35 @@
+(** Read-only object instances over byte images.
+
+    Context directories are logically files (§5.6): a client opens and
+    reads them through the I/O protocol. This gives any CSNH server a
+    small instance table for serving such dynamically fabricated images
+    (directory listings, status reports). Servers with mutable storage
+    keep their own richer tables. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+(** Instances currently open. *)
+val count : t -> int
+
+(** Allocate an instance serving [image]; identifiers increase
+    monotonically, maximizing time before reuse (§4.3). [describe] is
+    invoked by QueryInstance. *)
+val open_image :
+  t ->
+  now:float ->
+  ?block_size:int ->
+  describe:(unit -> Descriptor.t) ->
+  bytes ->
+  Vmsg.instance_info
+
+(** [false] if the instance was not open. *)
+val release : t -> int -> bool
+
+(** Read one block. *)
+val read : t -> instance:int -> block:int -> (bytes, Reply.code) result
+
+(** Serve the I/O-protocol operations this table understands; [None] for
+    requests that are not instance operations. Writes are refused. *)
+val handle_io : t -> Vmsg.t -> Vmsg.t option

@@ -1,0 +1,346 @@
+(* The context prefix server (§5.8, §6).
+
+   One runs per user (per workstation), holding that user's symbolic
+   names for contexts of interest. A CSname beginning '[prefix]' is
+   routed here by the client run-time; the server parses the prefix,
+   rewrites the standard fields of the request, and forwards it to the
+   server implementing the bound context, dropping out of the
+   transaction (the target replies directly to the client).
+
+   Bindings are either static (server-pid, context-id) pairs or
+   "logical" (service, well-known-context) pairs resolved with GetPid at
+   each use, so a service that is re-registered after a server crash
+   keeps resolving (§6). *)
+
+module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Service = Vkernel.Service
+module Calibration = Vnet.Calibration
+
+type target =
+  | Static of Context.spec
+  | Logical of { service : int; context : Context.id }
+  | Replicated of { group : int; context : Context.id }
+      (* a context implemented transparently by a group of servers (§7) *)
+
+let pp_target ppf = function
+  | Static spec -> Context.pp_spec ppf spec
+  | Logical { service; context } ->
+      Fmt.pf ppf "(service %s, %a)" (Service.Id.to_string service)
+        Context.pp_id context
+  | Replicated { group; context } ->
+      Fmt.pf ppf "(group %d, %a)" group Context.pp_id context
+
+type t = {
+  owner : string;
+  bindings : (string, target) Hashtbl.t;
+  instances : Instance_server.t;
+  stats : Csnh.server_stats;
+  mutable pid : Pid.t option;
+}
+
+let owner t = t.owner
+let stats t = t.stats
+let pid t = match t.pid with Some p -> p | None -> failwith "prefix server not started"
+
+let bindings t =
+  Hashtbl.fold (fun name target acc -> (name, target) :: acc) t.bindings []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let binding_count t = Hashtbl.length t.bindings
+
+(* Live data bytes held per binding: the name, a one-byte tag, and an
+   8-byte target (pid + context id or service + context id). Used by the
+   E5 memory-footprint experiment. *)
+let binding_bytes name = String.length name + 1 + 8
+
+let data_bytes t =
+  Hashtbl.fold (fun name _ acc -> acc + binding_bytes name) t.bindings 0 + 64
+
+(* Accept a prefix name with or without its brackets. *)
+let strip_brackets name =
+  let n = String.length name in
+  if n >= 2 && name.[0] = Csname.prefix_open && name.[n - 1] = Csname.prefix_close
+  then String.sub name 1 (n - 2)
+  else name
+
+let add_binding t name target =
+  let name = strip_brackets name in
+  if name = "" || String.contains name '/' then Error Reply.Illegal_name
+  else if Hashtbl.mem t.bindings name then Error Reply.Duplicate_name
+  else begin
+    Hashtbl.replace t.bindings name target;
+    Ok ()
+  end
+
+let delete_binding t name =
+  let name = strip_brackets name in
+  if Hashtbl.mem t.bindings name then begin
+    Hashtbl.remove t.bindings name;
+    Ok ()
+  end
+  else Error Reply.Not_found
+
+let find_binding t name = Hashtbl.find_opt t.bindings (strip_brackets name)
+
+(* Resolve a binding to a concrete context; logical bindings perform
+   GetPid at each use. Replicated bindings have no single concrete
+   context — the forwarding path multicasts instead. *)
+let resolve self target =
+  match target with
+  | Static spec -> Ok spec
+  | Logical { service; context } -> (
+      match Kernel.get_pid self ~service Service.Both with
+      | Some server -> Ok (Context.spec ~server ~context)
+      | None -> Error Reply.No_server)
+  | Replicated _ -> Error Reply.No_server
+
+let describe_binding t ~now name target =
+  let target_string = Fmt.str "%a" pp_target target in
+  Descriptor.make ~obj_type:Descriptor.Prefix_binding
+    ~size:(binding_bytes name) ~owner:t.owner ~created:now ~modified:now
+    ~attrs:[ ("target", target_string) ]
+    name
+
+let directory_image t ~now =
+  bindings t
+  |> List.map (fun (name, target) -> describe_binding t ~now name target)
+  |> Descriptor.directory_to_bytes
+
+(* --- request handling --- *)
+
+let handle_prefixed t self ~sender (msg : Vmsg.t) req =
+  let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
+  Vsim.Stats.Counter.incr t.stats.Csnh.requests;
+  (* The prefix parse and request rewrite: the processing the paper
+     measures as the 3.94-3.99 ms additive cost of prefixed Opens. *)
+  Vsim.Proc.delay engine Calibration.prefix_parse_cpu;
+  let reply_with code = ignore (Kernel.reply self ~to_:sender (Vmsg.reply code)) in
+  match Csname.parse_prefix req with
+  | Error code -> reply_with code
+  | Ok (prefix, req') -> (
+      match Hashtbl.find_opt t.bindings prefix with
+      | None -> reply_with Reply.Not_found
+      | Some (Replicated { group; context }) ->
+          (* The bound context is implemented by a whole group: multicast
+             the rewritten request; the first member to answer serves
+             it. *)
+          Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
+          let req' = { req' with Csname.context } in
+          ignore
+            (Kernel.forward_group self ~from_:sender ~group
+               (Vmsg.with_name msg req'))
+      | Some target -> (
+          match resolve self target with
+          | Error code -> reply_with code
+          | Ok spec ->
+              Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
+              let req' = { req' with Csname.context = spec.Context.context } in
+              ignore
+                (Kernel.forward self ~from_:sender ~to_:spec.Context.server
+                   (Vmsg.with_name msg req'))))
+
+(* Add/delete name operations (§5.7, optional, "ordinarily implemented
+   only in context prefix servers"). The subject is the binding itself,
+   so these do not walk through it. *)
+let handle_binding_op t (msg : Vmsg.t) req =
+  let name = Csname.remaining req in
+  if msg.Vmsg.code = Vmsg.Op.add_context_name then
+    match msg.Vmsg.payload with
+    | Vmsg.P_context_spec spec -> (
+        match add_binding t name (Static spec) with
+        | Ok () -> Vmsg.ok ()
+        | Error code -> Vmsg.reply code)
+    | Vmsg.P_logical_spec { service; context } -> (
+        match add_binding t name (Logical { service; context }) with
+        | Ok () -> Vmsg.ok ()
+        | Error code -> Vmsg.reply code)
+    | _ -> Vmsg.reply Reply.Bad_operation
+  else
+    match delete_binding t name with
+    | Ok () -> Vmsg.ok ()
+    | Error code -> Vmsg.reply code
+
+(* Operations on the prefix server's own context and its bindings,
+   for unprefixed names. Uniformity rule (§5.6): a final-component name
+   denotes the BINDING — Query describes it exactly as the context
+   directory lists it; MapContext resolves it. Deeper names and all
+   '[bracketed]' names act on the bound TARGET context instead. *)
+let handle_own_context t self ~now (msg : Vmsg.t) =
+  let open Vmsg in
+  if msg.code = Op.map_context then
+    ok
+      ~payload:
+        (P_context_spec
+           (Context.spec ~server:(pid t) ~context:Context.Well_known.default))
+      ()
+  else if msg.code = Op.open_instance then
+    match msg.payload with
+    | P_open { mode = Directory_listing } ->
+        let image = directory_image t ~now:(now ()) in
+        let info =
+          Instance_server.open_image t.instances ~now:(now ())
+            ~describe:(fun () ->
+              Descriptor.make ~obj_type:Descriptor.Directory
+                ~size:(binding_count t) ~owner:t.owner "[prefixes]")
+            image
+        in
+        ok ~payload:(P_instance info) ()
+    | _ -> reply Reply.No_permission
+  else if msg.code = Op.query_name then
+    ok
+      ~payload:
+        (P_descriptor
+           (Descriptor.make ~obj_type:Descriptor.Directory
+              ~size:(binding_count t) ~owner:t.owner "[prefixes]"))
+      ()
+  else (ignore self; reply Reply.Bad_operation)
+
+let handle_binding_name t self ~now (msg : Vmsg.t) name =
+  let open Vmsg in
+  match Hashtbl.find_opt t.bindings name with
+  | None -> reply Reply.Not_found
+  | Some target ->
+      if msg.code = Op.query_name then
+        ok ~payload:(P_descriptor (describe_binding t ~now:(now ()) name target)) ()
+      else if msg.code = Op.map_context then
+        match resolve self target with
+        | Ok spec -> ok ~payload:(P_context_spec spec) ()
+        | Error code -> reply code
+      else
+        (* Operating INTO the target requires the bracketed syntax. *)
+        reply Reply.Not_a_context
+
+(* An unprefixed CSname request interpreted in this server's (flat)
+   context. Multi-component names descend through a binding into its
+   target server, like any other context pointer. *)
+let handle_unprefixed t self ~now ~sender (msg : Vmsg.t) req =
+  let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
+  Vsim.Stats.Counter.incr t.stats.Csnh.requests;
+  Vsim.Proc.delay engine Calibration.csname_common_cpu;
+  let reply_with m = ignore (Kernel.reply self ~to_:sender m) in
+  match Csname.validate req with
+  | Error code -> reply_with (Vmsg.reply code)
+  | Ok () ->
+      if req.Csname.context <> Context.Well_known.default then
+        reply_with (Vmsg.reply Reply.Bad_context)
+      else begin
+        Vsim.Proc.delay engine Calibration.component_lookup_cpu;
+        match Csname.components (Csname.remaining req) with
+        | [] -> reply_with (handle_own_context t self ~now msg)
+        | [ name ] -> reply_with (handle_binding_name t self ~now msg name)
+        | name :: _rest -> (
+            match Hashtbl.find_opt t.bindings name with
+            | None -> reply_with (Vmsg.reply Reply.Not_found)
+            | Some (Replicated { group; context }) ->
+                Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
+                let req' =
+                  { (Csname.advance_past req name) with Csname.context }
+                in
+                ignore
+                  (Kernel.forward_group self ~from_:sender ~group
+                     (Vmsg.with_name msg req'))
+            | Some target -> (
+                match resolve self target with
+                | Error code -> reply_with (Vmsg.reply code)
+                | Ok spec ->
+                    Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
+                    let req' =
+                      {
+                        (Csname.advance_past req name) with
+                        Csname.context = spec.Context.context;
+                      }
+                    in
+                    ignore
+                      (Kernel.forward self ~from_:sender
+                         ~to_:spec.Context.server (Vmsg.with_name msg req'))))
+      end
+
+let handle_other t self (msg : Vmsg.t) =
+  match Instance_server.handle_io t.instances msg with
+  | Some reply -> Some reply
+  | None ->
+      if msg.Vmsg.code = Vmsg.Op.inverse_map_context then
+        match msg.Vmsg.payload with
+        | Vmsg.P_context_spec wanted ->
+            let found =
+              List.find_opt
+                (fun (_, target) ->
+                  match target with
+                  | Static spec -> Context.equal_spec spec wanted
+                  | Logical _ -> (
+                      match resolve self target with
+                      | Ok spec -> Context.equal_spec spec wanted
+                      | Error _ -> false)
+                  | Replicated _ ->
+                      (* Any member could have answered; the inverse map
+                         cannot identify one. *)
+                      false)
+                (bindings t)
+            in
+            (match found with
+            | Some (name, _) ->
+                Some (Vmsg.ok ~payload:(Vmsg.P_name ("[" ^ name ^ "]")) ())
+            | None -> Some (Vmsg.reply Reply.Not_found))
+        | _ -> Some (Vmsg.reply Reply.Bad_operation)
+      else None
+
+(* [start host ~owner ~initial] spawns the prefix server and registers
+   it as this workstation's (local-scope) context-prefix service. *)
+let start host ~owner ?(initial = []) () =
+  let t =
+    {
+      owner;
+      bindings = Hashtbl.create 16;
+      instances = Instance_server.create ~name:"prefix-dirs" ();
+      stats = Csnh.make_stats "prefix";
+      pid = None;
+    }
+  in
+  List.iter
+    (fun (name, target) ->
+      match add_binding t name target with
+      | Ok () -> ()
+      | Error code ->
+          invalid_arg
+            (Fmt.str "Prefix_server.start: bad initial binding %S: %a" name
+               Reply.pp code))
+    initial;
+  let engine = Kernel.engine_of_domain (Kernel.domain_of_host host) in
+  let now () = Vsim.Engine.now engine in
+  let server_pid =
+    Kernel.spawn host ~name:(owner ^ "-prefix-server") (fun self ->
+        let rec loop () =
+          let msg, sender = Kernel.receive self in
+          (match msg.Vmsg.name with
+          | Some req
+            when Vmsg.Op.is_csname_request msg.Vmsg.code
+                 && Csname.starts_with_prefix req ->
+              (* Prefixed names are forwarded wherever they lead, even
+                 for add/delete: "[fs0]x" adds a name in fs0's context,
+                 not a binding here. *)
+              handle_prefixed t self ~sender msg req
+          | Some req
+            when msg.Vmsg.code = Vmsg.Op.add_context_name
+                 || msg.Vmsg.code = Vmsg.Op.delete_context_name ->
+              (* Unprefixed: the binding itself is the subject (§5.7's
+                 optional operations). *)
+              Vsim.Stats.Counter.incr t.stats.Csnh.requests;
+              ignore (Kernel.reply self ~to_:sender (handle_binding_op t msg req))
+          | Some req when Vmsg.Op.is_csname_request msg.Vmsg.code ->
+              handle_unprefixed t self ~now ~sender msg req
+          | Some _ | None ->
+              Vsim.Stats.Counter.incr t.stats.Csnh.requests;
+              let reply_msg =
+                match handle_other t self msg with
+                | Some m -> m
+                | None -> Vmsg.reply Reply.Bad_operation
+              in
+              ignore (Kernel.reply self ~to_:sender reply_msg));
+          loop ()
+        in
+        loop ())
+  in
+  t.pid <- Some server_pid;
+  Kernel.set_pid host ~service:Service.Id.context_prefix server_pid Service.Local;
+  t

@@ -1,0 +1,69 @@
+(* Standard reply codes (§3.2): every reply message begins with one,
+   indicating success or the reason for failure. *)
+
+type code =
+  | Ok
+  | Not_found  (** no such name in the context *)
+  | Illegal_name  (** the name violates the server's syntax *)
+  | Bad_context  (** the context identifier is not valid on this server *)
+  | No_permission
+  | Duplicate_name  (** create/add of a name that already exists *)
+  | Not_a_context  (** descended into a component that names a leaf *)
+  | No_server  (** a logical binding's service has no registered server *)
+  | Invalid_instance  (** unknown or released instance identifier *)
+  | End_of_file
+  | Bad_operation  (** the server does not implement this request code *)
+  | No_space  (** storage exhausted *)
+  | Server_error
+  | Retry  (** transient failure; the client may retry *)
+
+let to_int = function
+  | Ok -> 0
+  | Not_found -> 1
+  | Illegal_name -> 2
+  | Bad_context -> 3
+  | No_permission -> 4
+  | Duplicate_name -> 5
+  | Not_a_context -> 6
+  | No_server -> 7
+  | Invalid_instance -> 8
+  | End_of_file -> 9
+  | Bad_operation -> 10
+  | No_space -> 11
+  | Server_error -> 12
+  | Retry -> 13
+
+let of_int = function
+  | 0 -> Some Ok
+  | 1 -> Some Not_found
+  | 2 -> Some Illegal_name
+  | 3 -> Some Bad_context
+  | 4 -> Some No_permission
+  | 5 -> Some Duplicate_name
+  | 6 -> Some Not_a_context
+  | 7 -> Some No_server
+  | 8 -> Some Invalid_instance
+  | 9 -> Some End_of_file
+  | 10 -> Some Bad_operation
+  | 11 -> Some No_space
+  | 12 -> Some Server_error
+  | 13 -> Some Retry
+  | _ -> None
+
+let to_string = function
+  | Ok -> "OK"
+  | Not_found -> "not found"
+  | Illegal_name -> "illegal name"
+  | Bad_context -> "bad context"
+  | No_permission -> "no permission"
+  | Duplicate_name -> "duplicate name"
+  | Not_a_context -> "not a context"
+  | No_server -> "no server"
+  | Invalid_instance -> "invalid instance"
+  | End_of_file -> "end of file"
+  | Bad_operation -> "bad operation"
+  | No_space -> "no space"
+  | Server_error -> "server error"
+  | Retry -> "retry"
+
+let pp ppf c = Fmt.string ppf (to_string c)

@@ -1,0 +1,29 @@
+(** Standard reply codes (paper §3.2).
+
+    Every reply message begins with one of these, indicating whether the
+    request succeeded and, if not, why. The numeric encoding is part of
+    the message standard. *)
+
+type code =
+  | Ok
+  | Not_found  (** no such name in the context *)
+  | Illegal_name  (** the name violates the server's syntax *)
+  | Bad_context  (** the context identifier is not valid on this server *)
+  | No_permission
+  | Duplicate_name  (** create/add of a name that already exists *)
+  | Not_a_context  (** descended into a component that names a leaf *)
+  | No_server  (** a logical binding's service has no registered server *)
+  | Invalid_instance  (** unknown or released instance identifier *)
+  | End_of_file
+  | Bad_operation  (** the server does not implement this request code *)
+  | No_space  (** storage exhausted *)
+  | Server_error
+  | Retry  (** transient failure; the client may retry *)
+
+val to_int : code -> int
+
+(** [None] for values outside the standard set. *)
+val of_int : int -> code option
+
+val to_string : code -> string
+val pp : Format.formatter -> code -> unit

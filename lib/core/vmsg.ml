@@ -1,0 +1,180 @@
+(* The V message standards (§3.2, §5.3).
+
+   A request message carries its operation code in the first field; the
+   code determines the format of the variant part. Requests that carry a
+   CSname additionally contain the standard fields of {!Csname.req},
+   always in the same place, so any CSNH server can interpret and
+   forward such a request without understanding its operation code.
+
+   The [payload] is an extensible variant: each subsystem (I/O
+   protocol, file server, services) adds its own constructors, mirroring
+   how V servers define request formats for their own operations on top
+   of the common standards. *)
+
+module Kernel = Vkernel.Kernel
+
+type payload = ..
+type payload += No_payload
+
+type t = {
+  code : int;  (** request code, or reply code for replies *)
+  is_reply : bool;
+  name : Csname.req option;  (** the standard CSname fields, if any *)
+  payload : payload;
+  extra_bytes : int;
+      (** wire bytes beyond the 32-byte message and the name segment:
+          bulk data, directory records, etc. *)
+}
+
+(* --- operation codes --- *)
+
+module Op = struct
+  (* Standard name-handling operations (§5.7). Codes below 200 are
+     CSname requests; the name fields must be present. *)
+  let open_instance = 101 (* create an instance of a named object (I/O §3.2) *)
+  let query_name = 102 (* object description for a name *)
+  let modify_name = 103 (* overwrite modifiable description fields *)
+  let map_context = 104 (* name of a context -> (server-pid, context-id) *)
+  let add_context_name = 105 (* optional: define a name for a context *)
+  let delete_context_name = 106 (* optional: remove such a name *)
+  let create_object = 107
+  let remove_object = 108
+  let rename_object = 109 (* second name travels in the payload *)
+
+  let load_file = 110
+  (* read a whole named file, delivered by MoveTo into the buffer the
+     sender exposed: the program-loading path (§3.1) *)
+
+  (* Non-CSname standard operations. *)
+  let inverse_map_context = 120 (* context-id -> CSname *)
+  let inverse_map_instance = 121 (* instance-id -> CSname *)
+
+  (* The V I/O protocol. *)
+  let read_instance = 130
+  let write_instance = 131
+  let query_instance = 132
+  let release_instance = 133
+  let set_instance_size = 134
+
+  (* Service-specific codes start here. *)
+  let first_service_specific = 200
+
+  let is_csname_request code = code >= 100 && code < 120
+
+  let names : (int, string) Hashtbl.t = Hashtbl.create 32
+
+  let register code name = Hashtbl.replace names code name
+
+  let () =
+    List.iter
+      (fun (c, n) -> register c n)
+      [
+        (open_instance, "Open");
+        (query_name, "QueryName");
+        (modify_name, "ModifyName");
+        (map_context, "MapContext");
+        (add_context_name, "AddContextName");
+        (delete_context_name, "DeleteContextName");
+        (create_object, "Create");
+        (remove_object, "Remove");
+        (rename_object, "Rename");
+        (load_file, "LoadFile");
+        (inverse_map_context, "InverseMapContext");
+        (inverse_map_instance, "InverseMapInstance");
+        (read_instance, "ReadInstance");
+        (write_instance, "WriteInstance");
+        (query_instance, "QueryInstance");
+        (release_instance, "ReleaseInstance");
+        (set_instance_size, "SetInstanceSize");
+      ]
+
+  let to_string code =
+    match Hashtbl.find_opt names code with
+    | Some n -> n
+    | None -> Fmt.str "op%d" code
+end
+
+(* --- standard payloads --- *)
+
+type instance_info = {
+  instance : int;  (** object instance identifier (§4.3) *)
+  file_size : int;  (** current size in bytes *)
+  block_size : int;  (** preferred transfer unit *)
+}
+
+type open_mode = Read | Write | Append | Directory_listing
+
+let pp_open_mode ppf m =
+  Fmt.string ppf
+    (match m with
+    | Read -> "read"
+    | Write -> "write"
+    | Append -> "append"
+    | Directory_listing -> "directory")
+
+type payload +=
+  | P_open of { mode : open_mode }
+  | P_instance of instance_info  (** reply to Open *)
+  | P_descriptor of Descriptor.t  (** QueryName reply / ModifyName request *)
+  | P_context_spec of Context.spec
+      (** MapContext reply; AddContextName static target *)
+  | P_logical_spec of { service : int; context : Context.id }
+      (** AddContextName target resolved via GetPid at each use (§6) *)
+  | P_name of string  (** inverse-map replies; Rename's second name *)
+  | P_context_id of Context.id  (** InverseMapContext request *)
+  | P_instance_arg of int  (** InverseMapInstance request *)
+  | P_read of { instance : int; block : int }
+  | P_data of bytes  (** ReadInstance reply *)
+  | P_write of { instance : int; block : int; data : bytes }
+  | P_count of int  (** WriteInstance reply: bytes accepted; LoadFile
+                        reply: bytes moved *)
+  | P_create of { directory : bool }  (** Create request *)
+  | P_set_size of { instance : int; size : int }  (** SetInstanceSize *)
+
+(* --- constructors --- *)
+
+let request ?name ?(extra_bytes = 0) ?(payload = No_payload) code =
+  { code; is_reply = false; name; payload; extra_bytes }
+
+let reply ?(extra_bytes = 0) ?(payload = No_payload) code =
+  { code = Reply.to_int code; is_reply = true; name = None; payload; extra_bytes }
+
+let ok ?extra_bytes ?payload () = reply ?extra_bytes ?payload Reply.Ok
+
+let reply_code m =
+  if not m.is_reply then None
+  else
+    match Reply.of_int m.code with
+    | Some c -> Some c
+    | None -> Some Reply.Server_error
+
+(* Did this reply succeed? Requests are never "successful replies". *)
+let succeeded m = reply_code m = Some Reply.Ok
+
+(* [with_name m req] rewrites the standard CSname fields, leaving the
+   rest of the (possibly not understood) message intact — the rewrite a
+   CSNH server performs before forwarding (§5.4). *)
+let with_name m name = { m with name = Some name }
+
+(* --- kernel cost model --- *)
+
+let payload_bytes m =
+  (match m.name with Some r -> Csname.segment_bytes r | None -> 0) + m.extra_bytes
+
+(* Names and bulk data are appended segments copied into the receiver. *)
+let segment_bytes = payload_bytes
+
+let cost_model = { Kernel.payload_bytes; Kernel.segment_bytes }
+
+let pp ppf m =
+  if m.is_reply then
+    Fmt.pf ppf "reply %s"
+      (match Reply.of_int m.code with
+      | Some c -> Reply.to_string c
+      | None -> string_of_int m.code)
+  else
+    Fmt.pf ppf "%s%a" (Op.to_string m.code)
+      (fun ppf -> function
+        | None -> ()
+        | Some r -> Fmt.pf ppf " %a" Csname.pp_req r)
+      m.name

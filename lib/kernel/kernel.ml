@@ -1,0 +1,1017 @@
+(* The distributed V kernel (paper §3, §4).
+
+   One [domain] is a set of logical hosts on one simulated Ethernet,
+   over which the IPC primitives are transparent. Each simulated V
+   process is a [Vsim.Proc] fiber; Send blocks the fiber until the
+   Reply arrives, exactly mirroring the paper's message-transaction
+   semantics (Figure 1), including Forward, MoveTo/MoveFrom bulk
+   transfer, SetPid/GetPid service naming with broadcast lookup, and
+   process groups with multicast Send.
+
+   The kernel is parametric in the message type ['m]: it never inspects
+   messages, only charges wire/CPU costs through a caller-supplied
+   {!cost_model} — the same separation the real kernel has from the
+   message standards built above it (§3.2). *)
+
+module Calibration = Vnet.Calibration
+module Ethernet = Vnet.Ethernet
+module Engine = Vsim.Engine
+module Proc = Vsim.Proc
+
+type error =
+  | Timeout  (** retransmission budget exhausted; destination unreachable *)
+  | Nonexistent_process  (** the pid names no live process *)
+  | Not_awaiting_reply  (** Reply/Forward/Move for a process we are not serving *)
+  | Bad_buffer  (** Move beyond the buffer the sender exposed *)
+  | No_reply  (** group Send that no member answered *)
+
+let pp_error ppf = function
+  | Timeout -> Fmt.string ppf "timeout"
+  | Nonexistent_process -> Fmt.string ppf "nonexistent process"
+  | Not_awaiting_reply -> Fmt.string ppf "not awaiting reply"
+  | Bad_buffer -> Fmt.string ppf "bad buffer"
+  | No_reply -> Fmt.string ppf "no reply"
+
+exception Ipc_error of error
+
+type 'm cost_model = {
+  payload_bytes : 'm -> int;
+      (* bytes carried beyond the 32-byte message proper *)
+  segment_bytes : 'm -> int;
+      (* portion of the payload that must be copied into the receiver
+         (e.g. an appended CSname); charges segment-copy CPU remotely *)
+}
+
+(* --- wire packets between kernels --- *)
+
+type 'm packet =
+  | Request of { txn : int; sender : Pid.t; target : Pid.t; msg : 'm }
+  | Reply_pkt of { txn : int; replier : Pid.t; msg : 'm }
+  | Nack of { txn : int; reason : error }
+  | Getpid_query of { txn : int; requester_addr : int; service : int }
+  | Getpid_reply of { txn : int; pid : Pid.t }
+  | Move_request of { txn : int; mv : int; mover_addr : int; len : int }
+  | Move_data of { mv : int; last : bool; data : bytes }
+  | Move_to_data of { txn : int; mv : int; mover_addr : int; seq : int; last : bool; data : bytes }
+  | Move_ack of { mv : int; outcome : (unit, error) result }
+  | Group_request of { txn : int; sender : Pid.t; group : int; msg : 'm }
+
+type 'm delivery = { d_sender : Pid.t; d_msg : 'm }
+
+type 'm process = {
+  pid : Pid.t;
+  proc_name : string;
+  proc_host : 'm host;
+  queue : 'm delivery Queue.t;
+  mutable recv_waiter :
+    (('m delivery, exn) result -> unit) option;
+  mutable recv_filter : (Pid.t -> bool) option;
+  mutable abort : (exn -> unit) option;
+  mutable proc_alive : bool;
+}
+
+and 'm pending = {
+  p_fire : ('m * Pid.t, exn) result -> unit;
+  p_buffer : bytes option;
+}
+
+and 'm move_op = {
+  mv_fire : (bytes, exn) result -> unit;
+  mv_buf : Buffer.t;
+}
+
+and 'm host = {
+  domain : 'm domain;
+  addr : Ethernet.addr;
+  host_name : string;
+  mutable logical_host : int;
+  mutable host_up : bool;
+  processes : (int, 'm process) Hashtbl.t; (* by local pid *)
+  services : (int, (Pid.t * Service.scope) list) Hashtbl.t;
+  serving : (Pid.t * Pid.t, int) Hashtbl.t;
+      (* (sender, receiver) -> txn being served by receiver *)
+  pendings : (int, 'm pending) Hashtbl.t; (* txn -> blocked local sender *)
+  moves : (int, 'm move_op) Hashtbl.t;
+  getpid_waits : (int, Pid.t option -> unit) Hashtbl.t;
+  (* At-most-once machinery for retransmitted requests: transactions
+     already delivered to a process here, and cached replies to replay
+     when the reply frame itself was lost. *)
+  delivered_txns : (int, unit) Hashtbl.t;
+  completed_replies : (int, Ethernet.addr * 'm packet * int) Hashtbl.t;
+  group_members : (int, Pid.t list) Hashtbl.t;
+  host_prng : Vsim.Prng.t;
+}
+
+and 'm domain = {
+  engine : Engine.t;
+  net : 'm packet Ethernet.t;
+  cost : 'm cost_model;
+  mutable next_txn : int;
+  mutable next_mv : int;
+  mutable next_logical_host : int;
+  mutable next_group : int;
+  logical_hosts : (int, 'm host) Hashtbl.t;
+  all_hosts : (Ethernet.addr, 'm host) Hashtbl.t;
+  domain_prng : Vsim.Prng.t;
+  mutable trace : Vsim.Trace.t option;
+  ipc_transactions : Vsim.Stats.Counter.t;
+}
+
+type 'm self = 'm process
+
+(* --- small helpers --- *)
+
+let engine_of_domain d = d.engine
+let net_of_domain d = d.net
+
+let trace d fmt =
+  match d.trace with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some tr -> Vsim.Trace.emit tr ~category:"ipc" fmt
+
+let set_trace d tr = d.trace <- Some tr
+
+let fresh_txn d =
+  let t = d.next_txn in
+  d.next_txn <- t + 1;
+  t
+
+let fresh_mv d =
+  let t = d.next_mv in
+  d.next_mv <- t + 1;
+  t
+
+let message_payload_bytes d m = 32 + d.cost.payload_bytes m
+let control_payload_bytes = 16
+
+let find_host_of_pid d pid =
+  match Hashtbl.find_opt d.logical_hosts (Pid.logical_host pid) with
+  | Some host when host.host_up -> Some host
+  | Some _ | None -> None
+
+let find_process d pid =
+  match find_host_of_pid d pid with
+  | None -> None
+  | Some host -> (
+      match Hashtbl.find_opt host.processes (Pid.local_pid pid) with
+      | Some proc when proc.proc_alive -> Some proc
+      | Some _ | None -> None)
+
+let alive d pid = find_process d pid <> None
+
+let self_pid proc = proc.pid
+let self_host_name proc = proc.proc_host.host_name
+let host_of_self proc = proc.proc_host
+let domain_of_host h = h.domain
+let domain_of_self proc = proc.proc_host.domain
+let host_addr h = h.addr
+let host_logical h = h.logical_host
+let host_name h = h.host_name
+let host_is_up h = h.host_up
+
+let check_alive proc =
+  if not proc.proc_alive then raise (Proc.Killed "process destroyed")
+
+(* Suspend the current fiber in a crash-abortable, fire-once way. *)
+let block proc register =
+  Proc.suspend (fun resume ->
+      let fired = ref false in
+      let fire result =
+        if not !fired then begin
+          fired := true;
+          proc.abort <- None;
+          resume result
+        end
+      in
+      proc.abort <- Some (fun e -> fire (Error e));
+      register fire)
+
+let charge proc ms =
+  check_alive proc;
+  if ms > 0.0 then Proc.delay proc.proc_host.domain.engine ms;
+  check_alive proc
+
+(* --- process lifecycle --- *)
+
+exception Host_is_down of string
+
+let alloc_local_pid host =
+  let rec loop attempts =
+    if attempts > 1_000_000 then failwith "Kernel: local pid space exhausted";
+    let lp = 1 + Vsim.Prng.int host.host_prng Pid.max_local_pid in
+    if Hashtbl.mem host.processes lp then loop (attempts + 1) else lp
+  in
+  loop 0
+
+let destroy_process_record proc =
+  proc.proc_alive <- false;
+  Hashtbl.remove proc.proc_host.processes (Pid.local_pid proc.pid)
+
+let spawn host ?(name = "process") body =
+  if not host.host_up then raise (Host_is_down host.host_name);
+  let lp = alloc_local_pid host in
+  let pid = Pid.make ~logical_host:host.logical_host ~local_pid:lp in
+  let proc =
+    {
+      pid;
+      proc_name = name;
+      proc_host = host;
+      queue = Queue.create ();
+      recv_waiter = None;
+      recv_filter = None;
+      abort = None;
+      proc_alive = true;
+    }
+  in
+  Hashtbl.replace host.processes lp proc;
+  Proc.spawn ~name host.domain.engine (fun () ->
+      match body proc with
+      | () -> destroy_process_record proc
+      | exception e ->
+          destroy_process_record proc;
+          raise e);
+  pid
+
+(* Kill one process: its fiber is torn down at its next suspension
+   point (it is blocked now, or will block at its next kernel call). *)
+let destroy_process d pid =
+  match find_process d pid with
+  | None -> false
+  | Some proc ->
+      trace d "Destroy %a" Pid.pp pid;
+      destroy_process_record proc;
+      (match proc.abort with
+      | Some abort -> abort (Proc.Killed "destroyed")
+      | None -> ());
+      true
+
+(* --- delivery --- *)
+
+let deliver proc delivery =
+  if proc.proc_alive then begin
+    let matches =
+      match proc.recv_filter with
+      | None -> true
+      | Some f -> f delivery.d_sender
+    in
+    match proc.recv_waiter with
+    | Some fire when matches ->
+        proc.recv_waiter <- None;
+        proc.recv_filter <- None;
+        fire (Ok delivery)
+    | Some _ | None -> Queue.add delivery proc.queue
+  end
+
+let register_serving host ~sender ~receiver ~txn =
+  Hashtbl.replace host.serving (sender, receiver) txn
+
+(* Resume a blocked sender with its reply (or error). Safe to call from
+   event context; no-op if the transaction already completed. *)
+let fill_pending host ~txn result =
+  match Hashtbl.find_opt host.pendings txn with
+  | None -> () (* timed out, crashed, or duplicate reply: drop *)
+  | Some pending ->
+      Hashtbl.remove host.pendings txn;
+      pending.p_fire result
+
+let transmit host ~dst ~payload_bytes packet =
+  Ethernet.transmit host.domain.net
+    { Ethernet.src = host.addr; dst; payload = packet; payload_bytes }
+
+(* Receive-side CPU for a message-bearing packet arriving off the wire. *)
+let remote_recv_cost d msg =
+  Calibration.small_packet_recv_cpu
+  +. (if d.cost.segment_bytes msg > 0 then Calibration.segment_copy_remote_cpu else 0.0)
+
+(* --- request dispatch (Send and Forward share this) --- *)
+
+let dispatch_local_request host ~txn ~sender ~target_proc msg =
+  register_serving host ~sender ~receiver:target_proc.pid ~txn;
+  deliver target_proc { d_sender = sender; d_msg = msg }
+
+let dispatch_remote_request src_host ~dst_addr ~txn ~sender ~target msg =
+  transmit src_host ~dst:(Ethernet.Unicast dst_addr)
+    ~payload_bytes:(message_payload_bytes src_host.domain msg)
+    (Request { txn; sender; target; msg })
+
+(* Arm the unreachable-destination timeout for a remote transaction.
+   Like the real kernel's retransmission/probe machinery, the timeout
+   renews while the destination host remains reachable — a server
+   legitimately busy serving the transaction (e.g. a long MoveTo) does
+   not abort the sender. A bounded number of probes caps transactions
+   whose forwarded target silently disappeared. *)
+let max_timeout_probes = 60
+
+let arm_timeout host ~txn ~dst_addr =
+  let d = host.domain in
+  let rec probe attempts () =
+    if Hashtbl.mem host.pendings txn then begin
+      let target_host_reachable =
+        match Hashtbl.find_opt d.all_hosts dst_addr with
+        | Some h ->
+            h.host_up && not (Ethernet.partitioned d.net host.addr dst_addr)
+        | None -> false
+      in
+      if target_host_reachable && attempts < max_timeout_probes then
+        Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
+          (probe (attempts + 1))
+      else fill_pending host ~txn (Error (Ipc_error Timeout))
+    end
+  in
+  Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine (probe 1)
+
+(* Periodically resend a request packet while its transaction is still
+   pending; the receiving kernel suppresses duplicates. Rides under the
+   timeout above, which bounds the total wait. *)
+let arm_retransmit host ~txn resend =
+  let d = host.domain in
+  let rec tick () =
+    if Hashtbl.mem host.pendings txn && host.host_up then begin
+      resend ();
+      Engine.schedule ~delay:Calibration.retransmit_interval_ms d.engine tick
+    end
+  in
+  Engine.schedule ~delay:Calibration.retransmit_interval_ms d.engine tick
+
+(* --- the IPC primitives --- *)
+
+(* [send proc target msg] implements the Send primitive: blocks the
+   calling fiber until the target (or whoever the message is forwarded
+   to) replies. [buffer], if given, is the memory the sender exposes to
+   MoveTo/MoveFrom for the duration of the transaction. *)
+let send proc ?buffer target msg =
+  check_alive proc;
+  let host = proc.proc_host in
+  let d = host.domain in
+  Vsim.Stats.Counter.incr d.ipc_transactions;
+  trace d "Send %a -> %a" Pid.pp proc.pid Pid.pp target;
+  match find_process d target with
+  | Some target_proc when target_proc.proc_host == host ->
+      charge proc Calibration.local_ipc_leg_cpu;
+      if not target_proc.proc_alive then Error Nonexistent_process
+      else begin
+        let txn = fresh_txn d in
+        let result =
+          try
+            Ok
+              (block proc (fun fire ->
+                   Hashtbl.replace host.pendings txn
+                     { p_fire = fire; p_buffer = buffer };
+                   dispatch_local_request host ~txn ~sender:proc.pid ~target_proc msg))
+          with Ipc_error e -> Error e
+        in
+        Hashtbl.remove host.pendings txn;
+        result
+      end
+  | Some target_proc ->
+      charge proc Calibration.small_packet_send_cpu;
+      let txn = fresh_txn d in
+      let dst_addr = target_proc.proc_host.addr in
+      let result =
+        try
+          Ok
+            (block proc (fun fire ->
+                 Hashtbl.replace host.pendings txn { p_fire = fire; p_buffer = buffer };
+                 dispatch_remote_request host ~dst_addr ~txn ~sender:proc.pid ~target msg;
+                 arm_retransmit host ~txn (fun () ->
+                     dispatch_remote_request host ~dst_addr ~txn ~sender:proc.pid
+                       ~target msg);
+                 arm_timeout host ~txn ~dst_addr))
+        with Ipc_error e -> Error e
+      in
+      Hashtbl.remove host.pendings txn;
+      result
+  | None -> Error Nonexistent_process
+
+(* [receive proc] blocks until a message arrives; returns it with the
+   sender's pid. *)
+let receive proc =
+  check_alive proc;
+  let d =
+    match Queue.take_opt proc.queue with
+    | Some delivery -> delivery
+    | None ->
+        block proc (fun fire ->
+            proc.recv_filter <- None;
+            proc.recv_waiter <- Some fire)
+  in
+  trace proc.proc_host.domain "Receive %a <- %a" Pid.pp proc.pid Pid.pp d.d_sender;
+  (d.d_msg, d.d_sender)
+
+(* Blocks until a message from a sender satisfying [from] arrives.
+   Other messages stay queued. *)
+let receive_where proc ~from =
+  check_alive proc;
+  let rec find_queued acc =
+    match Queue.take_opt proc.queue with
+    | None ->
+        List.iter (fun x -> Queue.add x proc.queue) (List.rev acc);
+        None
+    | Some delivery when from delivery.d_sender ->
+        List.iter (fun x -> Queue.add x proc.queue) (List.rev acc);
+        Some delivery
+    | Some other -> find_queued (other :: acc)
+  in
+  let d =
+    match find_queued [] with
+    | Some delivery -> delivery
+    | None ->
+        block proc (fun fire ->
+            proc.recv_filter <- Some from;
+            proc.recv_waiter <- Some fire)
+  in
+  (d.d_msg, d.d_sender)
+
+(* [reply proc ~to_ msg] completes the transaction with blocked sender
+   [to_]. *)
+let reply proc ~to_ msg =
+  check_alive proc;
+  let host = proc.proc_host in
+  let d = host.domain in
+  match Hashtbl.find_opt host.serving (to_, proc.pid) with
+  | None -> Error Not_awaiting_reply
+  | Some txn -> (
+      Hashtbl.remove host.serving (to_, proc.pid);
+      trace d "Reply %a -> %a" Pid.pp proc.pid Pid.pp to_;
+      match find_process d to_ with
+      | None -> Ok () (* sender died while blocked; nothing to resume *)
+      | Some sender_proc when sender_proc.proc_host == host ->
+          charge proc Calibration.local_ipc_leg_cpu;
+          fill_pending host ~txn (Ok (msg, proc.pid));
+          Ok ()
+      | Some sender_proc ->
+          charge proc Calibration.small_packet_send_cpu;
+          let packet = Reply_pkt { txn; replier = proc.pid; msg } in
+          let bytes = message_payload_bytes d msg in
+          let dst = sender_proc.proc_host.addr in
+          (* Keep the reply for replay if the frame is lost and the
+             sender retransmits (bounded cache: duplicate suppression is
+             only needed within the retransmission window). *)
+          if Hashtbl.length host.completed_replies > 4096 then
+            Hashtbl.reset host.completed_replies;
+          Hashtbl.replace host.completed_replies txn (dst, packet, bytes);
+          transmit host ~dst:(Ethernet.Unicast dst) ~payload_bytes:bytes packet;
+          Ok ())
+
+(* [forward proc ~from_ ~to_ msg] passes the transaction on: [to_] sees
+   [msg] as if [from_] had sent it directly, and will reply straight to
+   [from_]. This is the kernel mechanism the name-handling protocol's
+   multi-server name interpretation rides on (§5.4). *)
+let forward proc ~from_ ~to_ msg =
+  check_alive proc;
+  let host = proc.proc_host in
+  let d = host.domain in
+  match Hashtbl.find_opt host.serving (from_, proc.pid) with
+  | None -> Error Not_awaiting_reply
+  | Some txn -> (
+      Hashtbl.remove host.serving (from_, proc.pid);
+      trace d "Forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
+      match find_process d to_ with
+      | None ->
+          (* Target gone: fail the original sender's transaction. *)
+          (match find_process d from_ with
+          | Some sender_proc ->
+              fill_pending sender_proc.proc_host ~txn
+                (Error (Ipc_error Nonexistent_process))
+          | None -> ());
+          Error Nonexistent_process
+      | Some target_proc when target_proc.proc_host == host ->
+          charge proc Calibration.local_ipc_leg_cpu;
+          dispatch_local_request host ~txn ~sender:from_ ~target_proc msg;
+          Ok ()
+      | Some target_proc ->
+          charge proc Calibration.small_packet_send_cpu;
+          dispatch_remote_request host ~dst_addr:target_proc.proc_host.addr ~txn
+            ~sender:from_ ~target:to_ msg;
+          Ok ())
+
+(* --- MoveTo / MoveFrom --- *)
+
+let pages_of_bytes len =
+  let page = Calibration.bulk_packet_bytes in
+  max 1 ((len + page - 1) / page)
+
+(* Stream [data] from [src_host] as paced bulk packets; [mk_packet]
+   builds each wire packet from (seq, last, chunk). The per-packet send
+   CPU paces the stream, reproducing the host-limited MoveTo throughput
+   of §3.1. *)
+let stream_chunks src_host ~dst_addr data mk_packet =
+  let d = src_host.domain in
+  let page = Calibration.bulk_packet_bytes in
+  let len = Bytes.length data in
+  let n = pages_of_bytes len in
+  let now = Engine.now d.engine in
+  for i = 0 to n - 1 do
+    let at = now +. (float_of_int (i + 1) *. Calibration.bulk_packet_send_cpu) in
+    Engine.schedule_at d.engine at (fun () ->
+        if src_host.host_up then begin
+          let off = i * page in
+          let chunk_len = min page (len - off) in
+          let chunk = Bytes.sub data off chunk_len in
+          transmit src_host ~dst:(Ethernet.Unicast dst_addr)
+            ~payload_bytes:(control_payload_bytes + chunk_len)
+            (mk_packet ~seq:i ~last:(i = n - 1) ~chunk)
+        end)
+  done
+
+(* [move_from proc ~sender ~len] reads [len] bytes from the buffer the
+   blocked sender exposed. The caller must currently be serving
+   [sender]. *)
+let move_from proc ~sender ~len =
+  check_alive proc;
+  let host = proc.proc_host in
+  let d = host.domain in
+  match Hashtbl.find_opt host.serving (sender, proc.pid) with
+  | None -> Error Not_awaiting_reply
+  | Some txn -> (
+      trace d "MoveFrom %a <- %a (%dB)" Pid.pp proc.pid Pid.pp sender len;
+      match find_process d sender with
+      | None -> Error Nonexistent_process
+      | Some sender_proc when sender_proc.proc_host == host -> (
+          match Hashtbl.find_opt host.pendings txn with
+          | None -> Error Not_awaiting_reply
+          | Some { p_buffer = None; _ } -> Error Bad_buffer
+          | Some { p_buffer = Some buf; _ } ->
+              if len > Bytes.length buf then Error Bad_buffer
+              else begin
+                charge proc
+                  (float_of_int (pages_of_bytes len) *. Calibration.local_move_page_cpu);
+                Ok (Bytes.sub buf 0 len)
+              end)
+      | Some sender_proc -> (
+          let remote = sender_proc.proc_host in
+          let mv = fresh_mv d in
+          charge proc Calibration.small_packet_send_cpu;
+          try
+            Ok
+              (block proc (fun fire ->
+                   Hashtbl.replace host.moves mv
+                     { mv_fire = fire; mv_buf = Buffer.create len };
+                   transmit host ~dst:(Ethernet.Unicast remote.addr)
+                     ~payload_bytes:control_payload_bytes
+                     (Move_request { txn; mv; mover_addr = host.addr; len });
+                   Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
+                     (fun () ->
+                       match Hashtbl.find_opt host.moves mv with
+                       | None -> ()
+                       | Some op ->
+                           Hashtbl.remove host.moves mv;
+                           op.mv_fire (Error (Ipc_error Timeout)))))
+          with Ipc_error e ->
+            Hashtbl.remove host.moves mv;
+            Error e))
+
+(* [move_to proc ~sender data] writes [data] into the blocked sender's
+   exposed buffer. *)
+let move_to proc ~sender data =
+  check_alive proc;
+  let host = proc.proc_host in
+  let d = host.domain in
+  match Hashtbl.find_opt host.serving (sender, proc.pid) with
+  | None -> Error Not_awaiting_reply
+  | Some txn -> (
+      trace d "MoveTo %a -> %a (%dB)" Pid.pp proc.pid Pid.pp sender
+        (Bytes.length data);
+      match find_process d sender with
+      | None -> Error Nonexistent_process
+      | Some sender_proc when sender_proc.proc_host == host -> (
+          match Hashtbl.find_opt host.pendings txn with
+          | None -> Error Not_awaiting_reply
+          | Some { p_buffer = None; _ } -> Error Bad_buffer
+          | Some { p_buffer = Some buf; _ } ->
+              if Bytes.length data > Bytes.length buf then Error Bad_buffer
+              else begin
+                charge proc
+                  (float_of_int (pages_of_bytes (Bytes.length data))
+                  *. Calibration.local_move_page_cpu);
+                Bytes.blit data 0 buf 0 (Bytes.length data);
+                Ok ()
+              end)
+      | Some sender_proc ->
+          let remote = sender_proc.proc_host in
+          let mv = fresh_mv d in
+          let page = Calibration.bulk_packet_bytes in
+          let len = Bytes.length data in
+          let n = pages_of_bytes len in
+          (* The mover's own fiber paces the outgoing packets (it is the
+             mover's CPU that limits throughput), then blocks for the
+             completion ack. *)
+          let rec push i =
+            if i < n then begin
+              charge proc Calibration.bulk_packet_send_cpu;
+              let off = i * page in
+              let chunk_len = min page (len - off) in
+              transmit host ~dst:(Ethernet.Unicast remote.addr)
+                ~payload_bytes:(control_payload_bytes + chunk_len)
+                (Move_to_data
+                   {
+                     txn;
+                     mv;
+                     mover_addr = host.addr;
+                     seq = i;
+                     last = i = n - 1;
+                     data = Bytes.sub data off chunk_len;
+                   });
+              push (i + 1)
+            end
+          in
+          (try
+             push 0;
+             let (_ : bytes) =
+               block proc (fun fire ->
+                   Hashtbl.replace host.moves mv
+                     { mv_fire = fire; mv_buf = Buffer.create 0 };
+                   Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
+                     (fun () ->
+                       match Hashtbl.find_opt host.moves mv with
+                       | None -> ()
+                       | Some op ->
+                           Hashtbl.remove host.moves mv;
+                           op.mv_fire (Error (Ipc_error Timeout))))
+             in
+             Ok ()
+           with Ipc_error e ->
+             Hashtbl.remove host.moves mv;
+             Error e))
+
+(* --- service naming: SetPid / GetPid (§4.2) --- *)
+
+let set_pid host ~service pid scope =
+  let entries =
+    match Hashtbl.find_opt host.services service with Some l -> l | None -> []
+  in
+  (* A new registration for the same (service, scope) replaces the old
+     one; Local and Remote registrations may coexist (§4.2). *)
+  let entries = List.filter (fun (_, sc) -> sc <> scope) entries in
+  Hashtbl.replace host.services service ((pid, scope) :: entries)
+
+let clear_pid host ~service pid =
+  match Hashtbl.find_opt host.services service with
+  | None -> ()
+  | Some entries ->
+      Hashtbl.replace host.services service
+        (List.filter (fun (p, _) -> not (Pid.equal p pid)) entries)
+
+let local_service_lookup host ~service ~origin =
+  match Hashtbl.find_opt host.services service with
+  | None -> None
+  | Some entries ->
+      List.find_opt (fun (_, sc) -> Service.visible ~registered:sc ~origin) entries
+      |> Option.map fst
+
+let get_pid proc ~service scope =
+  check_alive proc;
+  let host = proc.proc_host in
+  let d = host.domain in
+  charge proc Calibration.getpid_check_cpu;
+  match local_service_lookup host ~service ~origin:`Local_query with
+  | Some pid when alive d pid -> Some pid
+  | _ when scope = Service.Local -> None
+  | _ ->
+      (* Broadcast query; first responder wins (§4.2). *)
+      charge proc Calibration.small_packet_send_cpu;
+      let txn = fresh_txn d in
+      let answer =
+        block proc (fun fire ->
+            let settle pid_opt =
+              if Hashtbl.mem host.getpid_waits txn then begin
+                Hashtbl.remove host.getpid_waits txn;
+                fire (Ok pid_opt)
+              end
+            in
+            Hashtbl.replace host.getpid_waits txn settle;
+            transmit host ~dst:Ethernet.Broadcast
+              ~payload_bytes:control_payload_bytes
+              (Getpid_query { txn; requester_addr = host.addr; service });
+            Engine.schedule ~delay:Calibration.getpid_timeout_ms d.engine
+              (fun () -> settle None))
+      in
+      answer
+
+(* --- process groups and multicast Send (§2.3, §7) --- *)
+
+let create_group d =
+  let g = d.next_group in
+  d.next_group <- g + 1;
+  g
+
+let join_group host ~group pid =
+  let members =
+    match Hashtbl.find_opt host.group_members group with Some l -> l | None -> []
+  in
+  if not (List.exists (Pid.equal pid) members) then begin
+    Hashtbl.replace host.group_members group (pid :: members);
+    Ethernet.join_group host.domain.net ~group ~addr:host.addr
+  end
+
+let leave_group host ~group pid =
+  match Hashtbl.find_opt host.group_members group with
+  | None -> ()
+  | Some members ->
+      let members = List.filter (fun p -> not (Pid.equal p pid)) members in
+      if members = [] then begin
+        Hashtbl.remove host.group_members group;
+        Ethernet.leave_group host.domain.net ~group ~addr:host.addr
+      end
+      else Hashtbl.replace host.group_members group members
+
+let local_group_members host ~group =
+  match Hashtbl.find_opt host.group_members group with Some l -> l | None -> []
+
+(* [send_group proc ~group msg] multicasts to every member of the group
+   and blocks for the first reply, V's group-send semantics. Members on
+   the sender's own host are delivered directly (the wire does not loop
+   frames back). *)
+let send_group proc ~group msg =
+  check_alive proc;
+  let host = proc.proc_host in
+  let d = host.domain in
+  Vsim.Stats.Counter.incr d.ipc_transactions;
+  trace d "GroupSend %a -> group%d" Pid.pp proc.pid group;
+  charge proc Calibration.small_packet_send_cpu;
+  let txn = fresh_txn d in
+  let result =
+    try
+      Ok
+        (block proc (fun fire ->
+             Hashtbl.replace host.pendings txn { p_fire = fire; p_buffer = None };
+             (* local members *)
+             List.iter
+               (fun member_pid ->
+                 match find_process d member_pid with
+                 | Some member when member.proc_host == host ->
+                     Engine.schedule ~delay:Calibration.local_ipc_leg_cpu d.engine
+                       (fun () ->
+                         register_serving host ~sender:proc.pid
+                           ~receiver:member.pid ~txn;
+                         deliver member { d_sender = proc.pid; d_msg = msg })
+                 | Some _ | None -> ())
+               (local_group_members host ~group);
+             transmit host ~dst:(Ethernet.Multicast group)
+               ~payload_bytes:(message_payload_bytes d msg)
+               (Group_request { txn; sender = proc.pid; group; msg });
+             Engine.schedule ~delay:Calibration.getpid_timeout_ms d.engine (fun () ->
+                 fill_pending host ~txn (Error (Ipc_error No_reply)))))
+    with Ipc_error e -> Error e
+  in
+  Hashtbl.remove host.pendings txn;
+  result
+
+(* [forward_group proc ~from_ ~group msg] forwards the transaction of
+   blocked sender [from_] to every member of a process group; whichever
+   member replies first completes the transaction (later replies are
+   dropped at the sender). This is the §7 mechanism by which "a single
+   context could be implemented transparently by a group of servers". *)
+let forward_group proc ~from_ ~group msg =
+  check_alive proc;
+  let host = proc.proc_host in
+  let d = host.domain in
+  match Hashtbl.find_opt host.serving (from_, proc.pid) with
+  | None -> Error Not_awaiting_reply
+  | Some txn ->
+      Hashtbl.remove host.serving (from_, proc.pid);
+      trace d "ForwardGroup %a: %a -> group%d" Pid.pp proc.pid Pid.pp from_ group;
+      charge proc Calibration.small_packet_send_cpu;
+      (* Members on this host are delivered directly (no wire loopback). *)
+      List.iter
+        (fun member_pid ->
+          match find_process d member_pid with
+          | Some member when member.proc_host == host ->
+              Engine.schedule ~delay:Calibration.local_ipc_leg_cpu d.engine
+                (fun () ->
+                  register_serving host ~sender:from_ ~receiver:member.pid ~txn;
+                  deliver member { d_sender = from_; d_msg = msg })
+          | Some _ | None -> ())
+        (local_group_members host ~group);
+      transmit host ~dst:(Ethernet.Multicast group)
+        ~payload_bytes:(message_payload_bytes d msg)
+        (Group_request { txn; sender = from_; group; msg });
+      Ok ()
+
+(* --- packet handling --- *)
+
+let handle_packet host (frame : 'm packet Ethernet.frame) =
+  let d = host.domain in
+  match frame.Ethernet.payload with
+  | Request { txn; sender; target; msg } ->
+      Engine.schedule ~delay:(remote_recv_cost d msg) d.engine (fun () ->
+          if host.host_up then
+            match Hashtbl.find_opt host.completed_replies txn with
+            | Some (reply_addr, reply_packet, reply_bytes) ->
+                (* Duplicate of a completed transaction: the reply frame
+                   was lost; replay it. *)
+                transmit host ~dst:(Ethernet.Unicast reply_addr)
+                  ~payload_bytes:reply_bytes reply_packet
+            | None -> (
+                let live_target =
+                  match Hashtbl.find_opt host.processes (Pid.local_pid target) with
+                  | Some p
+                    when p.proc_alive
+                         && Pid.logical_host target = host.logical_host ->
+                      Some p
+                  | Some _ | None -> None
+                in
+                match (Hashtbl.mem host.delivered_txns txn, live_target) with
+                | false, Some target_proc ->
+                    Hashtbl.replace host.delivered_txns txn ();
+                    dispatch_local_request host ~txn ~sender ~target_proc msg
+                | true, Some _ ->
+                    () (* duplicate; the server is still working on it *)
+                | _, None ->
+                    (* Never deliverable — or the serving process died
+                       mid-transaction and a retransmission probed it:
+                       tell the sender. *)
+                    transmit host ~dst:(Ethernet.Unicast frame.Ethernet.src)
+                      ~payload_bytes:control_payload_bytes
+                      (Nack { txn; reason = Nonexistent_process })))
+  | Reply_pkt { txn; replier; msg } ->
+      Engine.schedule ~delay:(remote_recv_cost d msg) d.engine (fun () ->
+          if host.host_up then fill_pending host ~txn (Ok (msg, replier)))
+  | Nack { txn; reason } ->
+      Engine.schedule ~delay:Calibration.small_packet_recv_cpu d.engine (fun () ->
+          if host.host_up then fill_pending host ~txn (Error (Ipc_error reason)))
+  | Getpid_query { txn; requester_addr; service } ->
+      Engine.schedule
+        ~delay:(Calibration.small_packet_recv_cpu +. Calibration.getpid_check_cpu)
+        d.engine
+        (fun () ->
+          if host.host_up then
+            match local_service_lookup host ~service ~origin:`Remote_query with
+            | Some pid when alive d pid ->
+                transmit host ~dst:(Ethernet.Unicast requester_addr)
+                  ~payload_bytes:control_payload_bytes
+                  (Getpid_reply { txn; pid })
+            | Some _ | None -> ())
+  | Getpid_reply { txn; pid } ->
+      Engine.schedule ~delay:Calibration.small_packet_recv_cpu d.engine (fun () ->
+          if host.host_up then
+            match Hashtbl.find_opt host.getpid_waits txn with
+            | None -> () (* already answered or timed out *)
+            | Some settle -> settle (Some pid))
+  | Move_request { txn; mv; mover_addr; len } ->
+      Engine.schedule ~delay:Calibration.small_packet_recv_cpu d.engine (fun () ->
+          if host.host_up then
+            match Hashtbl.find_opt host.pendings txn with
+            | Some { p_buffer = Some buf; _ } when len <= Bytes.length buf ->
+                stream_chunks host ~dst_addr:mover_addr (Bytes.sub buf 0 len)
+                  (fun ~seq:_ ~last ~chunk -> Move_data { mv; last; data = chunk })
+            | Some _ | None ->
+                transmit host ~dst:(Ethernet.Unicast mover_addr)
+                  ~payload_bytes:control_payload_bytes
+                  (Move_ack { mv; outcome = Error Bad_buffer }))
+  | Move_data { mv; last; data } -> (
+      match Hashtbl.find_opt host.moves mv with
+      | None -> ()
+      | Some op ->
+          Buffer.add_bytes op.mv_buf data;
+          if last then begin
+            Hashtbl.remove host.moves mv;
+            Engine.schedule ~delay:Calibration.bulk_packet_recv_cpu d.engine
+              (fun () ->
+                if host.host_up then op.mv_fire (Ok (Buffer.to_bytes op.mv_buf)))
+          end)
+  | Move_to_data { txn; mv; mover_addr; seq; last; data } -> (
+      match Hashtbl.find_opt host.pendings txn with
+      | Some { p_buffer = Some buf; _ }
+        when (seq * Calibration.bulk_packet_bytes) + Bytes.length data
+             <= Bytes.length buf ->
+          Bytes.blit data 0 buf (seq * Calibration.bulk_packet_bytes)
+            (Bytes.length data);
+          if last then
+            Engine.schedule ~delay:Calibration.bulk_packet_recv_cpu d.engine
+              (fun () ->
+                if host.host_up then
+                  transmit host ~dst:(Ethernet.Unicast mover_addr)
+                    ~payload_bytes:control_payload_bytes
+                    (Move_ack { mv; outcome = Ok () }))
+      | Some _ | None ->
+          if last then
+            transmit host ~dst:(Ethernet.Unicast mover_addr)
+              ~payload_bytes:control_payload_bytes
+              (Move_ack { mv; outcome = Error Bad_buffer }))
+  | Move_ack { mv; outcome } ->
+      Engine.schedule ~delay:Calibration.small_packet_recv_cpu d.engine (fun () ->
+          match Hashtbl.find_opt host.moves mv with
+          | None -> ()
+          | Some op ->
+              Hashtbl.remove host.moves mv;
+              (match outcome with
+              | Ok () -> op.mv_fire (Ok Bytes.empty)
+              | Error e -> op.mv_fire (Error (Ipc_error e))))
+  | Group_request { txn; sender; group; msg } ->
+      Engine.schedule ~delay:(remote_recv_cost d msg) d.engine (fun () ->
+          if host.host_up then begin
+            List.iter
+              (fun member_pid ->
+                match Hashtbl.find_opt host.processes (Pid.local_pid member_pid) with
+                | Some member when member.proc_alive ->
+                    register_serving host ~sender ~receiver:member.pid ~txn;
+                    deliver member { d_sender = sender; d_msg = msg }
+                | Some _ | None -> ())
+              (local_group_members host ~group)
+          end)
+
+(* --- domain and host lifecycle --- *)
+
+let create_domain ?(seed = 42) ~cost engine net =
+  let d =
+    {
+      engine;
+      net;
+      cost;
+      next_txn = 1;
+      next_mv = 1;
+      next_logical_host = 1;
+      next_group = 1;
+      logical_hosts = Hashtbl.create 16;
+      all_hosts = Hashtbl.create 16;
+      domain_prng = Vsim.Prng.create ~seed;
+      trace = None;
+      ipc_transactions = Vsim.Stats.Counter.create "ipc-transactions";
+    }
+  in
+  d
+
+let ipc_transaction_count d = Vsim.Stats.Counter.value d.ipc_transactions
+
+let fresh_logical_host d =
+  let lh = d.next_logical_host in
+  if lh > Pid.max_logical_host then failwith "Kernel: logical host space exhausted";
+  d.next_logical_host <- lh + 1;
+  lh
+
+let boot_host d ~name addr =
+  if Hashtbl.mem d.all_hosts addr then
+    invalid_arg "Kernel.boot_host: address in use";
+  let host =
+    {
+      domain = d;
+      addr;
+      host_name = name;
+      logical_host = fresh_logical_host d;
+      host_up = true;
+      processes = Hashtbl.create 16;
+      services = Hashtbl.create 8;
+      serving = Hashtbl.create 16;
+      pendings = Hashtbl.create 16;
+      moves = Hashtbl.create 8;
+      getpid_waits = Hashtbl.create 8;
+      delivered_txns = Hashtbl.create 64;
+      completed_replies = Hashtbl.create 64;
+      group_members = Hashtbl.create 8;
+      host_prng = Vsim.Prng.split d.domain_prng;
+    }
+  in
+  Hashtbl.replace d.all_hosts addr host;
+  Hashtbl.replace d.logical_hosts host.logical_host host;
+  Ethernet.attach d.net addr (fun frame -> handle_packet host frame);
+  host
+
+let host_of_addr d addr = Hashtbl.find_opt d.all_hosts addr
+
+let hosts d =
+  Hashtbl.fold (fun _ h acc -> h :: acc) d.all_hosts []
+  |> List.sort (fun a b -> compare a.addr b.addr)
+
+(* Crash a host: every process dies, every table is cleared, the wire
+   stops delivering to it. Pids minted on the dead logical host become
+   permanently invalid (a restarted host gets a fresh logical host id,
+   modelling V's avoidance of pid reuse). *)
+let crash_host host =
+  if host.host_up then begin
+    let d = host.domain in
+    trace d "Crash host %s" host.host_name;
+    host.host_up <- false;
+    Ethernet.set_host_up d.net host.addr false;
+    Hashtbl.remove d.logical_hosts host.logical_host;
+    let procs = Hashtbl.fold (fun _ p acc -> p :: acc) host.processes [] in
+    List.iter
+      (fun proc ->
+        proc.proc_alive <- false;
+        match proc.abort with
+        | Some abort -> abort (Proc.Killed "host crash")
+        | None -> ())
+      procs;
+    Hashtbl.reset host.processes;
+    Hashtbl.reset host.services;
+    Hashtbl.reset host.serving;
+    Hashtbl.reset host.pendings;
+    Hashtbl.reset host.moves;
+    Hashtbl.reset host.getpid_waits;
+    Hashtbl.reset host.delivered_txns;
+    Hashtbl.reset host.completed_replies;
+    Hashtbl.iter
+      (fun group _ -> Ethernet.leave_group d.net ~group ~addr:host.addr)
+      host.group_members;
+    Hashtbl.reset host.group_members
+  end
+
+let restart_host host =
+  if host.host_up then invalid_arg "Kernel.restart_host: host is up";
+  let d = host.domain in
+  trace d "Restart host %s" host.host_name;
+  host.logical_host <- fresh_logical_host d;
+  host.host_up <- true;
+  Hashtbl.replace d.logical_hosts host.logical_host host;
+  Ethernet.set_host_up d.net host.addr true
+

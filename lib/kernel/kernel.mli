@@ -1,0 +1,157 @@
+(** The distributed V kernel (paper §3–§4).
+
+    A [domain] is a set of logical hosts on one simulated Ethernet over
+    which the IPC primitives are transparent — one V-System
+    installation. Every V process is a simulated fiber; [send] blocks
+    until the reply arrives (the message transaction of Figure 1).
+
+    The kernel is parametric in the message type ['m]; it charges
+    wire/CPU costs through a {!cost_model} but never inspects message
+    contents, mirroring the real kernel's independence from the message
+    standards built above it. *)
+
+type error =
+  | Timeout  (** destination unreachable (crash, partition) *)
+  | Nonexistent_process  (** the pid names no live process *)
+  | Not_awaiting_reply  (** Reply/Forward/Move for a process not being served *)
+  | Bad_buffer  (** Move outside the buffer the sender exposed *)
+  | No_reply  (** group Send that no member answered *)
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Ipc_error of error
+
+(** Raised by [spawn] on a crashed host. *)
+exception Host_is_down of string
+
+type 'm cost_model = {
+  payload_bytes : 'm -> int;
+      (** bytes carried on the wire beyond the 32-byte message proper *)
+  segment_bytes : 'm -> int;
+      (** portion that must be copied into the receiver's space (e.g. an
+          appended CSname); charged segment-copy CPU on remote legs *)
+}
+
+type 'm domain
+type 'm host
+
+(** A process's own handle; required by every blocking primitive and
+    valid only inside the fiber [spawn] started. *)
+type 'm self
+
+(** {1 Domain and hosts} *)
+
+type 'm packet
+
+val create_domain :
+  ?seed:int ->
+  cost:'m cost_model ->
+  Vsim.Engine.t ->
+  'm packet Vnet.Ethernet.t ->
+  'm domain
+
+(** Attach a new logical host at a network address and start its kernel. *)
+val boot_host : 'm domain -> name:string -> Vnet.Ethernet.addr -> 'm host
+
+val host_of_addr : 'm domain -> Vnet.Ethernet.addr -> 'm host option
+val hosts : 'm domain -> 'm host list
+val host_addr : 'm host -> Vnet.Ethernet.addr
+val host_logical : 'm host -> int
+val host_name : 'm host -> string
+val host_is_up : 'm host -> bool
+val domain_of_host : 'm host -> 'm domain
+val engine_of_domain : 'm domain -> Vsim.Engine.t
+val net_of_domain : 'm domain -> 'm packet Vnet.Ethernet.t
+val set_trace : 'm domain -> Vsim.Trace.t -> unit
+
+(** Completed + in-flight Send/group-Send transactions, for the
+    messages-per-operation benchmarks. *)
+val ipc_transaction_count : 'm domain -> int
+
+(** Kill a host: processes die, tables clear, the wire stops delivering.
+    Pids minted there become permanently invalid. *)
+val crash_host : 'm host -> unit
+
+(** Bring a crashed host back with a fresh logical-host id (old pids
+    stay dead). Servers must re-register their services. *)
+val restart_host : 'm host -> unit
+
+(** {1 Processes} *)
+
+(** [spawn host ~name body] creates a process and runs [body] as a
+    fiber. The process ends when [body] returns or raises. *)
+val spawn : 'm host -> ?name:string -> ('m self -> unit) -> Pid.t
+
+val self_pid : 'm self -> Pid.t
+val self_host_name : 'm self -> string
+val host_of_self : 'm self -> 'm host
+val domain_of_self : 'm self -> 'm domain
+val alive : 'm domain -> Pid.t -> bool
+val find_process : 'm domain -> Pid.t -> 'm self option
+
+(** Kill one process (its fiber unwinds with [Vsim.Proc.Killed] at its
+    next suspension point). [false] if the pid names no live process. *)
+val destroy_process : 'm domain -> Pid.t -> bool
+
+(** {1 Message transactions (Figure 1)} *)
+
+(** [send self target msg] blocks until the reply, returning it together
+    with the replier's pid — which, after forwarding, may differ from
+    [target]; this is how a client learns which server actually
+    implements an object it opened. [buffer] is memory exposed to the
+    receiver's MoveTo/MoveFrom for the transaction. *)
+val send : 'm self -> ?buffer:bytes -> Pid.t -> 'm -> ('m * Pid.t, error) result
+
+(** Block until any message arrives; returns (message, sender). *)
+val receive : 'm self -> 'm * Pid.t
+
+(** Block until a message whose sender satisfies [from] arrives; other
+    messages stay queued. *)
+val receive_where : 'm self -> from:(Pid.t -> bool) -> 'm * Pid.t
+
+(** Complete the transaction of blocked sender [to_]. *)
+val reply : 'm self -> to_:Pid.t -> 'm -> (unit, error) result
+
+(** Pass the transaction on: [to_] sees [msg] as sent by [from_] and
+    replies directly to [from_] — the mechanism multi-server name
+    interpretation rides on (§5.4). *)
+val forward : 'm self -> from_:Pid.t -> to_:Pid.t -> 'm -> (unit, error) result
+
+(** {1 Bulk transfer} *)
+
+(** Read [len] bytes from the buffer the blocked [sender] exposed. *)
+val move_from : 'm self -> sender:Pid.t -> len:int -> (bytes, error) result
+
+(** Write [data] into the blocked [sender]'s exposed buffer. *)
+val move_to : 'm self -> sender:Pid.t -> bytes -> (unit, error) result
+
+(** {1 Service naming (§4.2)} *)
+
+(** Register [pid] as providing [service] in the given scope on this
+    host. A later registration with the same scope replaces the old;
+    Local and Remote registrations coexist. *)
+val set_pid : 'm host -> service:int -> Pid.t -> Service.scope -> unit
+
+(** Remove [pid]'s registrations for [service] on this host. *)
+val clear_pid : 'm host -> service:int -> Pid.t -> unit
+
+(** Look up a service: the local table first, then (unless scope is
+    [Local]) a broadcast query answered by the first kernel with a
+    Remote/Both registration. *)
+val get_pid : 'm self -> service:int -> Service.scope -> Pid.t option
+
+(** {1 Process groups and multicast Send (§7)} *)
+
+val create_group : 'm domain -> int
+val join_group : 'm host -> group:int -> Pid.t -> unit
+val leave_group : 'm host -> group:int -> Pid.t -> unit
+
+(** Multicast to the group; blocks for the first reply, which is
+    returned with the replier's pid. Later replies are discarded. *)
+val send_group : 'm self -> group:int -> 'm -> ('m * Pid.t, error) result
+
+(** Forward the transaction of blocked sender [from_] to every member of
+    a group; the first member to reply completes it (§7: a context
+    implemented transparently by a group of servers). *)
+val forward_group :
+  'm self -> from_:Pid.t -> group:int -> 'm -> (unit, error) result

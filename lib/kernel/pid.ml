@@ -1,0 +1,40 @@
+(* V process identifiers: 32-bit values structured as two 16-bit
+   subfields, (logical host, local process identifier) — Figure 2 of the
+   paper. The structure lets a kernel locate a process from its pid
+   alone and lets each logical host allocate pids independently. *)
+
+type t = int
+
+let logical_host_bits = 16
+let local_pid_bits = 16
+let max_logical_host = (1 lsl logical_host_bits) - 1
+let max_local_pid = (1 lsl local_pid_bits) - 1
+
+exception Invalid_field of string
+
+let make ~logical_host ~local_pid =
+  if logical_host < 1 || logical_host > max_logical_host then
+    raise (Invalid_field "logical_host");
+  if local_pid < 1 || local_pid > max_local_pid then
+    raise (Invalid_field "local_pid");
+  (logical_host lsl local_pid_bits) lor local_pid
+
+let logical_host t = (t lsr local_pid_bits) land max_logical_host
+
+let local_pid t = t land max_local_pid
+
+let to_int t = t
+
+let of_int i =
+  if i < 0 || i > ((max_logical_host lsl local_pid_bits) lor max_local_pid) then
+    raise (Invalid_field "pid");
+  if logical_host i = 0 || local_pid i = 0 then raise (Invalid_field "pid");
+  i
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+
+let pp ppf t = Fmt.pf ppf "%d.%d" (logical_host t) (local_pid t)
+
+let to_string t = Fmt.str "%a" pp t

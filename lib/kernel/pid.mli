@@ -1,0 +1,29 @@
+(** V process identifiers.
+
+    A pid is a 32-bit value with two 16-bit subfields, (logical host,
+    local process identifier) — Figure 2 of the paper. Both subfields
+    are non-zero for valid pids. Pids are the only absolute names in a
+    V domain. *)
+
+type t = private int
+
+exception Invalid_field of string
+
+val max_logical_host : int
+val max_local_pid : int
+
+(** Both fields must lie in [\[1, 65535\]]. *)
+val make : logical_host:int -> local_pid:int -> t
+
+val logical_host : t -> int
+val local_pid : t -> int
+val to_int : t -> int
+
+(** Inverse of [to_int]; raises {!Invalid_field} on malformed values. *)
+val of_int : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

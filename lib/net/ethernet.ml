@@ -1,0 +1,193 @@
+(* Simulated shared-medium Ethernet.
+
+   The wire is a single resource: transmissions serialize (a frame waits
+   until the medium is free), then propagate to the destination host(s),
+   where the attached receive handler runs. Host CPU costs for building
+   and consuming packets are charged by the kernel layer, not here; the
+   network charges only queueing + transmission + propagation.
+
+   The payload type is a parameter so this library sits below the
+   kernel: the kernel instantiates ['a t] with its packet type. *)
+
+type addr = int
+
+type dest = Unicast of addr | Broadcast | Multicast of int
+
+let pp_dest ppf = function
+  | Unicast a -> Fmt.pf ppf "host%d" a
+  | Broadcast -> Fmt.string ppf "broadcast"
+  | Multicast g -> Fmt.pf ppf "group%d" g
+
+type 'a frame = { src : addr; dst : dest; payload : 'a; payload_bytes : int }
+
+type counters = {
+  mutable frames_sent : int;
+  mutable frames_delivered : int;
+  mutable frames_dropped : int;
+  mutable bytes_sent : int;
+}
+
+type 'a host_port = {
+  host_addr : addr;
+  mutable up : bool;
+  mutable handler : 'a frame -> unit;
+}
+
+type 'a t = {
+  engine : Vsim.Engine.t;
+  config : Calibration.network;
+  prng : Vsim.Prng.t;
+  hosts : (addr, 'a host_port) Hashtbl.t;
+  groups : (int, (addr, unit) Hashtbl.t) Hashtbl.t;
+  mutable wire_free_at : float;
+  mutable loss_probability : float;
+  (* Unordered host pairs that cannot exchange frames. *)
+  mutable partitions : (addr * addr) list;
+  counters : counters;
+  mutable trace : Vsim.Trace.t option;
+}
+
+let create ?(seed = 1) ~config engine =
+  {
+    engine;
+    config;
+    prng = Vsim.Prng.create ~seed;
+    hosts = Hashtbl.create 16;
+    groups = Hashtbl.create 16;
+    wire_free_at = 0.0;
+    loss_probability = 0.0;
+    partitions = [];
+    counters =
+      { frames_sent = 0; frames_delivered = 0; frames_dropped = 0; bytes_sent = 0 };
+    trace = None;
+  }
+
+let set_trace t trace = t.trace <- Some trace
+
+let config t = t.config
+
+let counters t = t.counters
+
+let engine t = t.engine
+
+exception Duplicate_host of addr
+
+let attach t addr handler =
+  if Hashtbl.mem t.hosts addr then raise (Duplicate_host addr);
+  Hashtbl.replace t.hosts addr { host_addr = addr; up = true; handler }
+
+let set_handler t addr handler =
+  match Hashtbl.find_opt t.hosts addr with
+  | None -> invalid_arg "Ethernet.set_handler: unknown host"
+  | Some port -> port.handler <- handler
+
+let host_up t addr =
+  match Hashtbl.find_opt t.hosts addr with Some p -> p.up | None -> false
+
+let set_host_up t addr up =
+  match Hashtbl.find_opt t.hosts addr with
+  | None -> invalid_arg "Ethernet.set_host_up: unknown host"
+  | Some port -> port.up <- up
+
+let hosts t = Hashtbl.fold (fun addr _ acc -> addr :: acc) t.hosts [] |> List.sort compare
+
+(* --- multicast groups --- *)
+
+let group_members t group =
+  match Hashtbl.find_opt t.groups group with
+  | None -> []
+  | Some members ->
+      Hashtbl.fold (fun a () acc -> a :: acc) members [] |> List.sort compare
+
+let join_group t ~group ~addr =
+  let members =
+    match Hashtbl.find_opt t.groups group with
+    | Some m -> m
+    | None ->
+        let m = Hashtbl.create 4 in
+        Hashtbl.replace t.groups group m;
+        m
+  in
+  Hashtbl.replace members addr ()
+
+let leave_group t ~group ~addr =
+  match Hashtbl.find_opt t.groups group with
+  | None -> ()
+  | Some members -> Hashtbl.remove members addr
+
+(* --- fault injection --- *)
+
+let set_loss_probability t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Ethernet.set_loss_probability";
+  t.loss_probability <- p
+
+let partition t a b =
+  let pair = if a < b then (a, b) else (b, a) in
+  if not (List.mem pair t.partitions) then t.partitions <- pair :: t.partitions
+
+let heal t a b =
+  let pair = if a < b then (a, b) else (b, a) in
+  t.partitions <- List.filter (fun p -> p <> pair) t.partitions
+
+let heal_all t = t.partitions <- []
+
+let partitioned t a b =
+  let pair = if a < b then (a, b) else (b, a) in
+  List.mem pair t.partitions
+
+(* --- transmission --- *)
+
+let trace_emit t fmt =
+  match t.trace with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some tr -> Vsim.Trace.emit tr ~category:"net" fmt
+
+(* Addresses a frame is aimed at, before liveness/partition checks
+   (those happen at arrival time, counting drops). *)
+let intended_destinations t frame =
+  let not_self a = a <> frame.src in
+  match frame.dst with
+  | Unicast a -> if not_self a then [ a ] else []
+  | Broadcast -> List.filter not_self (hosts t)
+  | Multicast g -> List.filter not_self (group_members t g)
+
+(* Queue a frame for transmission. The sending host must exist and be
+   up; otherwise the frame vanishes (its kernel is dead anyway). *)
+let transmit t frame =
+  let src_ok =
+    match Hashtbl.find_opt t.hosts frame.src with
+    | Some port -> port.up
+    | None -> false
+  in
+  if src_ok then begin
+    let now = Vsim.Engine.now t.engine in
+    let start = Float.max now t.wire_free_at in
+    let duration =
+      Calibration.transmission_ms t.config ~payload_bytes:frame.payload_bytes
+    in
+    t.wire_free_at <- start +. duration;
+    t.counters.frames_sent <- t.counters.frames_sent + 1;
+    t.counters.bytes_sent <-
+      t.counters.bytes_sent + t.config.header_bytes + frame.payload_bytes;
+    let arrival = start +. duration +. t.config.propagation_ms in
+    trace_emit t "host%d -> %a (%dB payload)" frame.src pp_dest frame.dst
+      frame.payload_bytes;
+    Vsim.Engine.schedule_at t.engine arrival (fun () ->
+        let lost =
+          t.loss_probability > 0.0 && Vsim.Prng.float t.prng < t.loss_probability
+        in
+        if lost then t.counters.frames_dropped <- t.counters.frames_dropped + 1
+        else
+          List.iter
+            (fun addr ->
+              (* Check liveness and partitions at arrival time: the
+                 destination may have crashed while the frame was in
+                 flight. *)
+              match Hashtbl.find_opt t.hosts addr with
+              | Some port when port.up && not (partitioned t frame.src addr) ->
+                  t.counters.frames_delivered <- t.counters.frames_delivered + 1;
+                  port.handler frame
+              | Some _ | None ->
+                  t.counters.frames_dropped <- t.counters.frames_dropped + 1)
+            (intended_destinations t frame))
+  end

@@ -1,0 +1,72 @@
+(** Simulated shared-medium Ethernet.
+
+    Transmissions serialize on the wire, then propagate to the
+    destination host(s). The payload type is abstract so the network
+    layer sits below the kernel, which instantiates it with its own
+    packet type. Host CPU costs are charged by the kernel; this layer
+    charges queueing + transmission + propagation only. *)
+
+type addr = int
+
+type dest = Unicast of addr | Broadcast | Multicast of int
+
+val pp_dest : Format.formatter -> dest -> unit
+
+type 'a frame = { src : addr; dst : dest; payload : 'a; payload_bytes : int }
+
+type counters = {
+  mutable frames_sent : int;
+  mutable frames_delivered : int;
+  mutable frames_dropped : int;
+  mutable bytes_sent : int;
+}
+
+type 'a t
+
+exception Duplicate_host of addr
+
+(** [create ~config engine] is a network with no attached hosts. [seed]
+    drives loss-injection draws only. *)
+val create : ?seed:int -> config:Calibration.network -> Vsim.Engine.t -> 'a t
+
+(** Record frame transmissions into a trace. *)
+val set_trace : 'a t -> Vsim.Trace.t -> unit
+
+val config : 'a t -> Calibration.network
+val counters : 'a t -> counters
+val engine : 'a t -> Vsim.Engine.t
+
+(** [attach t addr handler] connects a host; [handler] runs at frame
+    arrival time. Raises {!Duplicate_host} if [addr] is taken. *)
+val attach : 'a t -> addr -> ('a frame -> unit) -> unit
+
+val set_handler : 'a t -> addr -> ('a frame -> unit) -> unit
+
+(** A crashed ([false]) host neither sends nor receives. *)
+val host_up : 'a t -> addr -> bool
+
+val set_host_up : 'a t -> addr -> bool -> unit
+
+(** Attached host addresses, ascending. *)
+val hosts : 'a t -> addr list
+
+(** Hosts subscribed to a multicast group, ascending. *)
+val group_members : 'a t -> int -> addr list
+
+val join_group : 'a t -> group:int -> addr:addr -> unit
+val leave_group : 'a t -> group:int -> addr:addr -> unit
+
+(** Probability that an arriving frame is dropped. *)
+val set_loss_probability : 'a t -> float -> unit
+
+(** Block frames between two hosts (both directions). *)
+val partition : 'a t -> addr -> addr -> unit
+
+val heal : 'a t -> addr -> addr -> unit
+val heal_all : 'a t -> unit
+val partitioned : 'a t -> addr -> addr -> bool
+
+(** Queue a frame for transmission. Broadcast frames are not delivered
+    back to the sender. Delivery respects liveness at arrival time,
+    partitions, and the loss probability. *)
+val transmit : 'a t -> 'a frame -> unit

@@ -1,0 +1,283 @@
+(* The standard run-time library (§6): the procedural interface programs
+   use for system services, hiding the message interface.
+
+   Every CSname-handling routine goes through one common routing
+   routine: if the name starts with '[', the request is sent to the
+   workstation's context prefix server (in its default context);
+   otherwise it is sent directly to the server implementing the current
+   context, with the current context identifier filled into the message.
+   "The code that checks for the '[' character is localized in a single
+   common routine." *)
+
+module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Service = Vkernel.Service
+module Calibration = Vnet.Calibration
+open Vnaming
+
+type env = {
+  self : Vmsg.t Kernel.self;
+  prefix_server : Pid.t;
+  mutable current : Context.spec;
+  (* Optional client-side cache of prefix -> context bindings: the
+     ablation the paper argues against ("caching the name in the client
+     would introduce inconsistency problems", §2.2). *)
+  mutable prefix_cache_enabled : bool;
+  prefix_cache : (string, Context.spec) Hashtbl.t;
+  cache_hits : Vsim.Stats.Counter.t;
+  cache_stale : Vsim.Stats.Counter.t;
+}
+
+let engine env = Kernel.engine_of_domain (Kernel.domain_of_self env.self)
+let self env = env.self
+let current_context env = env.current
+let set_current_context env spec = env.current <- spec
+
+let enable_prefix_cache env flag =
+  env.prefix_cache_enabled <- flag;
+  if not flag then Hashtbl.reset env.prefix_cache
+
+let cache_hit_count env = Vsim.Stats.Counter.value env.cache_hits
+let cache_stale_count env = Vsim.Stats.Counter.value env.cache_stale
+
+(* [make self ~current] builds a program environment: the program is
+   passed its current context; the workstation's context prefix server
+   is bound via the local service table. *)
+let make self ~current =
+  match Kernel.get_pid self ~service:Service.Id.context_prefix Service.Local with
+  | None -> Error (Vio.Verr.Denied Reply.No_server)
+  | Some prefix_server ->
+      Ok
+        {
+          self;
+          prefix_server;
+          current;
+          prefix_cache_enabled = false;
+          prefix_cache = Hashtbl.create 8;
+          cache_hits = Vsim.Stats.Counter.create "prefix-cache.hits";
+          cache_stale = Vsim.Stats.Counter.create "prefix-cache.stale";
+        }
+
+(* --- the single common routing routine --- *)
+
+type route = { target : Pid.t; req : Csname.req; cached_prefix : string option }
+
+let route env name =
+  let req = Csname.make_req name in
+  if Csname.starts_with_prefix req then
+    if env.prefix_cache_enabled then
+      match Csname.parse_prefix req with
+      | Ok (prefix, rest) when Hashtbl.mem env.prefix_cache prefix ->
+          let spec = Hashtbl.find env.prefix_cache prefix in
+          Vsim.Stats.Counter.incr env.cache_hits;
+          {
+            target = spec.Context.server;
+            req = { rest with Csname.context = spec.Context.context };
+            cached_prefix = Some prefix;
+          }
+      | _ -> { target = env.prefix_server; req; cached_prefix = None }
+    else { target = env.prefix_server; req; cached_prefix = None }
+  else
+    {
+      target = env.current.Context.server;
+      req = { req with Csname.context = env.current.Context.context };
+      cached_prefix = None;
+    }
+
+let charge_stub env = Vsim.Proc.delay (engine env) Calibration.client_stub_cpu
+
+(* Send a CSname request along the route; on a failure that suggests a
+   stale cached binding, invalidate and retry through the prefix
+   server. *)
+let transact_name env ~code ?payload ?extra_bytes name =
+  charge_stub env;
+  let attempt r =
+    let msg = Vmsg.request ~name:r.req ?payload ?extra_bytes code in
+    match Kernel.send env.self r.target msg with
+    | Error e -> Error (Vio.Verr.Ipc e)
+    | Ok (reply, replier) -> (
+        match Verr_reply.check reply with
+        | Ok m -> Ok (m, replier)
+        | Error e -> Error e)
+  in
+  let r = route env name in
+  match attempt r with
+  | Error (Vio.Verr.Ipc _ | Vio.Verr.Denied (Reply.Bad_context | Reply.Not_found)) as first
+    when r.cached_prefix <> None -> (
+      (* The cached binding may be stale: drop it and go through the
+         prefix server. *)
+      Vsim.Stats.Counter.incr env.cache_stale;
+      (match r.cached_prefix with
+      | Some p -> Hashtbl.remove env.prefix_cache p
+      | None -> ());
+      match attempt { (route env name) with cached_prefix = None } with
+      | Ok _ as ok -> ok
+      | Error _ -> first)
+  | result -> result
+
+(* --- naming operations --- *)
+
+(* Map a name that denotes a context to its (server-pid, context-id),
+   learning the binding for the cache when enabled. *)
+let resolve env name =
+  match transact_name env ~code:Vmsg.Op.map_context name with
+  | Error e -> Error e
+  | Ok (reply, _) -> (
+      match reply.Vmsg.payload with
+      | Vmsg.P_context_spec spec ->
+          (if env.prefix_cache_enabled then
+             let req = Csname.make_req name in
+             match Csname.parse_prefix req with
+             | Ok (prefix, rest) when Csname.remaining rest = "" ->
+                 Hashtbl.replace env.prefix_cache prefix spec
+             | _ -> ());
+          Ok spec
+      | _ -> Error (Vio.Verr.Protocol "MapContext reply carried no context"))
+
+(* The analogue of Unix chdir (§6). *)
+let change_context env name =
+  match resolve env name with
+  | Error e -> Error e
+  | Ok spec ->
+      env.current <- spec;
+      Ok spec
+
+(* Determine a printable CSname for the current context (§6 inverse
+   mapping): ask the prefix server first, then the implementing server
+   for its local path. *)
+let current_context_name env =
+  charge_stub env;
+  let ask target payload =
+    match Kernel.send env.self target payload with
+    | Error e -> Error (Vio.Verr.Ipc e)
+    | Ok (reply, _) -> (
+        match (Vmsg.reply_code reply, reply.Vmsg.payload) with
+        | Some Reply.Ok, Vmsg.P_name n -> Ok n
+        | Some Reply.Ok, _ -> Error (Vio.Verr.Protocol "inverse map reply")
+        | Some code, _ -> Error (Vio.Verr.Denied code)
+        | None, _ -> Error (Vio.Verr.Protocol "expected reply"))
+  in
+  let via_prefix =
+    ask env.prefix_server
+      (Vmsg.request ~payload:(Vmsg.P_context_spec env.current)
+         Vmsg.Op.inverse_map_context)
+  in
+  let via_server () =
+    ask env.current.Context.server
+      (Vmsg.request
+         ~payload:(Vmsg.P_context_id env.current.Context.context)
+         Vmsg.Op.inverse_map_context)
+  in
+  match via_prefix with
+  | Ok prefix_name -> (
+      (* Append the server-local path when available. *)
+      match via_server () with
+      | Ok "/" | Error _ -> Ok prefix_name
+      | Ok path -> Ok (prefix_name ^ path))
+  | Error _ -> via_server ()
+
+(* --- file-like access (the V I/O protocol over the naming layer) --- *)
+
+let open_ env ~mode name =
+  (* The stub charge happens inside [Vio.Client.open_at]. *)
+  let r = route env name in
+  Vio.Client.open_at env.self ~server:r.target ~req:r.req ~mode
+
+let with_instance env ~mode name f =
+  match open_ env ~mode name with
+  | Error e -> Error e
+  | Ok instance ->
+      let result = f instance in
+      (* Release regardless; surface the first error. *)
+      let released = Vio.Client.release env.self instance in
+      (match (result, released) with
+      | (Error _ as e), _ -> e
+      | Ok v, Ok () -> Ok v
+      | Ok _, (Error _ as e) -> e)
+
+let read_file env name =
+  with_instance env ~mode:Vmsg.Read name (fun instance ->
+      Vio.Client.read_all env.self instance)
+
+let write_file env name data =
+  with_instance env ~mode:Vmsg.Write name (fun instance ->
+      Vio.Client.write_all env.self instance data)
+
+let append_file env name data =
+  with_instance env ~mode:Vmsg.Append name (fun instance ->
+      Vio.Client.write_all env.self instance data)
+
+(* Read the context directory of [name] (§5.6): open the context as a
+   file of description records. *)
+let list_directory env name =
+  with_instance env ~mode:Vmsg.Directory_listing name (fun instance ->
+      Vio.Client.read_directory env.self instance)
+
+(* --- object operations --- *)
+
+let expect_ok = function
+  | Error e -> Error e
+  | Ok ((_ : Vmsg.t), (_ : Pid.t)) -> Ok ()
+
+let query env name =
+  match transact_name env ~code:Vmsg.Op.query_name name with
+  | Error e -> Error e
+  | Ok (reply, _) -> (
+      match reply.Vmsg.payload with
+      | Vmsg.P_descriptor d -> Ok d
+      | _ -> Error (Vio.Verr.Protocol "QueryName reply carried no descriptor"))
+
+let modify env name descriptor =
+  expect_ok
+    (transact_name env ~code:Vmsg.Op.modify_name
+       ~payload:(Vmsg.P_descriptor descriptor) name)
+
+let create env ?(directory = false) name =
+  expect_ok
+    (transact_name env ~code:Vmsg.Op.create_object
+       ~payload:(Vmsg.P_create { directory }) name)
+
+let remove env name = expect_ok (transact_name env ~code:Vmsg.Op.remove_object name)
+
+let rename env name ~new_name =
+  expect_ok
+    (transact_name env ~code:Vmsg.Op.rename_object ~payload:(Vmsg.P_name new_name)
+       ~extra_bytes:(String.length new_name) name)
+
+(* Copy a file by name, possibly across servers: read through one
+   context, write through another. *)
+let copy env ~src ~dst =
+  match read_file env src with
+  | Error e -> Error e
+  | Ok data -> write_file env dst data
+
+(* --- prefix management --- *)
+
+let add_prefix env prefix target =
+  let payload =
+    match target with
+    | `Static spec -> Vmsg.P_context_spec spec
+    | `Logical (service, context) -> Vmsg.P_logical_spec { service; context }
+  in
+  charge_stub env;
+  let req = Csname.make_req prefix in
+  let msg = Vmsg.request ~name:req ~payload Vmsg.Op.add_context_name in
+  match Kernel.send env.self env.prefix_server msg with
+  | Error e -> Error (Vio.Verr.Ipc e)
+  | Ok (reply, _) -> Result.map (fun _ -> ()) (Verr_reply.check reply)
+
+let delete_prefix env prefix =
+  charge_stub env;
+  let req = Csname.make_req prefix in
+  let msg = Vmsg.request ~name:req Vmsg.Op.delete_context_name in
+  match Kernel.send env.self env.prefix_server msg with
+  | Error e -> Error (Vio.Verr.Ipc e)
+  | Ok (reply, _) -> Result.map (fun _ -> ()) (Verr_reply.check reply)
+
+(* Define a cross-server pointer: a name in one (storage) context that
+   points at a context on another server (the curved arrow of
+   Figure 4). *)
+let link env name ~target =
+  expect_ok
+    (transact_name env ~code:Vmsg.Op.add_context_name
+       ~payload:(Vmsg.P_context_spec target) name)

@@ -1,0 +1,99 @@
+(** The standard run-time library (paper §6): the procedural interface V
+    programs use, hiding the message interface.
+
+    Every CSname routine goes through one common routing routine: a name
+    starting with '[' goes to the workstation's context prefix server
+    (in its default context); any other name goes directly to the server
+    implementing the current context, with the current context id filled
+    into the message. *)
+
+module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
+open Vnaming
+
+(** A program's naming environment: its current context, its
+    workstation's prefix server, and the optional client-side prefix
+    cache (an ablation §2.2 argues against). *)
+type env
+
+(** Build the environment for a program passed its [current] context;
+    binds the workstation's (Local-scope) prefix service. *)
+val make : Vmsg.t Kernel.self -> current:Context.spec -> (env, Vio.Verr.t) result
+
+val self : env -> Vmsg.t Kernel.self
+val engine : env -> Vsim.Engine.t
+val current_context : env -> Context.spec
+val set_current_context : env -> Context.spec -> unit
+
+(** {1 Naming operations} *)
+
+(** Map a name denoting a context to its (server-pid, context-id). *)
+val resolve : env -> string -> (Context.spec, Vio.Verr.t) result
+
+(** Resolve and make current — the analogue of Unix chdir (§6). *)
+val change_context : env -> string -> (Context.spec, Vio.Verr.t) result
+
+(** A printable CSname for the current context (§6 inverse mapping):
+    the prefix server's name for it if one matches, otherwise the
+    implementing server's local path. *)
+val current_context_name : env -> (string, Vio.Verr.t) result
+
+(** {1 File-like access (the I/O protocol over the naming layer)} *)
+
+val open_ :
+  env -> mode:Vmsg.open_mode -> string -> (Vio.Client.remote_instance, Vio.Verr.t) result
+
+(** Open, run, release (release errors surface if the body succeeded). *)
+val with_instance :
+  env ->
+  mode:Vmsg.open_mode ->
+  string ->
+  (Vio.Client.remote_instance -> ('a, Vio.Verr.t) result) ->
+  ('a, Vio.Verr.t) result
+
+val read_file : env -> string -> (bytes, Vio.Verr.t) result
+val write_file : env -> string -> bytes -> (unit, Vio.Verr.t) result
+val append_file : env -> string -> bytes -> (unit, Vio.Verr.t) result
+
+(** Read the context directory of a name (§5.6). *)
+val list_directory : env -> string -> (Descriptor.t list, Vio.Verr.t) result
+
+(** {1 Object operations (§5.5, §5.7)} *)
+
+val query : env -> string -> (Descriptor.t, Vio.Verr.t) result
+val modify : env -> string -> Descriptor.t -> (unit, Vio.Verr.t) result
+val create : env -> ?directory:bool -> string -> (unit, Vio.Verr.t) result
+val remove : env -> string -> (unit, Vio.Verr.t) result
+
+(** [new_name] is interpreted relative to the old name's final context,
+    within the same server. *)
+val rename : env -> string -> new_name:string -> (unit, Vio.Verr.t) result
+
+(** Copy a file by name, possibly across servers. *)
+val copy : env -> src:string -> dst:string -> (unit, Vio.Verr.t) result
+
+(** {1 Prefix management} *)
+
+val add_prefix :
+  env ->
+  string ->
+  [ `Static of Context.spec | `Logical of int * Context.id ] ->
+  (unit, Vio.Verr.t) result
+
+val delete_prefix : env -> string -> (unit, Vio.Verr.t) result
+
+(** Define a cross-server context pointer: a name in one (storage)
+    context pointing at a context on another server (Figure 4). *)
+val link : env -> string -> target:Context.spec -> (unit, Vio.Verr.t) result
+
+(** {1 The client-side prefix cache ablation} *)
+
+(** Cache prefix->context bindings at the client, skipping the prefix
+    server on hits. Off by default; §2.2 explains why ("caching the name
+    in the client would introduce inconsistency problems"). *)
+val enable_prefix_cache : env -> bool -> unit
+
+val cache_hit_count : env -> int
+
+(** Retries after a cached binding demonstrably failed. *)
+val cache_stale_count : env -> int

@@ -1,0 +1,7 @@
+(* Reply checking shared by the run-time stubs. *)
+
+let check (m : Vnaming.Vmsg.t) =
+  match Vnaming.Vmsg.reply_code m with
+  | Some Vnaming.Reply.Ok -> Ok m
+  | Some code -> Error (Vio.Verr.Denied code)
+  | None -> Error (Vio.Verr.Protocol "expected a reply message")

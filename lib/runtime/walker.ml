@@ -1,0 +1,108 @@
+(* Recursive context traversal: a client-side utility built purely on
+   the uniform naming operations (list-directory + resolve), so it walks
+   any server's name space — and follows cross-server pointers — without
+   knowing what is behind a name. The V equivalent of find/du. *)
+
+open Vnaming
+
+type visit = {
+  v_name : string;  (** name used to reach the object, from the root *)
+  v_depth : int;
+  v_descriptor : Descriptor.t;
+}
+
+(* Join a walked path onto a root name: "[home]" ^ "a/b" handles the
+   bracket form ending without a separator. *)
+let join_name root relative =
+  if relative = "" then root
+  else if root = "" then relative
+  else if root.[String.length root - 1] = Csname.prefix_close then root ^ relative
+  else root ^ "/" ^ relative
+
+(* [walk env ~root f] applies [f] to every object reachable from the
+   context named [root], depth-first, following directories and
+   cross-server context pointers up to [max_depth]. Listing failures in
+   subcontexts are reported through [on_error] (default: ignored) and do
+   not abort the walk. *)
+let walk ?(max_depth = 16) ?(follow_pointers = true)
+    ?(on_error = fun (_ : string) (_ : Vio.Verr.t) -> ()) env ~root f =
+  let rec visit_context name depth =
+    if depth <= max_depth then
+      match Runtime.list_directory env name with
+      | Error e -> on_error name e
+      | Ok records ->
+          List.iter
+            (fun (d : Descriptor.t) ->
+              let child = join_name name d.Descriptor.name in
+              f { v_name = child; v_depth = depth; v_descriptor = d };
+              match d.Descriptor.obj_type with
+              | Descriptor.Directory -> visit_context child (depth + 1)
+              | Descriptor.Context_pointer ->
+                  if follow_pointers then visit_context child (depth + 1)
+              | Descriptor.File | Descriptor.Prefix_binding
+              | Descriptor.Process | Descriptor.Terminal
+              | Descriptor.Printer_job | Descriptor.Mailbox
+              | Descriptor.Tcp_connection | Descriptor.Device
+              | Descriptor.User_account ->
+                  ())
+            records
+  in
+  visit_context root 0
+
+(* [find env ~root predicate] collects the names of matching objects. *)
+let find ?max_depth ?follow_pointers env ~root predicate =
+  let hits = ref [] in
+  walk ?max_depth ?follow_pointers env ~root (fun v ->
+      if predicate v then hits := v.v_name :: !hits);
+  List.rev !hits
+
+(* Total size of the files under a context, like du. *)
+let disk_usage ?max_depth env ~root =
+  let total = ref 0 in
+  walk ?max_depth env ~root (fun v ->
+      if v.v_descriptor.Descriptor.obj_type = Descriptor.File then
+        total := !total + v.v_descriptor.Descriptor.size);
+  !total
+
+(* Recursively copy a context's files and directories to another
+   context, purely through the public operations — works across servers
+   and through pointers. Returns the number of files copied. *)
+let copy_tree ?max_depth env ~src ~dst =
+  let copied = ref 0 in
+  let failures = ref [] in
+  let must what = function
+    | Ok () -> ()
+    | Error e -> failures := (what, e) :: !failures
+  in
+  walk ?max_depth ~follow_pointers:false env ~root:src (fun v ->
+      (* Rebase the visited name from src onto dst. *)
+      let suffix =
+        let full = v.v_name and root = src in
+        let n = String.length root in
+        let rest = String.sub full n (String.length full - n) in
+        if String.length rest > 0 && rest.[0] = '/' then
+          String.sub rest 1 (String.length rest - 1)
+        else rest
+      in
+      let target = join_name dst suffix in
+      match v.v_descriptor.Descriptor.obj_type with
+      | Descriptor.Directory -> must target (Runtime.create env ~directory:true target)
+      | Descriptor.File ->
+          incr copied;
+          must target (Runtime.copy env ~src:v.v_name ~dst:target)
+      | _ -> ());
+  match !failures with
+  | [] -> Ok !copied
+  | (_, e) :: _ -> Error e
+
+(* Render a tree, like find -print with indentation. *)
+let pp_tree ?max_depth env ~root ppf () =
+  Fmt.pf ppf "%s@." (if root = "" then "(current context)" else root);
+  walk ?max_depth env ~root (fun v ->
+      Fmt.pf ppf "%s%s%s@."
+        (String.concat "" (List.init (v.v_depth + 1) (fun _ -> "   ")))
+        v.v_descriptor.Descriptor.name
+        (match v.v_descriptor.Descriptor.obj_type with
+        | Descriptor.Directory -> "/"
+        | Descriptor.Context_pointer -> " ~~>"
+        | _ -> ""))

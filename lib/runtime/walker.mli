@@ -1,0 +1,48 @@
+(** Recursive context traversal built purely on the uniform naming
+    operations (context directories + descriptions), so it walks any
+    server's name space and follows cross-server pointers without
+    knowing what is behind a name — the V analogue of find/du. *)
+
+open Vnaming
+
+type visit = {
+  v_name : string;  (** name used to reach the object, from the root *)
+  v_depth : int;
+  v_descriptor : Descriptor.t;
+}
+
+(** Depth-first traversal from the context named [root] (a prefix name,
+    a relative name, or [""] for the current context). Descends into
+    directories and — when [follow_pointers] (default true) — into
+    cross-server context pointers. Listing failures go to [on_error]
+    and do not abort the walk. *)
+val walk :
+  ?max_depth:int ->
+  ?follow_pointers:bool ->
+  ?on_error:(string -> Vio.Verr.t -> unit) ->
+  Runtime.env ->
+  root:string ->
+  (visit -> unit) ->
+  unit
+
+(** Names of objects satisfying the predicate, in visit order. *)
+val find :
+  ?max_depth:int ->
+  ?follow_pointers:bool ->
+  Runtime.env ->
+  root:string ->
+  (visit -> bool) ->
+  string list
+
+(** Total bytes of the files under a context. *)
+val disk_usage : ?max_depth:int -> Runtime.env -> root:string -> int
+
+(** Recursively copy the files and directories under [src] to [dst]
+    (which must already name a context), across servers if the names
+    say so. Returns the number of files copied, or the first failure. *)
+val copy_tree :
+  ?max_depth:int -> Runtime.env -> src:string -> dst:string -> (int, Vio.Verr.t) result
+
+(** Render the reachable tree. *)
+val pp_tree :
+  ?max_depth:int -> Runtime.env -> root:string -> Format.formatter -> unit -> unit

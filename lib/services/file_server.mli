@@ -1,0 +1,62 @@
+(** The V storage server: a CSNH server over the inode filesystem.
+
+    Context identifiers map onto directories, which act as starting
+    points for interpreting relative pathnames (§6) — well-known ids
+    name the root, the owner's home directory and the standard program
+    directory; every other directory has an ordinary context id derived
+    from its inode. Cross-server links in directories become request
+    forwarding; file access runs over the I/O protocol with optional
+    read-ahead. *)
+
+module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Service = Vkernel.Service
+open Vnaming
+
+type t
+
+(** Boot a storage server on [host] with the standard layout (/bin as
+    the program directory, /users/<owner> as the home directory) and
+    register the storage service in the given scope. *)
+val start :
+  Vmsg.t Kernel.host ->
+  name:string ->
+  ?owner:string ->
+  ?scope:Service.scope ->
+  unit ->
+  t
+
+val pid : t -> Pid.t
+val name : t -> string
+
+(** Boot a fresh server process over the state of a crashed one: the
+    disk and directory structure survive, buffered pages and open
+    instances do not. The new process has a new pid and re-registers the
+    storage service (what logical prefix bindings re-resolve to). *)
+val restart_from : t -> Vmsg.t Kernel.host -> ?scope:Service.scope -> unit -> t
+
+(** Direct access to the underlying filesystem and disk, for scenario
+    setup and benchmarks. Live traffic uses the protocols. *)
+val fs : t -> Fs.t
+
+val disk : t -> Disk.t
+val stats : t -> Csnh.server_stats
+
+(** How many blocks to prefetch past each sequential read (0 disables;
+    the default is 1). *)
+val set_read_ahead : t -> int -> unit
+
+(** A fully specified context on this server. *)
+val spec : t -> context:Context.id -> Context.spec
+
+(** The low-level identifier (inode number) of a path — what a §2.1
+    centralized name server hands out. *)
+val low_id_of_path : t -> string -> int option
+
+(** {1 The accounts context (§5.2)}
+
+    The server's second object type: user accounts, in their own
+    well-known context ({!Vnaming.Context.Well_known.accounts}).
+    Creating an account also creates its home directory. *)
+
+val account_names : t -> string list

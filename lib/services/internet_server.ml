@@ -1,0 +1,258 @@
+(* The internet server: a V-kernel-based IP/TCP gateway (§6) whose TCP
+   connections are temporary named objects — they appear in a context
+   directory next to files and terminals, queried and read through the
+   same protocols.
+
+   Connections are simulated loopback endpoints: written data is
+   acknowledged and echoed back by the "remote" after a configurable
+   round-trip, enough to exercise the naming and I/O paths the paper
+   cares about. *)
+
+module Kernel = Vkernel.Kernel
+module Service = Vkernel.Service
+open Vnaming
+
+(* Simulated WAN round-trip for the echo. *)
+let wan_rtt_ms = 80.0
+
+type conn_state = Syn_sent | Established | Closed
+
+let state_to_string = function
+  | Syn_sent -> "syn-sent"
+  | Established -> "established"
+  | Closed -> "closed"
+
+type conn = {
+  conn_name : string; (* "host:port" *)
+  mutable state : conn_state;
+  mutable sent_bytes : int;
+  mutable inbound : Buffer.t; (* echoed data awaiting the reader *)
+  opened : float;
+  conn_instance : int;
+}
+
+type t = {
+  conns : (string, conn) Hashtbl.t;
+  sessions : (int, [ `Conn of conn | `Dir of bytes ]) Hashtbl.t;
+  mutable next_instance : int;
+  engine : Vsim.Engine.t;
+  stats : Csnh.server_stats;
+  mutable pid : Vkernel.Pid.t option;
+}
+
+let block_size = 512
+
+let pid t = Option.get t.pid
+let stats t = t.stats
+
+let connections t =
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+  |> List.sort (fun a b -> compare a.conn_name b.conn_name)
+
+let connection_state t name =
+  Option.map (fun c -> c.state) (Hashtbl.find_opt t.conns name)
+
+(* Names follow the external host:port convention. *)
+let valid_conn_name name =
+  match String.index_opt name ':' with
+  | Some i -> (
+      i > 0
+      && i < String.length name - 1
+      &&
+      match
+        int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1))
+      with
+      | Some port -> port > 0 && port < 65536
+      | None -> false)
+  | None -> false
+
+let describe c =
+  Descriptor.make ~obj_type:Descriptor.Tcp_connection ~size:c.sent_bytes
+    ~created:c.opened ~instance:c.conn_instance
+    ~attrs:[ ("state", state_to_string c.state) ]
+    c.conn_name
+
+let fresh_instance t =
+  let id = t.next_instance in
+  t.next_instance <- id + 1;
+  id
+
+let open_connection t ~now name =
+  if Hashtbl.mem t.conns name then Error Reply.Duplicate_name
+  else begin
+    let c =
+      {
+        conn_name = name;
+        state = Syn_sent;
+        sent_bytes = 0;
+        inbound = Buffer.create 64;
+        opened = now;
+        conn_instance = fresh_instance t;
+      }
+    in
+    Hashtbl.replace t.conns name c;
+    (* The handshake completes after one WAN round trip. *)
+    Vsim.Engine.schedule ~delay:wan_rtt_ms t.engine (fun () ->
+        if c.state = Syn_sent then c.state <- Established);
+    Ok c
+  end
+
+let handle_csname t ~sender:_ (msg : Vmsg.t) _req _ctx remaining =
+  let open Vmsg in
+  let now = Vsim.Engine.now t.engine in
+  match remaining with
+  | [] ->
+      if msg.code = Op.open_instance then begin
+        let image =
+          Descriptor.directory_to_bytes (List.map describe (connections t))
+        in
+        let id = fresh_instance t in
+        Hashtbl.replace t.sessions id (`Dir image);
+        ok
+          ~payload:
+            (P_instance
+               { instance = id; file_size = Bytes.length image; block_size })
+          ()
+      end
+      else if msg.code = Op.map_context then
+        ok
+          ~payload:
+            (P_context_spec
+               (Context.spec ~server:(pid t) ~context:Context.Well_known.default))
+          ()
+      else reply Reply.Bad_operation
+  | [ name ] ->
+      if not (valid_conn_name name) then reply Reply.Illegal_name
+      else if msg.code = Op.open_instance then
+        match msg.payload with
+        | P_open { mode = Write | Append } -> (
+            match
+              match Hashtbl.find_opt t.conns name with
+              | Some c when c.state <> Closed -> Ok c
+              | Some _ -> Error Reply.Retry (* closing; name not yet reusable *)
+              | None -> open_connection t ~now name
+            with
+            | Error code -> reply code
+            | Ok c ->
+                let id = fresh_instance t in
+                Hashtbl.replace t.sessions id (`Conn c);
+                ok
+                  ~payload:
+                    (P_instance { instance = id; file_size = 0; block_size })
+                  ())
+        | P_open { mode = Read } -> (
+            match Hashtbl.find_opt t.conns name with
+            | None -> reply Reply.Not_found
+            | Some c ->
+                let id = fresh_instance t in
+                Hashtbl.replace t.sessions id (`Conn c);
+                ok
+                  ~payload:
+                    (P_instance
+                       {
+                         instance = id;
+                         file_size = Buffer.length c.inbound;
+                         block_size;
+                       })
+                  ())
+        | _ -> reply Reply.Bad_operation
+      else if msg.code = Op.query_name then
+        match Hashtbl.find_opt t.conns name with
+        | Some c -> ok ~payload:(P_descriptor (describe c)) ()
+        | None -> reply Reply.Not_found
+      else if msg.code = Op.remove_object then
+        match Hashtbl.find_opt t.conns name with
+        | Some c ->
+            c.state <- Closed;
+            Hashtbl.remove t.conns name;
+            ok ()
+        | None -> reply Reply.Not_found
+      else reply Reply.Bad_operation
+  | _ :: _ -> Vmsg.reply Reply.Not_found
+
+let handle_other t ~sender:_ (msg : Vmsg.t) =
+  let open Vmsg in
+  match msg.payload with
+  | P_write { instance; data; _ } when msg.code = Op.write_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | Some (`Conn c) when c.state <> Closed ->
+          c.sent_bytes <- c.sent_bytes + Bytes.length data;
+          (* The far end echoes after a WAN round trip. *)
+          Vsim.Engine.schedule ~delay:wan_rtt_ms t.engine (fun () ->
+              if c.state <> Closed then Buffer.add_bytes c.inbound data);
+          Some (ok ~payload:(P_count (Bytes.length data)) ())
+      | Some (`Conn _) -> Some (reply Reply.No_permission)
+      | Some (`Dir _) -> Some (reply Reply.No_permission)
+      | None -> Some (reply Reply.Invalid_instance))
+  | P_read { instance; block } when msg.code = Op.read_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | None -> Some (reply Reply.Invalid_instance)
+      | Some (`Dir image) ->
+          let off = block * block_size in
+          if block < 0 then Some (reply Reply.Invalid_instance)
+          else if off >= Bytes.length image then Some (reply Reply.End_of_file)
+          else begin
+            let data =
+              Bytes.sub image off (min block_size (Bytes.length image - off))
+            in
+            Some (ok ~extra_bytes:(Bytes.length data) ~payload:(P_data data) ())
+          end
+      | Some (`Conn c) ->
+          let image = Buffer.to_bytes c.inbound in
+          let off = block * block_size in
+          if block < 0 then Some (reply Reply.Invalid_instance)
+          else if off >= Bytes.length image then Some (reply Reply.End_of_file)
+          else begin
+            let data =
+              Bytes.sub image off (min block_size (Bytes.length image - off))
+            in
+            Some (ok ~extra_bytes:(Bytes.length data) ~payload:(P_data data) ())
+          end)
+  | P_instance_arg instance when msg.code = Op.query_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | Some (`Conn c) -> Some (ok ~payload:(P_descriptor (describe c)) ())
+      | Some (`Dir image) ->
+          Some
+            (ok
+               ~payload:
+                 (P_descriptor
+                    (Descriptor.make ~obj_type:Descriptor.Directory
+                       ~size:(Bytes.length image) "[internet]"))
+               ())
+      | None -> Some (reply Reply.Invalid_instance))
+  | P_instance_arg instance when msg.code = Op.release_instance ->
+      if Hashtbl.mem t.sessions instance then begin
+        Hashtbl.remove t.sessions instance;
+        Some (ok ())
+      end
+      else Some (reply Reply.Invalid_instance)
+  | _ -> None
+
+let start host =
+  let engine = Kernel.engine_of_domain (Kernel.domain_of_host host) in
+  let t =
+    {
+      conns = Hashtbl.create 8;
+      sessions = Hashtbl.create 8;
+      next_instance = 1;
+      engine;
+      stats = Csnh.make_stats "internet";
+      pid = None;
+    }
+  in
+  let handlers =
+    {
+      Csnh.valid_context = (fun ctx -> ctx = Context.Well_known.default);
+      lookup = (fun _ _ -> Csnh.Stop);
+      handle_csname = (fun ~sender msg req ctx remaining ->
+          handle_csname t ~sender msg req ctx remaining);
+      handle_other = (fun ~sender msg -> handle_other t ~sender msg);
+    }
+  in
+  let server_pid =
+    Kernel.spawn host ~name:"internet-server" (fun self ->
+        Csnh.serve self ~stats:t.stats handlers)
+  in
+  t.pid <- Some server_pid;
+  Kernel.set_pid host ~service:Service.Id.internet server_pid Service.Both;
+  t

@@ -1,0 +1,220 @@
+(* The laser printer spooler: jobs are created by opening a name in the
+   printer's context for writing; releasing the instance queues the job.
+   The context directory lists the queue, so the standard "list
+   directory" program shows printer jobs exactly like files (§6). *)
+
+module Kernel = Vkernel.Kernel
+module Service = Vkernel.Service
+open Vnaming
+
+(* Printing proceeds at one 512-byte page per this many ms. *)
+let ms_per_page = 400.0
+
+type job_state = Spooling | Queued | Printing | Done
+
+let state_to_string = function
+  | Spooling -> "spooling"
+  | Queued -> "queued"
+  | Printing -> "printing"
+  | Done -> "done"
+
+type job = {
+  job_name : string;
+  mutable content : Buffer.t;
+  mutable state : job_state;
+  submitted : float;
+  mutable completed : float option;
+}
+
+type t = {
+  jobs : (string, job) Hashtbl.t;
+  sessions : (int, job) Hashtbl.t;
+  mutable next_instance : int;
+  mutable queue : job list; (* oldest first *)
+  mutable printing : bool;
+  engine : Vsim.Engine.t;
+  stats : Csnh.server_stats;
+  mutable pid : Vkernel.Pid.t option;
+}
+
+let pid t = Option.get t.pid
+let stats t = t.stats
+
+let jobs t =
+  Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs []
+  |> List.sort (fun a b -> Float.compare a.submitted b.submitted)
+
+let job_state t name =
+  Option.map (fun j -> j.state) (Hashtbl.find_opt t.jobs name)
+
+let describe job =
+  Descriptor.make ~obj_type:Descriptor.Printer_job
+    ~size:(Buffer.length job.content) ~created:job.submitted
+    ~attrs:[ ("state", state_to_string job.state) ]
+    job.job_name
+
+(* Work the queue: one page per [ms_per_page], one job at a time. *)
+let rec pump t =
+  if not t.printing then
+    match t.queue with
+    | [] -> ()
+    | job :: rest ->
+        t.queue <- rest;
+        t.printing <- true;
+        job.state <- Printing;
+        let pages = max 1 ((Buffer.length job.content + 511) / 512) in
+        Vsim.Engine.schedule ~delay:(float_of_int pages *. ms_per_page) t.engine
+          (fun () ->
+            job.state <- Done;
+            job.completed <- Some (Vsim.Engine.now t.engine);
+            t.printing <- false;
+            pump t)
+
+let submit t job =
+  if job.state = Spooling then begin
+    job.state <- Queued;
+    t.queue <- t.queue @ [ job ];
+    pump t
+  end
+
+let handle_csname t ~sender:_ (msg : Vmsg.t) _req _ctx remaining =
+  let open Vmsg in
+  let now = Vsim.Engine.now t.engine in
+  match remaining with
+  | [] ->
+      if msg.code = Op.open_instance then begin
+        let image = Descriptor.directory_to_bytes (List.map describe (jobs t)) in
+        let id = t.next_instance in
+        t.next_instance <- id + 1;
+        (* Directory images ride a spooling-free pseudo job. *)
+        Hashtbl.replace t.sessions id
+          {
+            job_name = "[queue]";
+            content =
+              (let b = Buffer.create (Bytes.length image) in
+               Buffer.add_bytes b image;
+               b);
+            state = Done;
+            submitted = now;
+            completed = None;
+          };
+        ok
+          ~payload:
+            (P_instance
+               { instance = id; file_size = Bytes.length image; block_size = 512 })
+          ()
+      end
+      else if msg.code = Op.map_context then
+        ok
+          ~payload:
+            (P_context_spec
+               (Context.spec ~server:(pid t) ~context:Context.Well_known.default))
+          ()
+      else reply Reply.Bad_operation
+  | [ name ] ->
+      if msg.code = Op.open_instance then
+        match msg.payload with
+        | P_open { mode = Write | Append } ->
+            if Hashtbl.mem t.jobs name then reply Reply.Duplicate_name
+            else begin
+              let job =
+                {
+                  job_name = name;
+                  content = Buffer.create 512;
+                  state = Spooling;
+                  submitted = now;
+                  completed = None;
+                }
+              in
+              Hashtbl.replace t.jobs name job;
+              let id = t.next_instance in
+              t.next_instance <- id + 1;
+              Hashtbl.replace t.sessions id job;
+              ok
+                ~payload:
+                  (P_instance { instance = id; file_size = 0; block_size = 512 })
+                ()
+            end
+        | P_open _ -> reply Reply.No_permission
+        | _ -> reply Reply.Bad_operation
+      else if msg.code = Op.query_name then
+        match Hashtbl.find_opt t.jobs name with
+        | Some job -> ok ~payload:(P_descriptor (describe job)) ()
+        | None -> reply Reply.Not_found
+      else if msg.code = Op.remove_object then
+        match Hashtbl.find_opt t.jobs name with
+        | Some job when job.state = Queued ->
+            t.queue <- List.filter (fun j -> j != job) t.queue;
+            Hashtbl.remove t.jobs name;
+            ok ()
+        | Some _ -> reply Reply.No_permission
+        | None -> reply Reply.Not_found
+      else reply Reply.Bad_operation
+  | _ :: _ -> Vmsg.reply Reply.Not_found
+
+let handle_other t ~sender:_ (msg : Vmsg.t) =
+  let open Vmsg in
+  match msg.payload with
+  | P_write { instance; data; _ } when msg.code = Op.write_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | Some job when job.state = Spooling ->
+          Buffer.add_bytes job.content data;
+          Some (ok ~payload:(P_count (Bytes.length data)) ())
+      | Some _ -> Some (reply Reply.No_permission)
+      | None -> Some (reply Reply.Invalid_instance))
+  | P_read { instance; block } when msg.code = Op.read_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | None -> Some (reply Reply.Invalid_instance)
+      | Some job ->
+          let image = Buffer.to_bytes job.content in
+          let off = block * 512 in
+          if block < 0 then Some (reply Reply.Invalid_instance)
+          else if off >= Bytes.length image then Some (reply Reply.End_of_file)
+          else begin
+            let data = Bytes.sub image off (min 512 (Bytes.length image - off)) in
+            Some (ok ~extra_bytes:(Bytes.length data) ~payload:(P_data data) ())
+          end)
+  | P_instance_arg instance when msg.code = Op.query_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | Some job -> Some (ok ~payload:(P_descriptor (describe job)) ())
+      | None -> Some (reply Reply.Invalid_instance))
+  | P_instance_arg instance when msg.code = Op.release_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | Some job ->
+          Hashtbl.remove t.sessions instance;
+          (* Closing the spool submits the job. *)
+          submit t job;
+          Some (ok ())
+      | None -> Some (reply Reply.Invalid_instance))
+  | _ -> None
+
+let start host =
+  let engine = Kernel.engine_of_domain (Kernel.domain_of_host host) in
+  let t =
+    {
+      jobs = Hashtbl.create 8;
+      sessions = Hashtbl.create 8;
+      next_instance = 1;
+      queue = [];
+      printing = false;
+      engine;
+      stats = Csnh.make_stats "printer";
+      pid = None;
+    }
+  in
+  let handlers =
+    {
+      Csnh.valid_context = (fun ctx -> ctx = Context.Well_known.default);
+      lookup = (fun _ _ -> Csnh.Stop);
+      handle_csname = (fun ~sender msg req ctx remaining ->
+          handle_csname t ~sender msg req ctx remaining);
+      handle_other = (fun ~sender msg -> handle_other t ~sender msg);
+    }
+  in
+  let server_pid =
+    Kernel.spawn host ~name:"printer-server" (fun self ->
+        Csnh.serve self ~stats:t.stats handlers)
+  in
+  t.pid <- Some server_pid;
+  Kernel.set_pid host ~service:Service.Id.printer server_pid Service.Both;
+  t

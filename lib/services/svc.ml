@@ -1,0 +1,32 @@
+(* Service-specific operation codes and payloads (codes >= 200).
+
+   These are the request formats individual servers define on top of the
+   common message standards; nothing below the services layer knows
+   them. *)
+
+module Pid = Vkernel.Pid
+open Vnaming
+
+module Op = struct
+  let get_time = 200
+  let run_program = 210
+  let report_exception = 230
+
+  (* Open a file by its low-level identifier, bypassing name
+     interpretation: the operation a §2.1-style centralized name server
+     needs every object server to expose. *)
+  let open_by_low_id = 240
+
+  let () =
+    List.iter
+      (fun (c, n) -> Vmsg.Op.register c n)
+      [ (get_time, "GetTime"); (run_program, "RunProgram");
+        (report_exception, "ReportException"); (open_by_low_id, "OpenByLowId") ]
+end
+
+type Vmsg.payload +=
+  | P_time of float  (** GetTime reply: simulated ms since boot *)
+  | P_run of { program : string; argument : string }  (** RunProgram *)
+  | P_exit_status of int  (** RunProgram reply *)
+  | P_exception_report of { culprit : Pid.t; what : string }
+  | P_low_id of { low_id : int; mode : Vmsg.open_mode }  (** OpenByLowId *)

@@ -1,0 +1,215 @@
+(* The virtual terminal server: transient objects named in a flat
+   per-server context (§2.2: "servers that provide a small number of
+   transient objects ... can store names and attributes of the objects
+   in memory"), accessed uniformly through the naming and I/O
+   protocols. Writing a line to an open terminal session appends it;
+   reading returns the terminal's accumulated output. *)
+
+module Kernel = Vkernel.Kernel
+module Service = Vkernel.Service
+open Vnaming
+
+type terminal = {
+  term_name : string;
+  mutable lines : string list; (* newest first *)
+  created : float;
+  instance_id : int;  (* the temporary object's instance identifier (§4.3) *)
+}
+
+type session =
+  | Terminal_session of { term : terminal; readonly : bool; snapshot : bytes }
+  | Directory_session of bytes
+
+type t = {
+  terminals : (string, terminal) Hashtbl.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable next_instance : int;
+  stats : Csnh.server_stats;
+  mutable pid : Vkernel.Pid.t option;
+}
+
+let block_size = 512
+
+let pid t = Option.get t.pid
+let stats t = t.stats
+
+let terminal_names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.terminals [] |> List.sort compare
+
+let lines t name =
+  match Hashtbl.find_opt t.terminals name with
+  | Some term -> List.rev term.lines
+  | None -> []
+
+let fresh_instance t =
+  let id = t.next_instance in
+  t.next_instance <- id + 1;
+  id
+
+let describe ~now (term : terminal) =
+  Descriptor.make ~obj_type:Descriptor.Terminal
+    ~size:(List.length term.lines) ~created:term.created ~modified:now
+    ~instance:term.instance_id term.term_name
+
+let create_terminal t ~now name =
+  if name = "" then Error Reply.Illegal_name
+  else if Hashtbl.mem t.terminals name then Error Reply.Duplicate_name
+  else begin
+    let term =
+      { term_name = name; lines = []; created = now; instance_id = fresh_instance t }
+    in
+    Hashtbl.replace t.terminals name term;
+    Ok term
+  end
+
+let image_of_lines term =
+  match term.lines with
+  | [] -> Bytes.empty
+  | lines -> Bytes.of_string (String.concat "\n" (List.rev lines) ^ "\n")
+
+let open_session t session ~size =
+  let id = fresh_instance t in
+  Hashtbl.replace t.sessions id session;
+  Vmsg.ok
+    ~payload:(Vmsg.P_instance { instance = id; file_size = size; block_size })
+    ()
+
+let handle_csname t ~now ~sender:_ (msg : Vmsg.t) _req _ctx remaining =
+  let open Vmsg in
+  match remaining with
+  | [] ->
+      if msg.code = Op.open_instance then begin
+        let records =
+          terminal_names t
+          |> List.map (fun n -> describe ~now (Hashtbl.find t.terminals n))
+        in
+        let image = Descriptor.directory_to_bytes records in
+        open_session t (Directory_session image) ~size:(Bytes.length image)
+      end
+      else if msg.code = Op.map_context then
+        ok
+          ~payload:
+            (P_context_spec
+               (Context.spec ~server:(pid t) ~context:Context.Well_known.default))
+          ()
+      else if msg.code = Op.query_name then
+        ok
+          ~payload:
+            (P_descriptor
+               (Descriptor.make ~obj_type:Descriptor.Directory
+                  ~size:(Hashtbl.length t.terminals) "[terminals]"))
+          ()
+      else reply Reply.Bad_operation
+  | [ name ] ->
+      if msg.code = Op.open_instance then
+        match msg.payload with
+        | P_open { mode } -> (
+            let term =
+              match Hashtbl.find_opt t.terminals name with
+              | Some term -> Ok term
+              | None -> (
+                  match mode with
+                  | Write | Append -> create_terminal t ~now name
+                  | Read | Directory_listing -> Error Reply.Not_found)
+            in
+            match term with
+            | Error code -> reply code
+            | Ok term ->
+                let snapshot = image_of_lines term in
+                open_session t
+                  (Terminal_session { term; readonly = (mode = Read); snapshot })
+                  ~size:(Bytes.length snapshot))
+        | _ -> reply Reply.Bad_operation
+      else if msg.code = Op.query_name then
+        match Hashtbl.find_opt t.terminals name with
+        | Some term -> ok ~payload:(P_descriptor (describe ~now term)) ()
+        | None -> reply Reply.Not_found
+      else if msg.code = Op.create_object then (
+        match create_terminal t ~now name with
+        | Ok _ -> ok ()
+        | Error code -> reply code)
+      else if msg.code = Op.remove_object then
+        if Hashtbl.mem t.terminals name then begin
+          Hashtbl.remove t.terminals name;
+          ok ()
+        end
+        else reply Reply.Not_found
+      else reply Reply.Bad_operation
+  | _ :: _ -> Vmsg.reply Reply.Not_found
+
+let read_image image ~block =
+  let off = block * block_size in
+  if block < 0 then Error Reply.Invalid_instance
+  else if off >= Bytes.length image then Error Reply.End_of_file
+  else Ok (Bytes.sub image off (min block_size (Bytes.length image - off)))
+
+let handle_other t ~now ~sender:_ (msg : Vmsg.t) =
+  let open Vmsg in
+  match msg.payload with
+  | P_read { instance; block } when msg.code = Op.read_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | None -> Some (reply Reply.Invalid_instance)
+      | Some (Directory_session image) | Some (Terminal_session { snapshot = image; _ })
+        -> (
+          match read_image image ~block with
+          | Ok data -> Some (ok ~extra_bytes:(Bytes.length data) ~payload:(P_data data) ())
+          | Error code -> Some (reply code)))
+  | P_write { instance; data; _ } when msg.code = Op.write_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | None -> Some (reply Reply.Invalid_instance)
+      | Some (Directory_session _) -> Some (reply Reply.No_permission)
+      | Some (Terminal_session { readonly = true; _ }) ->
+          Some (reply Reply.No_permission)
+      | Some (Terminal_session { term; _ }) ->
+          term.lines <- Bytes.to_string data :: term.lines;
+          Some (ok ~payload:(P_count (Bytes.length data)) ()))
+  | P_instance_arg instance when msg.code = Op.query_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | Some (Terminal_session { term; _ }) ->
+          Some (ok ~payload:(P_descriptor (describe ~now term)) ())
+      | Some (Directory_session image) ->
+          Some
+            (ok
+               ~payload:
+                 (P_descriptor
+                    (Descriptor.make ~obj_type:Descriptor.Directory
+                       ~size:(Bytes.length image) ~instance "[terminals]"))
+               ())
+      | None -> Some (reply Reply.Invalid_instance))
+  | P_instance_arg instance when msg.code = Op.release_instance ->
+      if Hashtbl.mem t.sessions instance then begin
+        Hashtbl.remove t.sessions instance;
+        Some (ok ())
+      end
+      else Some (reply Reply.Invalid_instance)
+  | _ -> None
+
+(* Boot the per-workstation virtual terminal server. *)
+let start host =
+  let engine = Kernel.engine_of_domain (Kernel.domain_of_host host) in
+  let now () = Vsim.Engine.now engine in
+  let t =
+    {
+      terminals = Hashtbl.create 8;
+      sessions = Hashtbl.create 8;
+      next_instance = 1;
+      stats = Csnh.make_stats "terminal";
+      pid = None;
+    }
+  in
+  let handlers =
+    {
+      Csnh.valid_context = (fun ctx -> ctx = Context.Well_known.default);
+      lookup = (fun _ _ -> Csnh.Stop); (* flat name space *)
+      handle_csname = (fun ~sender msg req ctx remaining ->
+          handle_csname t ~now:(now ()) ~sender msg req ctx remaining);
+      handle_other = (fun ~sender msg -> handle_other t ~now:(now ()) ~sender msg);
+    }
+  in
+  let server_pid =
+    Kernel.spawn host ~name:"terminal-server" (fun self ->
+        Csnh.serve self ~stats:t.stats handlers)
+  in
+  t.pid <- Some server_pid;
+  Kernel.set_pid host ~service:Service.Id.terminal server_pid Service.Local;
+  t

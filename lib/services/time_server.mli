@@ -1,0 +1,11 @@
+(** The time service: the paper's example of a simple service where the
+    client binds service to server pid on every call (§4.2). *)
+
+module Kernel = Vkernel.Kernel
+
+(** Boot the time server (network-visible); returns its pid. *)
+val start : Vnaming.Vmsg.t Kernel.host -> Vkernel.Pid.t
+
+(** Ask the time service for the simulated time; performs GetPid on each
+    call, as §4.2 describes for simple services. *)
+val get_time : Vnaming.Vmsg.t Kernel.self -> (float, Vio.Verr.t) result

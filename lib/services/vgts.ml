@@ -1,0 +1,327 @@
+(* The Virtual Graphics Terminal Server (VGTS): the multiple-window
+   system the paper's workstations run ("virtual graphics terminal
+   server", §6; "the functionality matches well with our multiple window
+   and executive system", §7).
+
+   Windows are named temporary objects in the server's context. Every
+   interaction uses the uniform machinery: Create makes a window, the
+   I/O protocol writes text into it, QueryName/ModifyName read and
+   change its geometry through description attributes, the context
+   directory lists the windows, Remove closes one. The server can render
+   the resulting screen as text, windows overlapping in z-order. *)
+
+module Kernel = Vkernel.Kernel
+module Service = Vkernel.Service
+open Vnaming
+
+type geometry = { x : int; y : int; w : int; h : int }
+
+type window = {
+  win_name : string;
+  mutable geo : geometry;
+  mutable z : int; (* higher is on top *)
+  mutable lines : string list; (* newest first *)
+  created : float;
+  win_instance : int;
+}
+
+type t = {
+  windows : (string, window) Hashtbl.t;
+  sessions : (int, [ `Window of window | `Dir of bytes ]) Hashtbl.t;
+  mutable next_instance : int;
+  mutable next_z : int;
+  engine : Vsim.Engine.t;
+  stats : Csnh.server_stats;
+  mutable pid : Vkernel.Pid.t option;
+}
+
+let block_size = 512
+
+let pid t = Option.get t.pid
+let stats t = t.stats
+
+let window_names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.windows [] |> List.sort compare
+
+let geometry t name = Option.map (fun w -> w.geo) (Hashtbl.find_opt t.windows name)
+
+let window_lines t name =
+  match Hashtbl.find_opt t.windows name with
+  | Some w -> List.rev w.lines
+  | None -> []
+
+(* Geometry rides in the description's attributes, so the standard
+   modify operation is the window-management interface. *)
+let geometry_attrs g =
+  [
+    ("x", string_of_int g.x); ("y", string_of_int g.y);
+    ("w", string_of_int g.w); ("h", string_of_int g.h);
+  ]
+
+let geometry_of_attrs ~current attrs =
+  let field key fallback =
+    match List.assoc_opt key attrs with
+    | Some v -> ( match int_of_string_opt v with Some n -> n | None -> fallback)
+    | None -> fallback
+  in
+  {
+    x = field "x" current.x;
+    y = field "y" current.y;
+    w = max 8 (field "w" current.w);
+    h = max 3 (field "h" current.h);
+  }
+
+let describe w =
+  Descriptor.make ~obj_type:Descriptor.Device ~size:(List.length w.lines)
+    ~created:w.created ~instance:w.win_instance ~attrs:(geometry_attrs w.geo)
+    w.win_name
+
+let fresh_instance t =
+  let id = t.next_instance in
+  t.next_instance <- id + 1;
+  id
+
+let raise_window t w =
+  t.next_z <- t.next_z + 1;
+  w.z <- t.next_z
+
+let create_window t ~now name =
+  if name = "" then Error Reply.Illegal_name
+  else if Hashtbl.mem t.windows name then Error Reply.Duplicate_name
+  else begin
+    (* Cascade new windows so they do not pile on one spot. *)
+    let n = Hashtbl.length t.windows in
+    let win =
+      {
+        win_name = name;
+        geo = { x = 2 + (3 * n); y = 1 + (2 * n); w = 28; h = 7 };
+        z = 0;
+        lines = [];
+        created = now;
+        win_instance = fresh_instance t;
+      }
+    in
+    raise_window t win;
+    Hashtbl.replace t.windows name win;
+    Ok win
+  end
+
+(* --- the screen --- *)
+
+(* Paint windows bottom-up into a character matrix: frames, a title bar,
+   and the newest lines of content clipped to the interior. *)
+let render t ~width ~height =
+  let screen = Array.make_matrix height width '.' in
+  let put y x c =
+    if y >= 0 && y < height && x >= 0 && x < width then screen.(y).(x) <- c
+  in
+  let paint (w : window) =
+    let { x; y; w = ww; h = hh } = w.geo in
+    for row = y to y + hh - 1 do
+      for col = x to x + ww - 1 do
+        let c =
+          if row = y || row = y + hh - 1 then '-'
+          else if col = x || col = x + ww - 1 then '|'
+          else ' '
+        in
+        put row col c
+      done
+    done;
+    put y x '+';
+    put y (x + ww - 1) '+';
+    put (y + hh - 1) x '+';
+    put (y + hh - 1) (x + ww - 1) '+';
+    (* Title on the top border. *)
+    String.iteri
+      (fun i c -> if i < ww - 4 then put y (x + 2 + i) c)
+      w.win_name;
+    (* Newest content lines in the interior. *)
+    let interior = hh - 2 in
+    let lines = List.filteri (fun i _ -> i < interior) w.lines |> List.rev in
+    List.iteri
+      (fun i line ->
+        String.iteri
+          (fun j c -> if j < ww - 2 then put (y + 1 + i) (x + 1 + j) c)
+          line)
+      lines
+  in
+  Hashtbl.fold (fun _ w acc -> w :: acc) t.windows []
+  |> List.sort (fun a b -> compare a.z b.z)
+  |> List.iter paint;
+  String.concat "\n"
+    (Array.to_list (Array.map (fun row -> String.init width (Array.get row)) screen))
+
+(* --- protocol handlers --- *)
+
+let handle_csname t ~sender:_ (msg : Vmsg.t) _req _ctx remaining =
+  let open Vmsg in
+  let now = Vsim.Engine.now t.engine in
+  match remaining with
+  | [] ->
+      if msg.code = Op.open_instance then begin
+        let image =
+          Descriptor.directory_to_bytes
+            (List.map (fun n -> describe (Hashtbl.find t.windows n)) (window_names t))
+        in
+        let id = fresh_instance t in
+        Hashtbl.replace t.sessions id (`Dir image);
+        ok
+          ~payload:
+            (P_instance { instance = id; file_size = Bytes.length image; block_size })
+          ()
+      end
+      else if msg.code = Op.map_context then
+        ok
+          ~payload:
+            (P_context_spec
+               (Context.spec ~server:(pid t) ~context:Context.Well_known.default))
+          ()
+      else if msg.code = Op.query_name then
+        ok
+          ~payload:
+            (P_descriptor
+               (Descriptor.make ~obj_type:Descriptor.Directory
+                  ~size:(Hashtbl.length t.windows) "[windows]"))
+          ()
+      else reply Reply.Bad_operation
+  | [ name ] ->
+      if msg.code = Op.create_object then (
+        match create_window t ~now name with
+        | Ok _ -> ok ()
+        | Error code -> reply code)
+      else if msg.code = Op.open_instance then
+        match msg.payload with
+        | P_open { mode } -> (
+            let window =
+              match Hashtbl.find_opt t.windows name with
+              | Some w -> Ok w
+              | None -> (
+                  match mode with
+                  | Write | Append -> create_window t ~now name
+                  | Read | Directory_listing -> Error Reply.Not_found)
+            in
+            match window with
+            | Error code -> reply code
+            | Ok w ->
+                (* Opening a window raises it, like selecting it. *)
+                raise_window t w;
+                let id = fresh_instance t in
+                Hashtbl.replace t.sessions id (`Window w);
+                ok
+                  ~payload:
+                    (P_instance
+                       {
+                         instance = id;
+                         file_size = List.length w.lines;
+                         block_size;
+                       })
+                  ())
+        | _ -> reply Reply.Bad_operation
+      else if msg.code = Op.query_name then
+        match Hashtbl.find_opt t.windows name with
+        | Some w -> ok ~payload:(P_descriptor (describe w)) ()
+        | None -> reply Reply.Not_found
+      else if msg.code = Op.modify_name then
+        match (Hashtbl.find_opt t.windows name, msg.payload) with
+        | Some w, P_descriptor requested ->
+            (* Window management via the uniform modify operation: the
+               geometry attributes move and resize. *)
+            w.geo <-
+              geometry_of_attrs ~current:w.geo requested.Descriptor.attrs;
+            raise_window t w;
+            ok ()
+        | None, _ -> reply Reply.Not_found
+        | Some _, _ -> reply Reply.Bad_operation
+      else if msg.code = Op.remove_object then
+        if Hashtbl.mem t.windows name then begin
+          Hashtbl.remove t.windows name;
+          ok ()
+        end
+        else reply Reply.Not_found
+      else reply Reply.Bad_operation
+  | _ :: _ -> Vmsg.reply Reply.Not_found
+
+let image_of_window w =
+  match w.lines with
+  | [] -> Bytes.empty
+  | lines -> Bytes.of_string (String.concat "\n" (List.rev lines) ^ "\n")
+
+let handle_other t ~sender:_ (msg : Vmsg.t) =
+  let open Vmsg in
+  match msg.payload with
+  | P_write { instance; data; _ } when msg.code = Op.write_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | Some (`Window w) ->
+          w.lines <- Bytes.to_string data :: w.lines;
+          Some (ok ~payload:(P_count (Bytes.length data)) ())
+      | Some (`Dir _) -> Some (reply Reply.No_permission)
+      | None -> Some (reply Reply.Invalid_instance))
+  | P_read { instance; block } when msg.code = Op.read_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | None -> Some (reply Reply.Invalid_instance)
+      | Some session ->
+          let image =
+            match session with
+            | `Dir image -> image
+            | `Window w -> image_of_window w
+          in
+          let off = block * block_size in
+          if block < 0 then Some (reply Reply.Invalid_instance)
+          else if off >= Bytes.length image then Some (reply Reply.End_of_file)
+          else begin
+            let data =
+              Bytes.sub image off (min block_size (Bytes.length image - off))
+            in
+            Some (ok ~extra_bytes:(Bytes.length data) ~payload:(P_data data) ())
+          end)
+  | P_instance_arg instance when msg.code = Op.query_instance -> (
+      match Hashtbl.find_opt t.sessions instance with
+      | Some (`Window w) -> Some (ok ~payload:(P_descriptor (describe w)) ())
+      | Some (`Dir image) ->
+          Some
+            (ok
+               ~payload:
+                 (P_descriptor
+                    (Descriptor.make ~obj_type:Descriptor.Directory
+                       ~size:(Bytes.length image) ~instance "[windows]"))
+               ())
+      | None -> Some (reply Reply.Invalid_instance))
+  | P_instance_arg instance when msg.code = Op.release_instance ->
+      if Hashtbl.mem t.sessions instance then begin
+        Hashtbl.remove t.sessions instance;
+        Some (ok ())
+      end
+      else Some (reply Reply.Invalid_instance)
+  | _ -> None
+
+let start host =
+  let engine = Kernel.engine_of_domain (Kernel.domain_of_host host) in
+  let t =
+    {
+      windows = Hashtbl.create 8;
+      sessions = Hashtbl.create 8;
+      next_instance = 1;
+      next_z = 0;
+      engine;
+      stats = Csnh.make_stats "vgts";
+      pid = None;
+    }
+  in
+  let handlers =
+    {
+      Csnh.valid_context = (fun ctx -> ctx = Context.Well_known.default);
+      lookup = (fun _ _ -> Csnh.Stop);
+      handle_csname = (fun ~sender msg req ctx remaining ->
+          handle_csname t ~sender msg req ctx remaining);
+      handle_other = (fun ~sender msg -> handle_other t ~sender msg);
+    }
+  in
+  let server_pid =
+    Kernel.spawn host ~name:"vgts" (fun self -> Csnh.serve self ~stats:t.stats handlers)
+  in
+  t.pid <- Some server_pid;
+  (* The VGTS is this workstation's graphics service; reuse the terminal
+     service id with Local scope would clash with the line-terminal
+     server, so it registers under its own id. *)
+  Kernel.set_pid host ~service:Service.Id.vgts server_pid Service.Local;
+  t

@@ -1,0 +1,86 @@
+(* The discrete-event core: a virtual clock and an ordered queue of
+   pending actions. All simulated concurrency in the V-System
+   reproduction (kernels, network, servers) bottoms out in [schedule].
+
+   Determinism: events at equal times run in scheduling order (sequence
+   numbers break ties), and nothing in the engine consults wall-clock
+   time or ambient randomness, so a run is a pure function of the
+   initial scenario and PRNG seed. *)
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+type t = {
+  mutable now : float;
+  mutable next_seq : int;
+  mutable executed : int;
+  mutable running : bool;
+  queue : event Heap.t;
+}
+
+exception Time_went_backwards of { now : float; requested : float }
+
+let create () =
+  {
+    now = 0.0;
+    next_seq = 0;
+    executed = 0;
+    running = false;
+    queue = Heap.create ~compare:compare_event;
+  }
+
+let now t = t.now
+
+let pending t = Heap.length t.queue
+
+let executed t = t.executed
+
+let schedule_at t time action =
+  if time < t.now then raise (Time_went_backwards { now = t.now; requested = time });
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { time; seq; action }
+
+let schedule ?(delay = 0.0) t action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (t.now +. delay) action
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.time;
+      t.executed <- t.executed + 1;
+      ev.action ();
+      true
+
+let run ?until ?max_events t =
+  if t.running then invalid_arg "Engine.run: already running";
+  t.running <- true;
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue () =
+    !budget > 0
+    &&
+    match Heap.peek t.queue with
+    | None -> false
+    | Some ev -> ( match until with None -> true | Some limit -> ev.time <= limit)
+  in
+  let finally () = t.running <- false in
+  (try
+     while continue () do
+       decr budget;
+       ignore (step t : bool)
+     done
+   with e ->
+     finally ();
+     raise e);
+  finally ();
+  (* If we stopped on a time horizon, advance the clock to it so that a
+     subsequent [run ~until:later] resumes from the horizon. *)
+  match until with
+  | Some limit when t.now < limit && not (Heap.is_empty t.queue) -> ()
+  | Some limit when t.now < limit -> t.now <- limit
+  | _ -> ()

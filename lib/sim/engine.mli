@@ -1,0 +1,35 @@
+(** Deterministic discrete-event engine.
+
+    Times are in simulated {b milliseconds} throughout the V-System
+    reproduction, matching the units the paper reports. Events scheduled
+    for the same instant execute in scheduling order. *)
+
+type t
+
+(** Raised by [schedule_at] when asked to schedule in the past. *)
+exception Time_went_backwards of { now : float; requested : float }
+
+val create : unit -> t
+
+(** Current simulated time (ms). *)
+val now : t -> float
+
+(** Number of events waiting in the queue. *)
+val pending : t -> int
+
+(** Total number of events executed so far. *)
+val executed : t -> int
+
+(** [schedule ?delay t f] runs [f] at [now t +. delay] (default: now). *)
+val schedule : ?delay:float -> t -> (unit -> unit) -> unit
+
+(** [schedule_at t time f] runs [f] at absolute [time]. *)
+val schedule_at : t -> float -> (unit -> unit) -> unit
+
+(** Execute the single earliest event. Returns [false] if the queue was
+    empty. *)
+val step : t -> bool
+
+(** Run until the queue empties, [until] (inclusive) is reached, or
+    [max_events] events have executed. Not reentrant. *)
+val run : ?until:float -> ?max_events:int -> t -> unit

@@ -1,0 +1,145 @@
+(* Measurement helpers for the benchmark harness: counters and sample
+   collections with summary statistics. Samples are stored exactly (the
+   reproduction's runs are small enough) so quantiles are precise. *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let create name = { name; value = 0 }
+  let incr ?(by = 1) t = t.value <- t.value + by
+  let value t = t.value
+  let name t = t.name
+  let reset t = t.value <- 0
+end
+
+module Series = struct
+  type t = {
+    name : string;
+    mutable data : float array;
+    mutable size : int;
+  }
+
+  let create name = { name; data = [||]; size = 0 }
+
+  let name t = t.name
+
+  let add t x =
+    if t.size = Array.length t.data then begin
+      let capacity = max 64 (2 * Array.length t.data) in
+      let data = Array.make capacity 0.0 in
+      Array.blit t.data 0 data 0 t.size;
+      t.data <- data
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1
+
+  let count t = t.size
+
+  let to_array t = Array.sub t.data 0 t.size
+
+  let sum t =
+    let acc = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      acc := !acc +. t.data.(i)
+    done;
+    !acc
+
+  let mean t = if t.size = 0 then nan else sum t /. float_of_int t.size
+
+  let min_ t =
+    if t.size = 0 then nan
+    else Array.fold_left Float.min t.data.(0) (to_array t)
+
+  let max_ t =
+    if t.size = 0 then nan
+    else Array.fold_left Float.max t.data.(0) (to_array t)
+
+  let stddev t =
+    if t.size < 2 then 0.0
+    else begin
+      let m = mean t in
+      let acc = ref 0.0 in
+      for i = 0 to t.size - 1 do
+        let d = t.data.(i) -. m in
+        acc := !acc +. (d *. d)
+      done;
+      sqrt (!acc /. float_of_int (t.size - 1))
+    end
+
+  (* Quantile by linear interpolation between order statistics. *)
+  let quantile t q =
+    if t.size = 0 then nan
+    else if q < 0.0 || q > 1.0 then invalid_arg "Series.quantile"
+    else begin
+      let sorted = to_array t in
+      Array.sort Float.compare sorted;
+      let pos = q *. float_of_int (t.size - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = int_of_float (Float.ceil pos) in
+      if lo = hi then sorted.(lo)
+      else begin
+        let frac = pos -. float_of_int lo in
+        (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+      end
+    end
+
+  let median t = quantile t 0.5
+
+  type summary = {
+    n : int;
+    mean : float;
+    min : float;
+    max : float;
+    stddev : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  let summarize t =
+    {
+      n = count t;
+      mean = mean t;
+      min = min_ t;
+      max = max_ t;
+      stddev = stddev t;
+      p50 = quantile t 0.5;
+      p95 = quantile t 0.95;
+      p99 = quantile t 0.99;
+    }
+
+  let pp_summary ppf s =
+    Fmt.pf ppf "n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f p50=%.3f p95=%.3f p99=%.3f"
+      s.n s.mean s.min s.max s.stddev s.p50 s.p95 s.p99
+
+  (* Equal-width histogram of the samples; each bucket rendered as a bar
+     scaled to the fullest bucket. *)
+  let histogram ?(buckets = 10) t =
+    if buckets <= 0 then invalid_arg "Series.histogram";
+    if t.size = 0 then []
+    else begin
+      let lo = min_ t and hi = max_ t in
+      let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0 in
+      let counts = Array.make buckets 0 in
+      for i = 0 to t.size - 1 do
+        let b =
+          int_of_float ((t.data.(i) -. lo) /. width)
+          |> Int.min (buckets - 1)
+          |> Int.max 0
+        in
+        counts.(b) <- counts.(b) + 1
+      done;
+      List.init buckets (fun b ->
+          (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width),
+           counts.(b)))
+    end
+
+  let pp_histogram ?(buckets = 10) ?(bar_width = 40) ppf t =
+    let rows = histogram ~buckets t in
+    let peak = List.fold_left (fun acc (_, _, c) -> max acc c) 1 rows in
+    List.iter
+      (fun (lo, hi, count) ->
+        let bar = count * bar_width / peak in
+        Fmt.pf ppf "%10.2f-%-10.2f %5d %s@." lo hi count (String.make bar '#'))
+      rows
+end

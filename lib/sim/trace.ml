@@ -1,0 +1,53 @@
+(* Event tracing. Subsystems emit timestamped records into a trace when
+   one is attached; the bench harness uses this to print the
+   Send-Receive-Reply timeline of Figure 1 and forwarding chains. *)
+
+type record = { time : float; category : string; message : string }
+
+type t = {
+  engine : Engine.t;
+  mutable records : record list; (* newest first *)
+  mutable enabled : bool;
+  mutable filter : string -> bool;
+}
+
+let create engine =
+  { engine; records = []; enabled = true; filter = (fun _ -> true) }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+
+(* Restrict recording to the given categories. *)
+let set_categories t categories =
+  t.filter <- (fun c -> List.mem c categories)
+
+let emit t ~category fmt =
+  Format.kasprintf
+    (fun message ->
+      if t.enabled && t.filter category then
+        t.records <-
+          { time = Engine.now t.engine; category; message } :: t.records)
+    fmt
+
+let records t = List.rev t.records
+
+let clear t = t.records <- []
+
+let pp_record ppf r =
+  Fmt.pf ppf "%8.3f ms  %-10s %s" r.time r.category r.message
+
+let pp ppf t =
+  List.iter (fun r -> Fmt.pf ppf "%a@." pp_record r) (records t)
+
+(* Render relative to the first record; used for per-transaction
+   timelines where absolute simulation time is noise. *)
+let pp_relative ppf t =
+  match records t with
+  | [] -> ()
+  | first :: _ as rs ->
+      let base = first.time in
+      List.iter
+        (fun r ->
+          Fmt.pf ppf "%+8.3f ms  %-10s %s@." (r.time -. base) r.category
+            r.message)
+        rs

@@ -1,0 +1,117 @@
+(* Byte-stream adapters over instances: buffered sequential readers and
+   writers, the client-side convenience V programs use for file-like
+   access to any server speaking the I/O protocol. *)
+
+type reader = {
+  r_instance : Client.remote_instance;
+  mutable r_block : int;
+  mutable r_buf : bytes;
+  mutable r_pos : int;
+  mutable r_eof : bool;
+}
+
+let reader instance =
+  { r_instance = instance; r_block = 0; r_buf = Bytes.empty; r_pos = 0; r_eof = false }
+
+let refill self r =
+  if r.r_eof then Ok false
+  else
+    match Client.read_block self r.r_instance ~block:r.r_block with
+    | Ok data ->
+        r.r_block <- r.r_block + 1;
+        r.r_buf <- data;
+        r.r_pos <- 0;
+        if Bytes.length data < Client.block_size r.r_instance then r.r_eof <- true;
+        Ok (Bytes.length data > 0)
+    | Error (Verr.Denied Vnaming.Reply.End_of_file) ->
+        r.r_eof <- true;
+        r.r_buf <- Bytes.empty;
+        r.r_pos <- 0;
+        Ok false
+    | Error e -> Error e
+
+(* Read up to [len] bytes; [Ok Bytes.empty] signals end of stream. *)
+let read self r len =
+  if len < 0 then invalid_arg "Stream.read: negative length";
+  let out = Buffer.create len in
+  let rec loop remaining =
+    if remaining = 0 then Ok (Buffer.to_bytes out)
+    else begin
+      let available = Bytes.length r.r_buf - r.r_pos in
+      if available > 0 then begin
+        let take = min available remaining in
+        Buffer.add_subbytes out r.r_buf r.r_pos take;
+        r.r_pos <- r.r_pos + take;
+        loop (remaining - take)
+      end
+      else
+        match refill self r with
+        | Ok true -> loop remaining
+        | Ok false -> Ok (Buffer.to_bytes out)
+        | Error e -> Error e
+    end
+  in
+  loop len
+
+(* Read one '\n'-terminated line (newline stripped); [Ok None] at end of
+   stream. *)
+let read_line self r =
+  let out = Buffer.create 32 in
+  let rec loop () =
+    if r.r_pos < Bytes.length r.r_buf then begin
+      let c = Bytes.get r.r_buf r.r_pos in
+      r.r_pos <- r.r_pos + 1;
+      if c = '\n' then Ok (Some (Buffer.contents out))
+      else begin
+        Buffer.add_char out c;
+        loop ()
+      end
+    end
+    else
+      match refill self r with
+      | Ok true -> loop ()
+      | Ok false ->
+          if Buffer.length out = 0 then Ok None else Ok (Some (Buffer.contents out))
+      | Error e -> Error e
+  in
+  loop ()
+
+type writer = {
+  w_instance : Client.remote_instance;
+  mutable w_block : int;
+  w_buf : Buffer.t;
+}
+
+let writer instance = { w_instance = instance; w_block = 0; w_buf = Buffer.create 512 }
+
+let flush_full_blocks self w ~final =
+  let bs = Client.block_size w.w_instance in
+  let rec loop () =
+    let pending = Buffer.length w.w_buf in
+    if pending >= bs || (final && pending > 0) then begin
+      let take = min bs pending in
+      let chunk = Bytes.sub (Buffer.to_bytes w.w_buf) 0 take in
+      let rest = Buffer.sub w.w_buf take (pending - take) in
+      Buffer.clear w.w_buf;
+      Buffer.add_string w.w_buf rest;
+      match Client.write_block self w.w_instance ~block:w.w_block chunk with
+      | Ok _ ->
+          w.w_block <- w.w_block + 1;
+          loop ()
+      | Error e -> Error e
+    end
+    else Ok ()
+  in
+  loop ()
+
+let write self w data =
+  Buffer.add_bytes w.w_buf data;
+  flush_full_blocks self w ~final:false
+
+let write_string self w s = write self w (Bytes.of_string s)
+
+(* Flush remaining bytes and release the instance. *)
+let close self w =
+  match flush_full_blocks self w ~final:true with
+  | Error e -> Error e
+  | Ok () -> Client.release self w.w_instance

@@ -1,0 +1,32 @@
+(** Buffered byte-stream adapters over instances: the client-side
+    convenience V programs use for sequential file-like access to any
+    server speaking the I/O protocol. *)
+
+type reader
+
+val reader : Client.remote_instance -> reader
+
+(** Read up to [len] bytes; a shorter (possibly empty) result signals
+    end of stream. *)
+val read :
+  Vnaming.Vmsg.t Vkernel.Kernel.self -> reader -> int -> (bytes, Verr.t) result
+
+(** Read one newline-terminated line (newline stripped); [Ok None] at
+    end of stream. *)
+val read_line :
+  Vnaming.Vmsg.t Vkernel.Kernel.self -> reader -> (string option, Verr.t) result
+
+type writer
+
+val writer : Client.remote_instance -> writer
+
+(** Append bytes; full blocks are flushed to the server as they fill. *)
+val write :
+  Vnaming.Vmsg.t Vkernel.Kernel.self -> writer -> bytes -> (unit, Verr.t) result
+
+val write_string :
+  Vnaming.Vmsg.t Vkernel.Kernel.self -> writer -> string -> (unit, Verr.t) result
+
+(** Flush remaining bytes and release the instance. *)
+val close :
+  Vnaming.Vmsg.t Vkernel.Kernel.self -> writer -> (unit, Verr.t) result

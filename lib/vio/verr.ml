@@ -1,0 +1,21 @@
+(* Errors a client stub can see: the transport failed, or the server
+   answered with a failure reply code. *)
+
+type t =
+  | Ipc of Vkernel.Kernel.error  (** the message transaction itself failed *)
+  | Denied of Vnaming.Reply.code  (** the server's reply code *)
+  | Protocol of string  (** reply malformed for the request sent *)
+
+let pp ppf = function
+  | Ipc e -> Fmt.pf ppf "ipc: %a" Vkernel.Kernel.pp_error e
+  | Denied c -> Fmt.pf ppf "%a" Vnaming.Reply.pp c
+  | Protocol s -> Fmt.pf ppf "protocol: %s" s
+
+let to_string e = Fmt.str "%a" pp e
+
+(* Collapse a reply message into [Ok payload] or the failure it encodes. *)
+let of_reply (m : Vnaming.Vmsg.t) =
+  match Vnaming.Vmsg.reply_code m with
+  | Some Vnaming.Reply.Ok -> Ok m
+  | Some code -> Error (Denied code)
+  | None -> Error (Protocol "expected a reply message")

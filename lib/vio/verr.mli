@@ -1,0 +1,13 @@
+(** Errors visible to client stubs: the transport failed, the server
+    refused, or the reply was malformed for the request. *)
+
+type t =
+  | Ipc of Vkernel.Kernel.error  (** the message transaction failed *)
+  | Denied of Vnaming.Reply.code  (** the server's failure reply code *)
+  | Protocol of string  (** reply malformed for the request sent *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Collapse a reply message into [Ok reply] or the failure it encodes. *)
+val of_reply : Vnaming.Vmsg.t -> (Vnaming.Vmsg.t, t) result

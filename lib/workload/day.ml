@@ -1,0 +1,144 @@
+(* A composite "working day" workload: several users on their
+   workstations editing files, loading programs, printing, sending mail
+   and writing to terminals over a stretch of simulated time — the mixed
+   load the paper's installation carried ("in use ... for several
+   months"). Deterministic for a given seed; used as a soak test and as
+   the `day` benchmark. *)
+
+module Kernel = Vkernel.Kernel
+module Runtime = Vruntime.Runtime
+module File_server = Vservices.File_server
+module Program_manager = Vservices.Program_manager
+open Vnaming
+
+type totals = {
+  mutable edits : int;
+  mutable reads : int;
+  mutable lists : int;
+  mutable loads : int;
+  mutable prints : int;
+  mutable mails : int;
+  mutable terminal_lines : int;
+  mutable failures : int;
+  latency : Vsim.Stats.Series.t;
+}
+
+let make_totals () =
+  {
+    edits = 0;
+    reads = 0;
+    lists = 0;
+    loads = 0;
+    prints = 0;
+    mails = 0;
+    terminal_lines = 0;
+    failures = 0;
+    latency = Vsim.Stats.Series.create "op-latency";
+  }
+
+let pp_totals ppf t =
+  Fmt.pf ppf
+    "edits %d, reads %d, listings %d, program loads %d, print jobs %d,@ \
+     mails %d, terminal lines %d, failures %d;@ op latency %a"
+    t.edits t.reads t.lists t.loads t.prints t.mails t.terminal_lines
+    t.failures Vsim.Stats.Series.pp_summary
+    (Vsim.Stats.Series.summarize t.latency)
+
+(* One user's behaviour: a loop of weighted random activities with
+   exponential think time. *)
+let user_day (t : Scenario.t) totals ~ws ~until prng =
+  ignore
+    (Scenario.spawn_client t ~ws ~name:(Fmt.str "user%d" ws) (fun self env ->
+         let eng = Runtime.engine env in
+         (* Pin the home context once at login: the logical [home]
+            binding re-resolves per use and, with several storage
+            servers, may land on any of them — for stateful document
+            editing a user binds once and works relatively (§4.2's
+            bind-at-open pattern). *)
+         (match Runtime.change_context env "[home]" with
+         | Ok (_ : Context.spec) -> ()
+         | Error e -> failwith (Fmt.str "Day: no home: %a" Vio.Verr.pp e));
+         let my_doc i = Fmt.str "doc%d.txt" (i mod 4) in
+         (* Seed the working set so day-one reads find their documents. *)
+         for d = 0 to 3 do
+           match Runtime.write_file env (my_doc d) (Bytes.of_string "initial") with
+           | Ok () -> ()
+           | Error e -> failwith (Fmt.str "Day: seed doc: %a" Vio.Verr.pp e)
+         done;
+         let timed f =
+           let t0 = Vsim.Engine.now eng in
+           let outcome = f () in
+           Vsim.Stats.Series.add totals.latency (Vsim.Engine.now eng -. t0);
+           match outcome with
+           | Ok () -> ()
+           | Error (_ : Vio.Verr.t) -> totals.failures <- totals.failures + 1
+         in
+         let iteration i =
+           match Vsim.Prng.int prng 100 with
+           | r when r < 30 ->
+               totals.edits <- totals.edits + 1;
+               timed (fun () ->
+                   Runtime.write_file env (my_doc i)
+                     (Bytes.make (64 + Vsim.Prng.int prng 1024) 'e'))
+           | r when r < 60 ->
+               totals.reads <- totals.reads + 1;
+               timed (fun () ->
+                   Result.map (fun (_ : bytes) -> ()) (Runtime.read_file env (my_doc i)))
+           | r when r < 72 ->
+               totals.lists <- totals.lists + 1;
+               timed (fun () ->
+                   Result.map
+                     (fun (_ : Descriptor.t list) -> ())
+                     (Runtime.list_directory env ""))
+           | r when r < 82 ->
+               totals.loads <- totals.loads + 1;
+               timed (fun () ->
+                   Result.map
+                     (fun (_ : bytes) -> ())
+                     (Program_manager.load self
+                        ~storage:(File_server.pid (Scenario.file_server t 0))
+                        ~context:Context.Well_known.programs ~name:"editor"
+                        ~size:16384))
+           | r when r < 88 ->
+               totals.prints <- totals.prints + 1;
+               timed (fun () ->
+                   Runtime.write_file env
+                     (Fmt.str "[printer]u%d-job%d.ps" ws i)
+                     (Bytes.make 600 'p'))
+           | r when r < 94 ->
+               totals.mails <- totals.mails + 1;
+               timed (fun () ->
+                   Runtime.append_file env "[mail]everyone@v.stanford"
+                     (Bytes.of_string (Fmt.str "From: user%d\nstatus %d" ws i)))
+           | _ ->
+               totals.terminal_lines <- totals.terminal_lines + 1;
+               timed (fun () ->
+                   Runtime.append_file env "[terminals]console"
+                     (Bytes.of_string (Fmt.str "user%d: step %d" ws i)))
+         in
+         let rec loop i =
+           if Vsim.Engine.now eng < until then begin
+             iteration i;
+             Vsim.Proc.delay eng (Vsim.Prng.exponential prng ~mean:120.0);
+             loop (i + 1)
+           end
+         in
+         loop 0))
+
+(* Run a day: [users] workstations for [duration_ms] of simulated time.
+   Returns the totals and the scenario (for further inspection). *)
+let run ?(users = 3) ?(duration_ms = 60_000.0) ?(seed = 11) () =
+  let t = Scenario.build ~workstations:users ~file_servers:2 ~seed () in
+  (match
+     Program_manager.install_image (Scenario.file_server t 0) ~name:"editor"
+       ~image:(Bytes.make 16384 'E')
+   with
+  | Ok () -> ()
+  | Error code -> invalid_arg (Fmt.str "Day.run: install: %a" Reply.pp code));
+  let totals = make_totals () in
+  let prng = Vsim.Prng.create ~seed in
+  for ws = 0 to users - 1 do
+    user_day t totals ~ws ~until:duration_ms (Vsim.Prng.split prng)
+  done;
+  Scenario.run t;
+  (totals, t)

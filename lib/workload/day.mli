@@ -1,0 +1,22 @@
+(** A composite "working day" workload: several users editing, reading,
+    listing, loading programs, printing, mailing and writing terminal
+    lines over simulated time — a deterministic soak of the whole
+    installation. *)
+
+type totals = {
+  mutable edits : int;
+  mutable reads : int;
+  mutable lists : int;
+  mutable loads : int;
+  mutable prints : int;
+  mutable mails : int;
+  mutable terminal_lines : int;
+  mutable failures : int;
+  latency : Vsim.Stats.Series.t;  (** per-operation latency (ms) *)
+}
+
+val pp_totals : Format.formatter -> totals -> unit
+
+(** Run [users] workstations for [duration_ms] of simulated time;
+    returns the aggregate totals and the scenario. *)
+val run : ?users:int -> ?duration_ms:float -> ?seed:int -> unit -> totals * Scenario.t

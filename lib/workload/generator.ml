@@ -1,0 +1,59 @@
+(* Workload generation: file populations and name/operation streams for
+   the comparison experiments. *)
+
+module Fs = Vservices.Fs
+module File_server = Vservices.File_server
+
+let word prng =
+  let len = 3 + Vsim.Prng.int prng 8 in
+  String.init len (fun _ -> Char.chr (Char.code 'a' + Vsim.Prng.int prng 26))
+
+(* Populate a file server with a directory tree; returns the absolute
+   paths of all created files. Runs at setup time (write-behind). *)
+let populate prng fs_server ~directories ~files_per_directory =
+  let fs = File_server.fs fs_server in
+  let dirs = ref [ (Fs.root_ino, "") ] in
+  for _ = 1 to directories do
+    let parent_ino, parent_path = Vsim.Prng.pick prng !dirs in
+    let name = word prng in
+    match Fs.mkdir fs ~dir:parent_ino ~owner:"workload" name with
+    | Ok ino -> dirs := (ino, parent_path ^ "/" ^ name) :: !dirs
+    | Error _ -> () (* duplicate name: skip *)
+  done;
+  let paths = ref [] in
+  List.iter
+    (fun (dir_ino, dir_path) ->
+      for _ = 1 to files_per_directory do
+        let name = word prng ^ ".dat" in
+        match Fs.create_file fs ~dir:dir_ino ~owner:"workload" name with
+        | Ok ino ->
+            let content =
+              Bytes.of_string (Fmt.str "contents of %s/%s" dir_path name)
+            in
+            (match Fs.write_file fs ~ino content with Ok () | Error _ -> ());
+            paths := (dir_path ^ "/" ^ name) :: !paths
+        | Error _ -> ()
+      done)
+    !dirs;
+  List.rev !paths
+
+(* Strip the leading slash: protocol names are interpreted relative to
+   the starting context (the root context here). *)
+let relative path =
+  if String.length path > 0 && path.[0] = '/' then
+    String.sub path 1 (String.length path - 1)
+  else path
+
+(* An operation mix for the comparison workload. *)
+type op = Open_read of string | Query of string | Delete of string
+
+let operation_stream prng paths ~n ~delete_fraction =
+  let paths = Array.of_list paths in
+  if Array.length paths = 0 then []
+  else
+    List.init n (fun _ ->
+        let path = paths.(Vsim.Prng.int prng (Array.length paths)) in
+        let roll = Vsim.Prng.float prng in
+        if roll < delete_fraction then Delete path
+        else if roll < 0.5 then Query path
+        else Open_read path)

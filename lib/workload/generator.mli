@@ -1,0 +1,25 @@
+(** Workload generation: file populations and operation streams for the
+    comparison experiments. *)
+
+(** A random lowercase word. *)
+val word : Vsim.Prng.t -> string
+
+(** Populate a file server with a random directory tree (at setup time,
+    write-behind); returns the absolute paths of the created files. *)
+val populate :
+  Vsim.Prng.t ->
+  Vservices.File_server.t ->
+  directories:int ->
+  files_per_directory:int ->
+  string list
+
+(** Strip the leading slash: protocol names are interpreted relative to
+    the starting (root) context. *)
+val relative : string -> string
+
+type op = Open_read of string | Query of string | Delete of string
+
+(** [n] operations drawn over the given paths with the given fraction of
+    deletes (the rest split between queries and opens). *)
+val operation_stream :
+  Vsim.Prng.t -> string list -> n:int -> delete_fraction:float -> op list

@@ -1,0 +1,56 @@
+(* Plain-text table rendering for the benchmark harness. *)
+
+let print_title title =
+  let bar = String.make (String.length title) '=' in
+  Fmt.pr "@.%s@.%s@." title bar
+
+let print_section title =
+  let bar = String.make (String.length title) '-' in
+  Fmt.pr "@.%s@.%s@." title bar
+
+(* Render rows with left-aligned first column and right-aligned rest. *)
+let print_table ~header rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init columns width in
+  let render_row row =
+    row
+    |> List.mapi (fun c cell ->
+           let w = List.nth widths c in
+           if c = 0 then Fmt.str "%-*s" w cell else Fmt.str "%*s" w cell)
+    |> String.concat "  "
+  in
+  Fmt.pr "%s@." (render_row header);
+  Fmt.pr "%s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Fmt.pr "%s@." (render_row row)) rows
+
+type comparison = {
+  label : string;
+  paper : float option;  (** the figure the paper reports, if any *)
+  measured : float;
+  unit_ : string;
+}
+
+(* Paper-vs-measured with the relative deviation, the core output format
+   of EXPERIMENTS.md. *)
+let print_comparison rows =
+  let render { label; paper; measured; unit_ } =
+    match paper with
+    | Some p ->
+        [
+          label;
+          Fmt.str "%.2f %s" p unit_;
+          Fmt.str "%.2f %s" measured unit_;
+          Fmt.str "%+.1f%%" ((measured -. p) /. p *. 100.0);
+        ]
+    | None -> [ label; "-"; Fmt.str "%.2f %s" measured unit_; "-" ]
+  in
+  print_table ~header:[ "quantity"; "paper"; "measured"; "deviation" ]
+    (List.map render rows)
+
+let ms v = Fmt.str "%.2f ms" v
+let count v = string_of_int v

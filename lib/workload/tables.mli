@@ -1,0 +1,20 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+val print_title : string -> unit
+val print_section : string -> unit
+
+(** Aligned columns; the first column is left-aligned. *)
+val print_table : header:string list -> string list list -> unit
+
+type comparison = {
+  label : string;
+  paper : float option;  (** the figure the paper reports, if any *)
+  measured : float;
+  unit_ : string;
+}
+
+(** Paper-vs-measured with relative deviation. *)
+val print_comparison : comparison list -> unit
+
+val ms : float -> string
+val count : int -> string

@@ -1,0 +1,181 @@
+(* Tests for the §2.1 centralized name-server baseline, and the
+   comparison behaviours E6 measures: extra messages per lookup, the
+   consistency failure window, and the availability choke point. *)
+
+module K = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Scenario = Vworkload.Scenario
+module Runtime = Vruntime.Runtime
+module File_server = Vservices.File_server
+module Name_server = Vbaseline.Name_server
+open Vnaming
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %a" what Vio.Verr.pp e
+
+let ns_addr = 210
+
+(* Scenario plus a centralized name server on its own host. *)
+let build_with_ns () =
+  let t = Scenario.build ~workstations:1 ~file_servers:2 () in
+  let ns_host = K.boot_host t.Scenario.domain ~name:"ns" ns_addr in
+  let ns = Name_server.start ns_host in
+  (t, ns)
+
+let run_client (t : Scenario.t) body =
+  let completed = ref false in
+  ignore
+    (Scenario.spawn_client t ~ws:0 (fun self env ->
+         body self env;
+         completed := true));
+  Scenario.run t;
+  Alcotest.(check bool) "client completed" true !completed
+
+let test_register_lookup_open () =
+  let t, ns = build_with_ns () in
+  run_client t (fun self env ->
+      ok_exn "write" (Runtime.write_file env "[fs0]tmp/base.txt" (Bytes.of_string "payload"));
+      let fs0 = Scenario.file_server t 0 in
+      let low_id = Option.get (File_server.low_id_of_path fs0 "/tmp/base.txt") in
+      ok_exn "register"
+        (Name_server.register self ~ns:(Name_server.pid ns) ~name:"tmp/base.txt"
+           { Name_server.object_server = File_server.pid fs0; low_id });
+      let binding =
+        ok_exn "lookup"
+          (Name_server.lookup self ~ns:(Name_server.pid ns) ~name:"tmp/base.txt")
+      in
+      Alcotest.(check int) "low id round-trips" low_id binding.Name_server.low_id;
+      let instance =
+        ok_exn "open via ns"
+          (Name_server.open_via_ns self ~ns:(Name_server.pid ns)
+             ~name:"tmp/base.txt" ~mode:Vmsg.Read)
+      in
+      let data = ok_exn "read" (Vio.Client.read_all self instance) in
+      ok_exn "release" (Vio.Client.release self instance);
+      Alcotest.(check string) "content via low-level id" "payload"
+        (Bytes.to_string data))
+
+let test_duplicate_and_missing () =
+  let t, ns = build_with_ns () in
+  run_client t (fun self _env ->
+      let b = { Name_server.object_server = Name_server.pid ns; low_id = 1 } in
+      ok_exn "register" (Name_server.register self ~ns:(Name_server.pid ns) ~name:"n" b);
+      (match Name_server.register self ~ns:(Name_server.pid ns) ~name:"n" b with
+      | Error (Vio.Verr.Denied Reply.Duplicate_name) -> ()
+      | _ -> Alcotest.fail "duplicate registration must be rejected");
+      match Name_server.lookup self ~ns:(Name_server.pid ns) ~name:"missing" with
+      | Error (Vio.Verr.Denied Reply.Not_found) -> ()
+      | _ -> Alcotest.fail "missing name must not resolve")
+
+let test_extra_transactions_per_open () =
+  (* §2.2 Efficiency: the centralized model pays one extra transaction
+     (the name-server lookup) on every open. *)
+  let t, ns = build_with_ns () in
+  let centralized = ref 0 and distributed = ref 0 in
+  run_client t (fun self env ->
+      ok_exn "write" (Runtime.write_file env "[fs0]tmp/eff.txt" (Bytes.of_string "x"));
+      let fs0 = Scenario.file_server t 0 in
+      let low_id = Option.get (File_server.low_id_of_path fs0 "/tmp/eff.txt") in
+      ok_exn "register"
+        (Name_server.register self ~ns:(Name_server.pid ns) ~name:"tmp/eff.txt"
+           { Name_server.object_server = File_server.pid fs0; low_id });
+      let count f =
+        let before = K.ipc_transaction_count t.Scenario.domain in
+        f ();
+        K.ipc_transaction_count t.Scenario.domain - before
+      in
+      centralized :=
+        count (fun () ->
+            let i =
+              ok_exn "ns open"
+                (Name_server.open_via_ns self ~ns:(Name_server.pid ns)
+                   ~name:"tmp/eff.txt" ~mode:Vmsg.Read)
+            in
+            ok_exn "release" (Vio.Client.release self i));
+      distributed :=
+        count (fun () ->
+            let i = ok_exn "open" (Runtime.open_ env ~mode:Vmsg.Read "tmp/eff.txt") in
+            ok_exn "release" (Vio.Client.release self i)));
+  (* open+release: centralized = lookup + open + release = 3;
+     distributed = open + release = 2. *)
+  Alcotest.(check int) "centralized transactions" 3 !centralized;
+  Alcotest.(check int) "distributed transactions" 2 !distributed
+
+let test_stale_name_after_interrupted_delete () =
+  (* §2.2 Consistency: deleting a named object under the centralized
+     model is a two-server operation; interrupted halfway it leaves a
+     name for a dead object. *)
+  let t, ns = build_with_ns () in
+  run_client t (fun self env ->
+      ok_exn "write" (Runtime.write_file env "[fs0]tmp/doomed.txt" (Bytes.of_string "x"));
+      let fs0 = Scenario.file_server t 0 in
+      let low_id = Option.get (File_server.low_id_of_path fs0 "/tmp/doomed.txt") in
+      ok_exn "register"
+        (Name_server.register self ~ns:(Name_server.pid ns) ~name:"tmp/doomed.txt"
+           { Name_server.object_server = File_server.pid fs0; low_id });
+      (match
+         Name_server.delete_via_ns self ~ns:(Name_server.pid ns)
+           ~name:"tmp/doomed.txt" ~object_env:env ~object_name:"[fs0]tmp/doomed.txt"
+           ~crash_between:true ()
+       with
+      | Ok `Interrupted_stale_name_left -> ()
+      | _ -> Alcotest.fail "expected interrupted delete");
+      (* The name still resolves... *)
+      let binding =
+        ok_exn "stale lookup"
+          (Name_server.lookup self ~ns:(Name_server.pid ns) ~name:"tmp/doomed.txt")
+      in
+      ignore binding;
+      (* ...but the object is gone. *)
+      (match
+         Name_server.open_via_ns self ~ns:(Name_server.pid ns)
+           ~name:"tmp/doomed.txt" ~mode:Vmsg.Read
+       with
+      | Error (Vio.Verr.Denied Reply.Not_found) -> ()
+      | Ok _ -> Alcotest.fail "stale binding opened a dead object"
+      | Error e -> Alcotest.failf "unexpected error: %a" Vio.Verr.pp e);
+      (* The distributed model has no such window: name and object died
+         together. *)
+      match Runtime.query env "[fs0]tmp/doomed.txt" with
+      | Error (Vio.Verr.Denied Reply.Not_found) -> ()
+      | _ -> Alcotest.fail "distributed name must be gone with the object")
+
+let test_name_server_down_blocks_naming () =
+  (* §2.2 Reliability: with the name server down, objects on healthy
+     servers become unnameable under the centralized model, while
+     the distributed model keeps working. *)
+  let t, ns = build_with_ns () in
+  run_client t (fun self env ->
+      ok_exn "write" (Runtime.write_file env "[fs0]tmp/alive.txt" (Bytes.of_string "x"));
+      let fs0 = Scenario.file_server t 0 in
+      let low_id = Option.get (File_server.low_id_of_path fs0 "/tmp/alive.txt") in
+      ok_exn "register"
+        (Name_server.register self ~ns:(Name_server.pid ns) ~name:"tmp/alive.txt"
+           { Name_server.object_server = File_server.pid fs0; low_id });
+      K.crash_host (Option.get (K.host_of_addr t.Scenario.domain ns_addr));
+      (match
+         Name_server.open_via_ns self ~ns:(Name_server.pid ns)
+           ~name:"tmp/alive.txt" ~mode:Vmsg.Read
+       with
+      | Error (Vio.Verr.Ipc _) -> ()
+      | Ok _ -> Alcotest.fail "centralized open must fail with the NS down"
+      | Error e -> Alcotest.failf "unexpected error: %a" Vio.Verr.pp e);
+      (* Distributed interpretation does not involve the name server. *)
+      let back = ok_exn "distributed read" (Runtime.read_file env "[fs0]tmp/alive.txt") in
+      Alcotest.(check string) "still readable" "x" (Bytes.to_string back))
+
+let suite =
+  [
+    ( "baseline.ns",
+      [
+        Alcotest.test_case "register/lookup/open" `Quick test_register_lookup_open;
+        Alcotest.test_case "duplicate and missing" `Quick test_duplicate_and_missing;
+        Alcotest.test_case "extra transactions (§2.2)" `Quick
+          test_extra_transactions_per_open;
+        Alcotest.test_case "stale name window (§2.2)" `Quick
+          test_stale_name_after_interrupted_delete;
+        Alcotest.test_case "NS down blocks naming (§2.2)" `Quick
+          test_name_server_down_blocks_naming;
+      ] );
+  ]

@@ -1,0 +1,37 @@
+(* Soak test: the composite multi-user day workload runs clean and
+   deterministically. *)
+
+module Day = Vworkload.Day
+
+let run_short () = Day.run ~users:2 ~duration_ms:10_000.0 ~seed:5 ()
+
+let test_soak_clean () =
+  let totals, _ = run_short () in
+  Alcotest.(check int) "no failed operations" 0 totals.Day.failures;
+  let ops =
+    totals.Day.edits + totals.Day.reads + totals.Day.lists + totals.Day.loads
+    + totals.Day.prints + totals.Day.mails + totals.Day.terminal_lines
+  in
+  Alcotest.(check bool) (Fmt.str "substantial activity (%d ops)" ops) true
+    (ops > 50);
+  Alcotest.(check int) "every operation timed" ops
+    (Vsim.Stats.Series.count totals.Day.latency)
+
+let test_soak_deterministic () =
+  let summary (t : Day.totals) =
+    ( t.Day.edits, t.Day.reads, t.Day.lists, t.Day.loads, t.Day.prints,
+      t.Day.mails, t.Day.terminal_lines,
+      Vsim.Stats.Series.sum t.Day.latency )
+  in
+  let a, _ = run_short () in
+  let b, _ = run_short () in
+  Alcotest.(check bool) "identical replay" true (summary a = summary b)
+
+let suite =
+  [
+    ( "day",
+      [
+        Alcotest.test_case "soak runs clean" `Quick test_soak_clean;
+        Alcotest.test_case "soak is deterministic" `Quick test_soak_deterministic;
+      ] );
+  ]

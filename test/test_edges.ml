@@ -1,0 +1,209 @@
+(* Edge cases and documented limits across the stack. *)
+
+module K = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Scenario = Vworkload.Scenario
+module Runtime = Vruntime.Runtime
+module File_server = Vservices.File_server
+open Vnaming
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %a" what Vio.Verr.pp e
+
+let run_client ?build body =
+  let t = match build with Some b -> b () | None -> Scenario.build () in
+  let completed = ref false in
+  ignore
+    (Scenario.spawn_client t ~ws:0 (fun self env ->
+         body t self env;
+         completed := true));
+  Scenario.run t;
+  Alcotest.(check bool) "client completed" true !completed;
+  t
+
+(* --- kernel edges --- *)
+
+let test_send_to_self_deadlocks () =
+  (* A process that Sends to itself can never Receive: the transaction
+     never completes (V semantics; the engine simply quiesces). *)
+  let eng = Vsim.Engine.create () in
+  let net = Vnet.Ethernet.create ~config:Vnet.Calibration.ethernet_3mbit eng in
+  let domain =
+    K.create_domain
+      ~cost:{ K.payload_bytes = String.length; K.segment_bytes = (fun _ -> 0) }
+      eng net
+  in
+  let h = K.boot_host domain ~name:"ws" 1 in
+  let completed = ref false in
+  ignore
+    (K.spawn h (fun self ->
+         ignore (K.send self (K.self_pid self) "hello me");
+         completed := true));
+  Vsim.Engine.run ~until:10_000.0 eng;
+  Alcotest.(check bool) "self-send never completes" false !completed
+
+let test_reply_twice () =
+  let eng = Vsim.Engine.create () in
+  let net = Vnet.Ethernet.create ~config:Vnet.Calibration.ethernet_3mbit eng in
+  let domain =
+    K.create_domain
+      ~cost:{ K.payload_bytes = String.length; K.segment_bytes = (fun _ -> 0) }
+      eng net
+  in
+  let h = K.boot_host domain ~name:"ws" 1 in
+  let second = ref (Ok ()) in
+  let server =
+    K.spawn h (fun self ->
+        let msg, sender = K.receive self in
+        ignore (K.reply self ~to_:sender msg);
+        second := K.reply self ~to_:sender "again")
+  in
+  ignore (K.spawn h (fun self -> ignore (K.send self server "x")));
+  Vsim.Engine.run eng;
+  Alcotest.(check bool) "second reply refused" true
+    (Error K.Not_awaiting_reply = !second)
+
+let test_move_zero_bytes () =
+  let eng = Vsim.Engine.create () in
+  let net = Vnet.Ethernet.create ~config:Vnet.Calibration.ethernet_3mbit eng in
+  let domain =
+    K.create_domain
+      ~cost:{ K.payload_bytes = String.length; K.segment_bytes = (fun _ -> 0) }
+      eng net
+  in
+  let h1 = K.boot_host domain ~name:"a" 1 in
+  let h2 = K.boot_host domain ~name:"b" 2 in
+  let got = ref None in
+  let server =
+    K.spawn h2 (fun self ->
+        let _msg, sender = K.receive self in
+        (match K.move_from self ~sender ~len:0 with
+        | Ok data -> got := Some (Bytes.length data)
+        | Error e -> Alcotest.failf "zero-length move: %a" K.pp_error e);
+        ignore (K.reply self ~to_:sender "done"))
+  in
+  ignore
+    (K.spawn h1 (fun self ->
+         ignore (K.send self ~buffer:(Bytes.create 4) server "go")));
+  Vsim.Engine.run eng;
+  Alcotest.(check (option int)) "empty move delivered" (Some 0) !got
+
+(* --- descriptor boundary --- *)
+
+let test_descriptor_instance_sentinel () =
+  (* Instance id 0xffff is the on-wire "no instance" sentinel: a
+     documented boundary of the record format. *)
+  let d =
+    Descriptor.make ~obj_type:Descriptor.File ~instance:65535 "edge"
+  in
+  let decoded, _ = Descriptor.of_bytes (Descriptor.to_bytes d) 0 in
+  Alcotest.(check bool) "0xffff decodes as no-instance" true
+    (decoded.Descriptor.instance = None)
+
+(* --- naming/runtime edges --- *)
+
+let test_rename_onto_existing () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "w1" (Runtime.write_file env "[fs0]tmp/a.txt" (Bytes.of_string "a"));
+         ok_exn "w2" (Runtime.write_file env "[fs0]tmp/b.txt" (Bytes.of_string "b"));
+         (match Runtime.rename env "[fs0]tmp/a.txt" ~new_name:"b.txt" with
+         | Error (Vio.Verr.Denied Reply.Duplicate_name) -> ()
+         | _ -> Alcotest.fail "rename onto existing must fail");
+         (* Nothing was lost. *)
+         Alcotest.(check string) "a intact" "a"
+           (Bytes.to_string (ok_exn "ra" (Runtime.read_file env "[fs0]tmp/a.txt")));
+         Alcotest.(check string) "b intact" "b"
+           (Bytes.to_string (ok_exn "rb" (Runtime.read_file env "[fs0]tmp/b.txt")))))
+
+let test_create_duplicate_directory () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "mk" (Runtime.create env ~directory:true "[fs0]tmp/d");
+         match Runtime.create env ~directory:true "[fs0]tmp/d" with
+         | Error (Vio.Verr.Denied Reply.Duplicate_name) -> ()
+         | _ -> Alcotest.fail "duplicate mkdir must fail"))
+
+let test_remove_nonempty_directory () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "mk" (Runtime.create env ~directory:true "[fs0]tmp/full");
+         ok_exn "w" (Runtime.write_file env "[fs0]tmp/full/x" (Bytes.of_string "x"));
+         match Runtime.remove env "[fs0]tmp/full" with
+         | Error (Vio.Verr.Denied Reply.No_permission) -> ()
+         | _ -> Alcotest.fail "non-empty directory removal must fail"))
+
+let test_per_user_prefix_isolation () =
+  (* Prefix servers are per user: a binding added on one workstation is
+     invisible on another (§6: "the top-level context prefixes can be
+     user-specified and different for each user"). *)
+  let t = Scenario.build ~workstations:2 ~file_servers:2 () in
+  let ws0_done = ref false and ws1_result = ref (Ok Bytes.empty) in
+  ignore
+    (Scenario.spawn_client t ~ws:0 (fun _self env ->
+         let target =
+           File_server.spec (Scenario.file_server t 1)
+             ~context:Context.Well_known.default
+         in
+         ok_exn "bind on ws0" (Runtime.add_prefix env "mine" (`Static target));
+         ok_exn "write" (Runtime.write_file env "[mine]tmp/w0.txt" (Bytes.of_string "0"));
+         ws0_done := true));
+  ignore
+    (Scenario.spawn_client t ~ws:1 (fun _self env ->
+         Vsim.Proc.delay (Runtime.engine env) 100.0;
+         ws1_result := Runtime.read_file env "[mine]tmp/w0.txt"));
+  Scenario.run t;
+  Alcotest.(check bool) "ws0 worked" true !ws0_done;
+  Alcotest.(check bool) "ws1 does not see ws0's binding" true
+    (match !ws1_result with
+    | Error (Vio.Verr.Denied Reply.Not_found) -> true
+    | _ -> false)
+
+let test_mail_remove_and_requery () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "deliver" (Runtime.append_file env "[mail]x@y" (Bytes.of_string "m"));
+         ok_exn "remove" (Runtime.remove env "[mail]x@y");
+         match Runtime.query env "[mail]x@y" with
+         | Error (Vio.Verr.Denied Reply.Not_found) -> ()
+         | _ -> Alcotest.fail "removed mailbox still named"))
+
+let test_printer_job_readback () =
+  (* A spooled job's content can be read back through the same
+     instance while it is being written. *)
+  ignore
+    (run_client (fun _t self env ->
+         let w = ok_exn "spool" (Runtime.open_ env ~mode:Vmsg.Write "[printer]rb.ps") in
+         ignore (ok_exn "write" (Vio.Client.write_block self w ~block:0 (Bytes.of_string "PS!")));
+         let back = ok_exn "read" (Vio.Client.read_block self w ~block:0) in
+         Alcotest.(check string) "spool content readable" "PS!"
+           (Bytes.to_string back);
+         ok_exn "release (submits)" (Vio.Client.release self w)))
+
+let suite =
+  [
+    ( "edges.kernel",
+      [
+        Alcotest.test_case "self-send deadlocks" `Quick test_send_to_self_deadlocks;
+        Alcotest.test_case "reply twice" `Quick test_reply_twice;
+        Alcotest.test_case "zero-byte move" `Quick test_move_zero_bytes;
+      ] );
+    ( "edges.descriptor",
+      [
+        Alcotest.test_case "instance sentinel" `Quick
+          test_descriptor_instance_sentinel;
+      ] );
+    ( "edges.naming",
+      [
+        Alcotest.test_case "rename onto existing" `Quick test_rename_onto_existing;
+        Alcotest.test_case "duplicate mkdir" `Quick test_create_duplicate_directory;
+        Alcotest.test_case "remove non-empty dir" `Quick
+          test_remove_nonempty_directory;
+        Alcotest.test_case "per-user prefix isolation" `Quick
+          test_per_user_prefix_isolation;
+        Alcotest.test_case "mail remove" `Quick test_mail_remove_and_requery;
+        Alcotest.test_case "printer spool readback" `Quick
+          test_printer_job_readback;
+      ] );
+  ]

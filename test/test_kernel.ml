@@ -1,0 +1,923 @@
+(* Tests for the distributed V kernel: pid structure, message
+   transactions and their calibrated timings, Forward, MoveTo/MoveFrom,
+   SetPid/GetPid, process groups, and crash/restart behaviour. *)
+
+module K = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Service = Vkernel.Service
+module E = Vnet.Ethernet
+module C = Vnet.Calibration
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Messages are strings; payload bytes beyond the 32-byte message equal
+   the string length, none of it treated as a copied segment. *)
+let cost = { K.payload_bytes = String.length; K.segment_bytes = (fun _ -> 0) }
+
+type rig = {
+  eng : Vsim.Engine.t;
+  net : string K.packet E.t;
+  domain : string K.domain;
+}
+
+let make_rig ?(config = C.ethernet_3mbit) () =
+  let eng = Vsim.Engine.create () in
+  let net = E.create ~config eng in
+  let domain = K.create_domain ~cost eng net in
+  { eng; net; domain }
+
+(* An echo server that replies [prefix ^ msg] forever. *)
+let echo_server ?(prefix = "") host =
+  K.spawn host ~name:"echo" (fun self ->
+      let rec loop () =
+        let msg, sender = K.receive self in
+        (match K.reply self ~to_:sender (prefix ^ msg) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "echo reply failed: %a" K.pp_error e);
+        loop ()
+      in
+      loop ())
+
+(* --- Pid --- *)
+
+let test_pid_fields () =
+  let pid = Pid.make ~logical_host:300 ~local_pid:77 in
+  Alcotest.(check int) "logical host" 300 (Pid.logical_host pid);
+  Alcotest.(check int) "local pid" 77 (Pid.local_pid pid);
+  Alcotest.(check string) "printed" "300.77" (Pid.to_string pid)
+
+let test_pid_invalid () =
+  Alcotest.check_raises "zero logical host" (Pid.Invalid_field "logical_host")
+    (fun () -> ignore (Pid.make ~logical_host:0 ~local_pid:1));
+  Alcotest.check_raises "oversized local pid" (Pid.Invalid_field "local_pid")
+    (fun () -> ignore (Pid.make ~logical_host:1 ~local_pid:70000))
+
+let prop_pid_roundtrip =
+  QCheck.Test.make ~name:"pid subfields round-trip through 32-bit encoding"
+    ~count:500
+    QCheck.(pair (int_range 1 65535) (int_range 1 65535))
+    (fun (lh, lp) ->
+      let pid = Pid.make ~logical_host:lh ~local_pid:lp in
+      let pid' = Pid.of_int (Pid.to_int pid) in
+      Pid.logical_host pid' = lh && Pid.local_pid pid' = lp)
+
+(* --- message transactions --- *)
+
+let test_local_srr () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let server = echo_server ~prefix:"re:" h in
+  let elapsed = ref nan and got = ref "" in
+  ignore
+    (K.spawn h ~name:"client" (fun self ->
+         let t0 = Vsim.Engine.now rig.eng in
+         (match K.send self server "" with
+         | Ok (reply, _) -> got := reply
+         | Error e -> Alcotest.failf "send failed: %a" K.pp_error e);
+         elapsed := Vsim.Engine.now rig.eng -. t0));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "reply content" "re:" !got;
+  (* Paper (SOSP'83): local message transaction = 0.77 ms. *)
+  check_float "local SRR = 0.77 ms" 0.77 !elapsed
+
+let test_remote_srr_32b () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws1" 1 in
+  let h2 = K.boot_host rig.domain ~name:"ws2" 2 in
+  let server = echo_server h2 in
+  let elapsed = ref nan in
+  ignore
+    (K.spawn h1 ~name:"client" (fun self ->
+         let t0 = Vsim.Engine.now rig.eng in
+         (match K.send self server "" with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "send failed: %a" K.pp_error e);
+         elapsed := Vsim.Engine.now rig.eng -. t0));
+  Vsim.Engine.run rig.eng;
+  (* Paper §3.1: 2.56 ms for 32-byte messages on 3 Mbit Ethernet. *)
+  check_float "remote SRR = 2.56 ms" 2.56 !elapsed
+
+let test_remote_payload_integrity () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws1" 1 in
+  let h2 = K.boot_host rig.domain ~name:"ws2" 2 in
+  let server = echo_server ~prefix:"srv-" h2 in
+  let got = ref "" in
+  ignore
+    (K.spawn h1 (fun self ->
+         match K.send self server "payload" with
+         | Ok (reply, _) -> got := reply
+         | Error e -> Alcotest.failf "send failed: %a" K.pp_error e));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "payload round-trip" "srv-payload" !got
+
+let test_send_to_nonexistent () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let bogus = Pid.make ~logical_host:77 ~local_pid:42 in
+  let result = ref (Ok ("", Pid.make ~logical_host:1 ~local_pid:1)) in
+  ignore (K.spawn h (fun self -> result := K.send self bogus "hi"));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "nonexistent process error"
+    (Error K.Nonexistent_process = !result)
+    true
+
+let test_send_to_dying_process_nacks () =
+  (* Target dies while the request is in flight: sender gets an error
+     back from the remote kernel, not a hang. *)
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws1" 1 in
+  let h2 = K.boot_host rig.domain ~name:"ws2" 2 in
+  let target =
+    K.spawn h2 ~name:"shortlived" (fun self ->
+        ignore (K.self_pid self);
+        Vsim.Proc.delay rig.eng 0.3)
+  in
+  let result = ref (Ok ("", Pid.make ~logical_host:1 ~local_pid:1)) in
+  ignore
+    (K.spawn h1 (fun self ->
+         Vsim.Proc.delay rig.eng 0.2;
+         (* dispatched before death, arrives after *)
+         result := K.send self target "hi"));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "nacked" (Error K.Nonexistent_process = !result) true
+
+let test_reply_without_receive () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let other = K.spawn h (fun _ -> ()) in
+  let result = ref (Ok ()) in
+  ignore (K.spawn h (fun self -> result := K.reply self ~to_:other "hi"));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "not awaiting reply" (Error K.Not_awaiting_reply = !result)
+    true
+
+let test_receive_where () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let log = ref [] in
+  let server =
+    K.spawn h ~name:"selective" (fun self ->
+        (* Wait specifically for the second client's message first. *)
+        let msg1, s1 = K.receive_where self ~from:(fun _ -> true) in
+        ignore (K.reply self ~to_:s1 msg1);
+        let msg2, s2 = K.receive self in
+        ignore (K.reply self ~to_:s2 msg2))
+  in
+  ignore
+    (K.spawn h ~name:"c1" (fun self ->
+         match K.send self server "first" with
+         | Ok (r, _) -> log := r :: !log
+         | Error _ -> ()));
+  ignore
+    (K.spawn h ~name:"c2" (fun self ->
+         Vsim.Proc.delay rig.eng 1.0;
+         match K.send self server "second" with
+         | Ok (r, _) -> log := r :: !log
+         | Error _ -> ()));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check (list string)) "both served" [ "second"; "first" ] !log
+
+(* --- Forward --- *)
+
+let test_forward_local_chain () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let final = echo_server ~prefix:"final-" h in
+  let middle =
+    K.spawn h ~name:"middle" (fun self ->
+        let msg, sender = K.receive self in
+        match K.forward self ~from_:sender ~to_:final (msg ^ "+fwd") with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "forward failed: %a" K.pp_error e)
+  in
+  let got = ref "" in
+  ignore
+    (K.spawn h ~name:"client" (fun self ->
+         match K.send self middle "msg" with
+         | Ok (reply, _) -> got := reply
+         | Error e -> Alcotest.failf "send failed: %a" K.pp_error e));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "reply comes from final server" "final-msg+fwd" !got
+
+let test_forward_remote_reply_is_direct () =
+  (* A on host1 sends to B on host2; B forwards to C on host3; C replies
+     directly to A. The forwarding host must not see more frames after
+     its forward: 3 message-bearing frames total (A->B, B->C, C->A). *)
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"h1" 1 in
+  let h2 = K.boot_host rig.domain ~name:"h2" 2 in
+  let h3 = K.boot_host rig.domain ~name:"h3" 3 in
+  let c = echo_server ~prefix:"c-" h3 in
+  let b =
+    K.spawn h2 ~name:"b" (fun self ->
+        let msg, sender = K.receive self in
+        ignore (K.forward self ~from_:sender ~to_:c msg))
+  in
+  let got = ref "" in
+  ignore
+    (K.spawn h1 ~name:"a" (fun self ->
+         match K.send self b "x" with
+         | Ok (reply, replier) ->
+             got := reply;
+             Alcotest.(check bool) "replier is C, not B" true (replier = c)
+         | Error e -> Alcotest.failf "send failed: %a" K.pp_error e));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "reply from C via forward" "c-x" !got;
+  Alcotest.(check int) "exactly 3 frames on the wire" 3
+    (E.counters rig.net).E.frames_sent
+
+let test_forward_consumes_serving () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let final = echo_server h in
+  let result = ref (Ok ()) in
+  let middle =
+    K.spawn h ~name:"middle" (fun self ->
+        let msg, sender = K.receive self in
+        ignore (K.forward self ~from_:sender ~to_:final msg);
+        (* Second reply attempt to the same sender must fail. *)
+        result := K.reply self ~to_:sender "again")
+  in
+  ignore (K.spawn h (fun self -> ignore (K.send self middle "x")));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "serving slot consumed" (Error K.Not_awaiting_reply = !result)
+    true
+
+(* --- MoveTo / MoveFrom --- *)
+
+let test_move_from_local () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let got = ref Bytes.empty in
+  let server =
+    K.spawn h ~name:"reader" (fun self ->
+        let _msg, sender = K.receive self in
+        (match K.move_from self ~sender ~len:5 with
+        | Ok data -> got := data
+        | Error e -> Alcotest.failf "move_from failed: %a" K.pp_error e);
+        ignore (K.reply self ~to_:sender "done"))
+  in
+  ignore
+    (K.spawn h (fun self ->
+         ignore (K.send self ~buffer:(Bytes.of_string "hello world") server "read")));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "local move_from" "hello" (Bytes.to_string !got)
+
+let test_move_from_remote () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws1" 1 in
+  let h2 = K.boot_host rig.domain ~name:"ws2" 2 in
+  let payload = String.init 2000 (fun i -> Char.chr (i mod 256)) in
+  let got = ref Bytes.empty in
+  let server =
+    K.spawn h2 ~name:"reader" (fun self ->
+        let _msg, sender = K.receive self in
+        (match K.move_from self ~sender ~len:2000 with
+        | Ok data -> got := data
+        | Error e -> Alcotest.failf "move_from failed: %a" K.pp_error e);
+        ignore (K.reply self ~to_:sender "done"))
+  in
+  ignore
+    (K.spawn h1 (fun self ->
+         ignore (K.send self ~buffer:(Bytes.of_string payload) server "read")));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "remote move_from data intact" payload
+    (Bytes.to_string !got)
+
+let test_move_to_remote () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws1" 1 in
+  let h2 = K.boot_host rig.domain ~name:"ws2" 2 in
+  let payload = String.init 1500 (fun i -> Char.chr ((i * 7) mod 256)) in
+  let buffer = Bytes.create 1500 in
+  let server =
+    K.spawn h2 ~name:"writer" (fun self ->
+        let _msg, sender = K.receive self in
+        (match K.move_to self ~sender (Bytes.of_string payload) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "move_to failed: %a" K.pp_error e);
+        ignore (K.reply self ~to_:sender "done"))
+  in
+  let finished = ref false in
+  ignore
+    (K.spawn h1 (fun self ->
+         (match K.send self ~buffer server "write" with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "send failed: %a" K.pp_error e);
+         finished := true));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "transaction completed" true !finished;
+  Alcotest.(check string) "remote move_to wrote the buffer" payload
+    (Bytes.to_string buffer)
+
+let test_move_to_64k_timing () =
+  (* Paper §3.1: loading a 64 KB program via MoveTo takes 338 ms on
+     3 Mbit Ethernet (host-limited). The model should land within a few
+     per cent. *)
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let buffer = Bytes.create 65536 in
+  let elapsed = ref nan in
+  let server =
+    K.spawn h2 ~name:"loader" (fun self ->
+        let _msg, sender = K.receive self in
+        let t0 = Vsim.Engine.now rig.eng in
+        (match K.move_to self ~sender (Bytes.create 65536) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "move_to failed: %a" K.pp_error e);
+        elapsed := Vsim.Engine.now rig.eng -. t0;
+        ignore (K.reply self ~to_:sender "loaded"))
+  in
+  ignore (K.spawn h1 (fun self -> ignore (K.send self ~buffer server "load")));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool)
+    (Fmt.str "64KB MoveTo took %.1f ms (paper: 338)" !elapsed)
+    true
+    (!elapsed > 325.0 && !elapsed < 355.0)
+
+let test_move_bad_buffer () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let result = ref (Ok Bytes.empty) in
+  let server =
+    K.spawn h (fun self ->
+        let _msg, sender = K.receive self in
+        result := K.move_from self ~sender ~len:100;
+        ignore (K.reply self ~to_:sender "done"))
+  in
+  ignore
+    (K.spawn h (fun self ->
+         ignore (K.send self ~buffer:(Bytes.create 10) server "read")));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "overrun rejected" (Error K.Bad_buffer = !result) true
+
+(* --- service naming --- *)
+
+let test_getpid_local () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let server = echo_server h in
+  K.set_pid h ~service:Service.Id.time server Service.Local;
+  let found = ref None in
+  ignore
+    (K.spawn h (fun self -> found := K.get_pid self ~service:Service.Id.time Service.Local));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "found local registration" true (!found = Some server)
+
+let test_getpid_broadcast () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let server = echo_server h2 in
+  K.set_pid h2 ~service:Service.Id.storage server Service.Both;
+  let found = ref None in
+  ignore
+    (K.spawn h1 (fun self ->
+         found := K.get_pid self ~service:Service.Id.storage Service.Both));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "found via broadcast" true (!found = Some server)
+
+let test_getpid_local_scope_invisible_remotely () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let server = echo_server h2 in
+  K.set_pid h2 ~service:Service.Id.storage server Service.Local;
+  let found = ref (Some server) in
+  ignore
+    (K.spawn h1 (fun self ->
+         found := K.get_pid self ~service:Service.Id.storage Service.Both));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "local-scope server hidden from the network" true
+    (!found = None)
+
+let test_getpid_dead_server_not_returned () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let server = K.spawn h (fun _ -> ()) in
+  K.set_pid h ~service:Service.Id.time server Service.Local;
+  let found = ref (Some server) in
+  ignore
+    (K.spawn h (fun self ->
+         Vsim.Proc.delay rig.eng 1.0;
+         (* server has exited *)
+         found := K.get_pid self ~service:Service.Id.time Service.Local));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "stale registration filtered" true (!found = None)
+
+let test_getpid_unknown_times_out () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let _h2 = K.boot_host rig.domain ~name:"other" 2 in
+  let found = ref (Some (Pid.make ~logical_host:1 ~local_pid:1)) in
+  let finished_at = ref nan in
+  ignore
+    (K.spawn h1 (fun self ->
+         found := K.get_pid self ~service:999 Service.Both;
+         finished_at := Vsim.Engine.now rig.eng));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "no answer" true (!found = None);
+  Alcotest.(check bool) "gave up after the query timeout" true
+    (!finished_at >= C.getpid_timeout_ms)
+
+let test_local_and_remote_registrations_coexist () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let local_server = echo_server h1 in
+  let public_server = echo_server h2 in
+  (* §4.2: a machine may have a Local registration while a different,
+     public server serves the network. *)
+  K.set_pid h1 ~service:Service.Id.storage local_server Service.Local;
+  K.set_pid h2 ~service:Service.Id.storage public_server Service.Remote;
+  let local_found = ref None and h2_found = ref None in
+  ignore
+    (K.spawn h1 (fun self ->
+         local_found := K.get_pid self ~service:Service.Id.storage Service.Both));
+  ignore
+    (K.spawn h2 (fun self ->
+         (* h2's own registration is Remote-scope: not visible to a
+            local query, so the broadcast cannot answer from h2 either
+            (frames do not loop back); h1 has no remote registration. *)
+         h2_found := K.get_pid self ~service:Service.Id.storage Service.Local));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "workstation prefers its local server" true
+    (!local_found = Some local_server);
+  Alcotest.(check bool) "remote-scope not visible to local query" true
+    (!h2_found = None)
+
+(* --- groups --- *)
+
+let test_group_send_first_reply () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"h1" 1 in
+  let h2 = K.boot_host rig.domain ~name:"h2" 2 in
+  let h3 = K.boot_host rig.domain ~name:"h3" 3 in
+  let group = K.create_group rig.domain in
+  (* Member on h3 answers slowly; member on h2 answers fast. *)
+  let fast =
+    K.spawn h2 ~name:"fast" (fun self ->
+        let _msg, sender = K.receive self in
+        ignore (K.reply self ~to_:sender "fast"))
+  in
+  let slow =
+    K.spawn h3 ~name:"slow" (fun self ->
+        let _msg, sender = K.receive self in
+        Vsim.Proc.delay rig.eng 50.0;
+        ignore (K.reply self ~to_:sender "slow"))
+  in
+  K.join_group h2 ~group fast;
+  K.join_group h3 ~group slow;
+  let got = ref ("", fast) in
+  ignore
+    (K.spawn h1 (fun self ->
+         match K.send_group self ~group "query" with
+         | Ok (msg, replier) -> got := (msg, replier)
+         | Error e -> Alcotest.failf "group send failed: %a" K.pp_error e));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "first reply wins" "fast" (fst !got);
+  Alcotest.(check bool) "replier pid reported" true (snd !got = fast)
+
+let test_group_send_no_members () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"h1" 1 in
+  let _h2 = K.boot_host rig.domain ~name:"h2" 2 in
+  let group = K.create_group rig.domain in
+  let result = ref (Ok ("", Pid.make ~logical_host:1 ~local_pid:1)) in
+  ignore (K.spawn h1 (fun self -> result := K.send_group self ~group "query"));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "no members -> no reply" true (Error K.No_reply = !result)
+
+let test_group_local_member () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"h1" 1 in
+  let group = K.create_group rig.domain in
+  let member =
+    K.spawn h1 ~name:"member" (fun self ->
+        let msg, sender = K.receive self in
+        ignore (K.reply self ~to_:sender ("local:" ^ msg)))
+  in
+  K.join_group h1 ~group member;
+  let got = ref "" in
+  ignore
+    (K.spawn h1 (fun self ->
+         match K.send_group self ~group "q" with
+         | Ok (msg, _) -> got := msg
+         | Error e -> Alcotest.failf "group send failed: %a" K.pp_error e));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "same-host member reachable" "local:q" !got
+
+(* --- crash / restart --- *)
+
+let test_crash_unblocks_remote_sender () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let server =
+    K.spawn h2 ~name:"sink" (fun self ->
+        let _msg, _sender = K.receive self in
+        (* never replies *)
+        Vsim.Proc.delay rig.eng 10_000.0)
+  in
+  let result = ref (Ok ("", Pid.make ~logical_host:1 ~local_pid:1)) in
+  ignore (K.spawn h1 (fun self -> result := K.send self server "hi"));
+  Vsim.Engine.schedule ~delay:10.0 rig.eng (fun () ->
+      K.crash_host (Option.get (K.host_of_addr rig.domain 2)));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "sender times out after crash" true
+    (Error K.Timeout = !result)
+
+let test_crash_kills_blocked_processes () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let died = ref false in
+  ignore
+    (K.spawn h (fun self ->
+         match K.receive self with
+         | _ -> ()
+         | exception Vsim.Proc.Killed _ -> died := true));
+  Vsim.Engine.schedule ~delay:1.0 rig.eng (fun () -> K.crash_host h);
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "blocked process killed" true !died
+
+let test_restart_invalidates_old_pids () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let old_server = echo_server h2 in
+  let old_logical = K.host_logical h2 in
+  K.crash_host h2;
+  K.restart_host h2;
+  Alcotest.(check bool) "fresh logical host id" true
+    (K.host_logical h2 <> old_logical);
+  let new_server = echo_server ~prefix:"new-" h2 in
+  let stale = ref None and fresh = ref "" in
+  ignore
+    (K.spawn h1 (fun self ->
+         (match K.send self old_server "x" with
+         | Ok _ -> ()
+         | Error e -> stale := Some e);
+         match K.send self new_server "x" with
+         | Ok (reply, _) -> fresh := reply
+         | Error _ -> ()));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "stale pid dead" true (!stale = Some K.Nonexistent_process);
+  Alcotest.(check string) "new server reachable" "new-x" !fresh
+
+let test_restart_service_reregistration () =
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let server = echo_server h2 in
+  K.set_pid h2 ~service:Service.Id.storage server Service.Both;
+  K.crash_host h2;
+  K.restart_host h2;
+  (* Before re-registration the service is gone; after, it resolves to
+     the new pid — the behaviour logical prefix bindings rely on. *)
+  let before = ref (Some server) and after = ref None in
+  ignore
+    (K.spawn h1 (fun self ->
+         before := K.get_pid self ~service:Service.Id.storage Service.Both;
+         Vsim.Proc.delay rig.eng 100.0;
+         after := K.get_pid self ~service:Service.Id.storage Service.Both));
+  Vsim.Engine.schedule ~delay:50.0 rig.eng (fun () ->
+      let new_server = echo_server h2 in
+      K.set_pid h2 ~service:Service.Id.storage new_server Service.Both);
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "unresolvable while down" true (!before = None);
+  Alcotest.(check bool) "resolves to restarted server" true (!after <> None)
+
+let test_loss_retransmission () =
+  (* Under heavy frame loss, remote transactions still complete (the
+     kernel retransmits) and each request is executed exactly once
+     (duplicates are suppressed). *)
+  let rig = make_rig () in
+  E.set_loss_probability rig.net 0.3;
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let executions = ref 0 in
+  let server =
+    K.spawn h2 ~name:"counting" (fun self ->
+        let rec loop () =
+          let msg, sender = K.receive self in
+          incr executions;
+          ignore (K.reply self ~to_:sender ("ack:" ^ msg));
+          loop ()
+        in
+        loop ())
+  in
+  let completed = ref 0 and failed = ref 0 in
+  let n = 40 in
+  for i = 1 to n do
+    ignore
+      (K.spawn h1 (fun self ->
+           Vsim.Proc.delay rig.eng (float_of_int i);
+           match K.send self server (Fmt.str "req%d" i) with
+           | Ok (reply, _) ->
+               Alcotest.(check string) "reply matches request"
+                 (Fmt.str "ack:req%d" i) reply;
+               incr completed
+           | Error _ -> incr failed))
+  done;
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check int) "all transactions completed" n !completed;
+  Alcotest.(check int) "no failures" 0 !failed;
+  Alcotest.(check int) "each executed exactly once" n !executions
+
+let test_lossless_sends_no_retransmit_executions () =
+  (* Sanity: without loss the duplicate-suppression path never fires and
+     executions still match sends. *)
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let executions = ref 0 in
+  let server =
+    K.spawn h2 (fun self ->
+        let rec loop () =
+          let _msg, sender = K.receive self in
+          incr executions;
+          ignore (K.reply self ~to_:sender "ok");
+          loop ()
+        in
+        loop ())
+  in
+  for i = 1 to 10 do
+    ignore
+      (K.spawn h1 (fun self ->
+           Vsim.Proc.delay rig.eng (float_of_int i);
+           ignore (K.send self server "x")))
+  done;
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check int) "one execution per send" 10 !executions
+
+let test_partition_times_out () =
+  (* A partition (not a crash) makes the destination unreachable: the
+     probe machinery gives up instead of retransmitting forever. *)
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let server = echo_server h2 in
+  E.partition rig.net 1 2;
+  let result = ref (Ok ("", Pid.make ~logical_host:1 ~local_pid:1)) in
+  ignore (K.spawn h1 (fun self -> result := K.send self server "hi"));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "partitioned send times out" true
+    (Error K.Timeout = !result)
+
+let test_forward_group () =
+  (* B forwards A's transaction to a whole group; the first member to
+     reply completes it, directly to A. *)
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"h1" 1 in
+  let h2 = K.boot_host rig.domain ~name:"h2" 2 in
+  let h3 = K.boot_host rig.domain ~name:"h3" 3 in
+  let h4 = K.boot_host rig.domain ~name:"h4" 4 in
+  let group = K.create_group rig.domain in
+  let member host tag delay_ms =
+    let pid =
+      K.spawn host ~name:tag (fun self ->
+          let msg, sender = K.receive self in
+          Vsim.Proc.delay rig.eng delay_ms;
+          ignore (K.reply self ~to_:sender (tag ^ ":" ^ msg)))
+    in
+    K.join_group host ~group pid;
+    pid
+  in
+  let fast = member h3 "fast" 0.0 in
+  let _slow = member h4 "slow" 30.0 in
+  let middle =
+    K.spawn h2 ~name:"middle" (fun self ->
+        let msg, sender = K.receive self in
+        match K.forward_group self ~from_:sender ~group msg with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "forward_group: %a" K.pp_error e)
+  in
+  let got = ref ("", fast) in
+  ignore
+    (K.spawn h1 ~name:"client" (fun self ->
+         match K.send self middle "q" with
+         | Ok (reply, replier) -> got := (reply, replier)
+         | Error e -> Alcotest.failf "send: %a" K.pp_error e));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check string) "fastest member answered" "fast:q" (fst !got);
+  Alcotest.(check bool) "replier is the member, not the forwarder" true
+    (Pid.equal (snd !got) fast)
+
+(* Liveness/safety property: under random topologies, delays and loss,
+   every Send completes exactly once — with a reply or an error, never
+   both, never neither. *)
+let prop_every_send_completes =
+  QCheck.Test.make ~name:"every send completes exactly once" ~count:25
+    QCheck.(triple (int_range 1 1000000) (int_range 2 5) (int_range 0 25))
+    (fun (seed, n_hosts, loss_pct) ->
+      let rig = make_rig () in
+      E.set_loss_probability rig.net (float_of_int loss_pct /. 100.0);
+      let prng = Vsim.Prng.create ~seed in
+      let hosts =
+        List.init n_hosts (fun i ->
+            K.boot_host rig.domain ~name:(Fmt.str "h%d" i) (i + 1))
+      in
+      let servers =
+        List.map
+          (fun h ->
+            K.spawn h (fun self ->
+                let rec loop () =
+                  let msg, sender = K.receive self in
+                  if Vsim.Prng.bool prng then Vsim.Proc.delay rig.eng 3.0;
+                  ignore (K.reply self ~to_:sender msg);
+                  loop ()
+                in
+                loop ()))
+          hosts
+      in
+      let n_sends = 20 in
+      let completions = ref 0 in
+      for i = 1 to n_sends do
+        let client_host = Vsim.Prng.pick prng hosts in
+        let target = Vsim.Prng.pick prng servers in
+        ignore
+          (K.spawn client_host (fun self ->
+               Vsim.Proc.delay rig.eng (float_of_int (i * 3));
+               match K.send self target "m" with
+               | Ok _ | Error _ -> incr completions))
+      done;
+      Vsim.Engine.run rig.eng;
+      !completions = n_sends)
+
+let test_destroy_process () =
+  let rig = make_rig () in
+  let h = K.boot_host rig.domain ~name:"ws" 1 in
+  let victim_died = ref false in
+  let victim =
+    K.spawn h ~name:"victim" (fun self ->
+        match K.receive self with
+        | _ -> ()
+        | exception Vsim.Proc.Killed _ -> victim_died := true)
+  in
+  let send_result = ref (Ok ("", Pid.make ~logical_host:1 ~local_pid:1)) in
+  ignore
+    (K.spawn h (fun self ->
+         Vsim.Proc.delay rig.eng 1.0;
+         Alcotest.(check bool) "destroy returns true" true
+           (K.destroy_process rig.domain victim);
+         Alcotest.(check bool) "second destroy is false" false
+           (K.destroy_process rig.domain victim);
+         (* The pid is now invalid. *)
+         send_result := K.send self victim "hello"));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "victim unwound" true !victim_died;
+  Alcotest.(check bool) "dead pid rejected" true
+    (Error K.Nonexistent_process = !send_result)
+
+let test_destroy_unblocks_client () =
+  (* Destroying a server mid-transaction fails its blocked client
+     (probe timeout sees the process gone and nacks via retransmit). *)
+  let rig = make_rig () in
+  let h1 = K.boot_host rig.domain ~name:"ws" 1 in
+  let h2 = K.boot_host rig.domain ~name:"fs" 2 in
+  let server =
+    K.spawn h2 ~name:"sink" (fun self ->
+        let _ = K.receive self in
+        Vsim.Proc.delay rig.eng 10_000.0)
+  in
+  let result = ref (Ok ("", Pid.make ~logical_host:1 ~local_pid:1)) in
+  ignore (K.spawn h1 (fun self -> result := K.send self server "hi"));
+  Vsim.Engine.schedule ~delay:5.0 rig.eng (fun () ->
+      ignore (K.destroy_process rig.domain server));
+  Vsim.Engine.run rig.eng;
+  Alcotest.(check bool) "client unblocked with an error" true
+    (match !result with Error _ -> true | Ok _ -> false)
+
+let test_trace_timeline () =
+  (* The Figure-1 timeline: trace records appear in transaction order at
+     the calibrated instants. *)
+  let rig = make_rig () in
+  let trace = Vsim.Trace.create rig.eng in
+  K.set_trace rig.domain trace;
+  let h1 = K.boot_host rig.domain ~name:"a" 1 in
+  let h2 = K.boot_host rig.domain ~name:"b" 2 in
+  let server =
+    K.spawn h2 (fun self ->
+        let msg, sender = K.receive self in
+        ignore (K.reply self ~to_:sender msg))
+  in
+  ignore (K.spawn h1 (fun self -> ignore (K.send self server "")));
+  Vsim.Engine.run rig.eng;
+  let events =
+    List.map
+      (fun r ->
+        ( (match String.index_opt r.Vsim.Trace.message ' ' with
+          | Some i -> String.sub r.Vsim.Trace.message 0 i
+          | None -> r.Vsim.Trace.message),
+          r.Vsim.Trace.time ))
+      (Vsim.Trace.records trace)
+  in
+  let kind k = List.assoc_opt k events in
+  Alcotest.(check (option (float 1e-6))) "Send at t=0" (Some 0.0) (kind "Send");
+  Alcotest.(check (option (float 1e-6))) "Receive at 1.28" (Some 1.28)
+    (kind "Receive");
+  Alcotest.(check (option (float 1e-6))) "Reply right after" (Some 1.28)
+    (kind "Reply")
+
+let test_determinism () =
+  (* The same scenario run twice produces identical event counts and
+     final clocks. *)
+  let run_once () =
+    let rig = make_rig () in
+    let h1 = K.boot_host rig.domain ~name:"h1" 1 in
+    let h2 = K.boot_host rig.domain ~name:"h2" 2 in
+    let server = echo_server h2 in
+    for i = 1 to 5 do
+      ignore
+        (K.spawn h1 (fun self ->
+             Vsim.Proc.delay rig.eng (float_of_int i);
+             ignore (K.send self server (String.make i 'x'))))
+    done;
+    Vsim.Engine.run rig.eng;
+    (Vsim.Engine.executed rig.eng, Vsim.Engine.now rig.eng)
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "kernel.pid",
+      [
+        Alcotest.test_case "fields" `Quick test_pid_fields;
+        Alcotest.test_case "invalid" `Quick test_pid_invalid;
+        qcheck prop_pid_roundtrip;
+      ] );
+    ( "kernel.ipc",
+      [
+        Alcotest.test_case "local SRR timing" `Quick test_local_srr;
+        Alcotest.test_case "remote SRR timing (paper 2.56ms)" `Quick
+          test_remote_srr_32b;
+        Alcotest.test_case "payload integrity" `Quick test_remote_payload_integrity;
+        Alcotest.test_case "send to nonexistent" `Quick test_send_to_nonexistent;
+        Alcotest.test_case "nack for dying target" `Quick
+          test_send_to_dying_process_nacks;
+        Alcotest.test_case "reply without receive" `Quick test_reply_without_receive;
+        Alcotest.test_case "receive_where" `Quick test_receive_where;
+      ] );
+    ( "kernel.forward",
+      [
+        Alcotest.test_case "local chain" `Quick test_forward_local_chain;
+        Alcotest.test_case "remote reply is direct" `Quick
+          test_forward_remote_reply_is_direct;
+        Alcotest.test_case "consumes serving slot" `Quick
+          test_forward_consumes_serving;
+      ] );
+    ( "kernel.move",
+      [
+        Alcotest.test_case "move_from local" `Quick test_move_from_local;
+        Alcotest.test_case "move_from remote" `Quick test_move_from_remote;
+        Alcotest.test_case "move_to remote" `Quick test_move_to_remote;
+        Alcotest.test_case "64KB timing (paper 338ms)" `Quick test_move_to_64k_timing;
+        Alcotest.test_case "bad buffer" `Quick test_move_bad_buffer;
+      ] );
+    ( "kernel.service",
+      [
+        Alcotest.test_case "getpid local" `Quick test_getpid_local;
+        Alcotest.test_case "getpid broadcast" `Quick test_getpid_broadcast;
+        Alcotest.test_case "local scope invisible remotely" `Quick
+          test_getpid_local_scope_invisible_remotely;
+        Alcotest.test_case "dead server filtered" `Quick
+          test_getpid_dead_server_not_returned;
+        Alcotest.test_case "unknown service times out" `Quick
+          test_getpid_unknown_times_out;
+        Alcotest.test_case "local+remote coexist" `Quick
+          test_local_and_remote_registrations_coexist;
+      ] );
+    ( "kernel.group",
+      [
+        Alcotest.test_case "first reply wins" `Quick test_group_send_first_reply;
+        Alcotest.test_case "no members" `Quick test_group_send_no_members;
+        Alcotest.test_case "local member" `Quick test_group_local_member;
+        Alcotest.test_case "forward_group" `Quick test_forward_group;
+      ] );
+    ( "kernel.failure",
+      [
+        Alcotest.test_case "crash unblocks sender" `Quick
+          test_crash_unblocks_remote_sender;
+        Alcotest.test_case "crash kills blocked" `Quick
+          test_crash_kills_blocked_processes;
+        Alcotest.test_case "restart invalidates pids" `Quick
+          test_restart_invalidates_old_pids;
+        Alcotest.test_case "service re-registration" `Quick
+          test_restart_service_reregistration;
+        Alcotest.test_case "destroy process" `Quick test_destroy_process;
+        Alcotest.test_case "destroy unblocks client" `Quick
+          test_destroy_unblocks_client;
+        Alcotest.test_case "loss + retransmission" `Quick test_loss_retransmission;
+        Alcotest.test_case "no spurious duplicates" `Quick
+          test_lossless_sends_no_retransmit_executions;
+        Alcotest.test_case "partition times out" `Quick test_partition_times_out;
+        Alcotest.test_case "figure-1 timeline" `Quick test_trace_timeline;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        qcheck prop_every_send_completes;
+      ] );
+  ]

@@ -1,0 +1,416 @@
+(* Tests for the core naming library: CSname syntax, the standard
+   request fields, descriptors, and the pure name-mapping walk. *)
+
+open Vnaming
+module Pid = Vkernel.Pid
+module Instance_server = Vnaming.Instance_server
+
+(* --- Csname --- *)
+
+let test_components () =
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ] (Csname.components "a/b/c");
+  Alcotest.(check (list string)) "leading slash" [ "a"; "b" ] (Csname.components "/a/b");
+  Alcotest.(check (list string)) "repeated slashes" [ "a"; "b" ] (Csname.components "a//b/");
+  Alcotest.(check (list string)) "empty" [] (Csname.components "");
+  Alcotest.(check (list string)) "root" [] (Csname.components "/")
+
+let test_remaining () =
+  let r = Csname.make_req ~index:4 "abc/def" in
+  Alcotest.(check string) "remaining after index" "def" (Csname.remaining r);
+  let r = Csname.make_req "xyz" in
+  Alcotest.(check string) "remaining from zero" "xyz" (Csname.remaining r)
+
+let test_parse_prefix () =
+  let r = Csname.make_req "[home]doc/naming.mss" in
+  (match Csname.parse_prefix r with
+  | Ok (prefix, rest) ->
+      Alcotest.(check string) "prefix" "home" prefix;
+      Alcotest.(check string) "rest" "doc/naming.mss" (Csname.remaining rest)
+  | Error _ -> Alcotest.fail "expected parse");
+  (match Csname.parse_prefix (Csname.make_req "[broken") with
+  | Error Reply.Illegal_name -> ()
+  | _ -> Alcotest.fail "unterminated prefix must be illegal");
+  (match Csname.parse_prefix (Csname.make_req "[]x") with
+  | Error Reply.Illegal_name -> ()
+  | _ -> Alcotest.fail "empty prefix must be illegal");
+  match Csname.parse_prefix (Csname.make_req "noprefix") with
+  | Error Reply.Illegal_name -> ()
+  | _ -> Alcotest.fail "non-prefixed name must not parse"
+
+let test_advance_past () =
+  let r = Csname.make_req "a/bb/c" in
+  let r = Csname.advance_past r "a" in
+  Alcotest.(check string) "after a" "bb/c" (Csname.remaining r);
+  let r = Csname.advance_past r "bb" in
+  Alcotest.(check string) "after bb" "c" (Csname.remaining r);
+  let r = Csname.advance_past r "c" in
+  Alcotest.(check string) "consumed" "" (Csname.remaining r)
+
+let test_advance_mismatch () =
+  let r = Csname.make_req "a/b" in
+  Alcotest.check_raises "mismatch rejected"
+    (Invalid_argument "Csname.advance_past: component does not match name")
+    (fun () -> ignore (Csname.advance_past r "zz"))
+
+let prop_advance_consumes_all =
+  QCheck.Test.make ~name:"advancing past every component empties the name"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 6) (string_gen_of_size (Gen.int_range 1 8) Gen.printable))
+    (fun raw_components ->
+      let components =
+        List.map
+          (fun c ->
+            String.map
+              (fun ch -> if ch = '/' || ch = '[' || ch = '\000' then 'x' else ch)
+              c)
+          raw_components
+      in
+      let name = String.concat "/" components in
+      let final =
+        List.fold_left Csname.advance_past (Csname.make_req name) components
+      in
+      Csname.remaining final = "")
+
+let prop_components_roundtrip =
+  QCheck.Test.make ~name:"components/join round-trip for canonical names" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 6) (string_gen_of_size (Gen.int_range 1 8) (Gen.char_range 'a' 'z')))
+    (fun components ->
+      Csname.components (Csname.join components) = components)
+
+(* --- Reply codes --- *)
+
+let all_reply_codes =
+  [
+    Reply.Ok; Reply.Not_found; Reply.Illegal_name; Reply.Bad_context;
+    Reply.No_permission; Reply.Duplicate_name; Reply.Not_a_context;
+    Reply.No_server; Reply.Invalid_instance; Reply.End_of_file;
+    Reply.Bad_operation; Reply.No_space; Reply.Server_error; Reply.Retry;
+  ]
+
+let test_reply_roundtrip () =
+  List.iter
+    (fun code ->
+      match Reply.of_int (Reply.to_int code) with
+      | Some code' when code' = code -> ()
+      | _ -> Alcotest.failf "reply code %s does not round-trip" (Reply.to_string code))
+    all_reply_codes
+
+let test_reply_unknown () =
+  Alcotest.(check bool) "unknown code" true (Reply.of_int 999 = None)
+
+(* --- Descriptor marshalling --- *)
+
+let arbitrary_descriptor =
+  let open QCheck.Gen in
+  let name_gen = string_size ~gen:(char_range 'a' 'z') (int_range 1 20) in
+  let obj_gen =
+    oneofl
+      [
+        Descriptor.File; Descriptor.Directory; Descriptor.Context_pointer;
+        Descriptor.Prefix_binding; Descriptor.Process; Descriptor.Terminal;
+        Descriptor.Printer_job; Descriptor.Mailbox; Descriptor.Tcp_connection;
+        Descriptor.Device;
+      ]
+  in
+  let attr_gen = pair name_gen name_gen in
+  let gen =
+    obj_gen >>= fun obj_type ->
+    name_gen >>= fun name ->
+    int_range 0 100000 >>= fun size ->
+    name_gen >>= fun owner ->
+    float_range 0.0 100000.0 >>= fun created ->
+    float_range 0.0 100000.0 >>= fun modified ->
+    bool >>= fun writable ->
+    opt (int_range 0 65534) >>= fun instance ->
+    list_size (int_range 0 4) attr_gen >>= fun attrs ->
+    return
+      (Descriptor.make ~size ~owner ~created ~modified ~writable ?instance ~attrs
+         ~obj_type name)
+  in
+  QCheck.make gen
+
+(* Marshalled times are millisecond-quantized; compare accordingly. *)
+let descriptor_eq (a : Descriptor.t) (b : Descriptor.t) =
+  a.obj_type = b.obj_type && a.name = b.name && a.size = b.size
+  && a.owner = b.owner && a.writable = b.writable && a.instance = b.instance
+  && a.attrs = b.attrs
+  && Float.abs (a.created -. b.created) < 0.002
+  && Float.abs (a.modified -. b.modified) < 0.002
+
+let prop_descriptor_roundtrip =
+  QCheck.Test.make ~name:"descriptor marshalling round-trips" ~count:300
+    arbitrary_descriptor (fun d ->
+      let record, consumed = Descriptor.of_bytes (Descriptor.to_bytes d) 0 in
+      descriptor_eq d record && consumed = Bytes.length (Descriptor.to_bytes d))
+
+let prop_directory_roundtrip =
+  QCheck.Test.make ~name:"directory images decode to their records" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 10) arbitrary_descriptor)
+    (fun records ->
+      let image = Descriptor.directory_to_bytes records in
+      let decoded = Descriptor.all_of_bytes image in
+      List.length decoded = List.length records
+      && List.for_all2 descriptor_eq records decoded)
+
+let test_descriptor_malformed () =
+  match Descriptor.all_of_bytes (Bytes.of_string "\255\255garbage") with
+  | _ -> Alcotest.fail "garbage must not decode"
+  | exception Descriptor.Malformed _ -> ()
+
+let test_modification_limits () =
+  let current = Descriptor.make ~obj_type:Descriptor.File ~size:10 ~owner:"a" "f" in
+  let requested =
+    Descriptor.make ~obj_type:Descriptor.Directory ~size:9999 ~owner:"b"
+      ~writable:false "zzz"
+  in
+  let result = Descriptor.apply_modification ~current ~requested in
+  (* Only the modifiable fields change. *)
+  Alcotest.(check string) "owner changes" "b" result.Descriptor.owner;
+  Alcotest.(check bool) "writable changes" false result.Descriptor.writable;
+  Alcotest.(check int) "size kept" 10 result.Descriptor.size;
+  Alcotest.(check string) "name kept" "f" result.Descriptor.name;
+  Alcotest.(check bool) "type kept" true (result.Descriptor.obj_type = Descriptor.File)
+
+(* --- the walk (§5.4), on a synthetic two-level name space --- *)
+
+let remote_spec =
+  Context.spec ~server:(Pid.make ~logical_host:9 ~local_pid:9) ~context:5
+
+(* Contexts: 0 = root {a -> ctx 1, link -> remote, f stops};
+   1 = {b -> ctx 2}; 2 = leaves only. *)
+let lookup ctx component =
+  match (ctx, component) with
+  | 0, "a" -> Csnh.Descend 1
+  | 0, "link" -> Csnh.Cross remote_spec
+  | 1, "b" -> Csnh.Descend 2
+  | _ -> Csnh.Stop
+
+let valid_context ctx = ctx >= 0 && ctx <= 2
+
+let walk req = Csnh.walk ~valid_context ~lookup req
+
+let test_walk_to_leaf () =
+  match walk (Csname.make_req ~context:0 "a/b/file.txt") with
+  | Csnh.Local (ctx, remaining) ->
+      Alcotest.(check int) "final context" 2 ctx;
+      Alcotest.(check (list string)) "leaf remains" [ "file.txt" ] remaining
+  | _ -> Alcotest.fail "expected local resolution"
+
+let test_walk_to_context () =
+  match walk (Csname.make_req ~context:0 "a/b") with
+  | Csnh.Local (ctx, []) -> Alcotest.(check int) "context itself" 2 ctx
+  | _ -> Alcotest.fail "expected empty-remainder local resolution"
+
+let test_walk_empty_name () =
+  match walk (Csname.make_req ~context:1 "") with
+  | Csnh.Local (1, []) -> ()
+  | _ -> Alcotest.fail "empty name names the starting context"
+
+let test_walk_forwards () =
+  match walk (Csname.make_req ~context:0 "link/deep/path") with
+  | Csnh.Forward (spec, req) ->
+      Alcotest.(check bool) "target spec" true (Context.equal_spec spec remote_spec);
+      Alcotest.(check string) "uninterpreted part" "deep/path" (Csname.remaining req);
+      Alcotest.(check int) "context rewritten" 5 req.Csname.context
+  | _ -> Alcotest.fail "expected forward"
+
+let test_walk_forward_consumes_only_prefix () =
+  match walk (Csname.make_req ~context:0 "a/b/x/y") with
+  | Csnh.Local (2, remaining) ->
+      Alcotest.(check (list string)) "stops at first non-context" [ "x"; "y" ] remaining
+  | _ -> Alcotest.fail "expected local stop"
+
+let test_walk_bad_context () =
+  match walk (Csname.make_req ~context:42 "a") with
+  | Csnh.Fail Reply.Bad_context -> ()
+  | _ -> Alcotest.fail "invalid starting context must fail"
+
+let test_walk_rejects_prefix () =
+  match walk (Csname.make_req ~context:0 "[home]x") with
+  | Csnh.Fail Reply.Illegal_name -> ()
+  | _ -> Alcotest.fail "prefixed names reach only prefix servers"
+
+let test_walk_rejects_nul () =
+  match walk (Csname.make_req ~context:0 "a\000b") with
+  | Csnh.Fail Reply.Illegal_name -> ()
+  | _ -> Alcotest.fail "NUL bytes are illegal"
+
+(* --- Instance_server (read-only image instances) --- *)
+
+let test_instance_server_lifecycle () =
+  let t = Instance_server.create () in
+  let image = Bytes.init 1200 (fun i -> Char.chr (i mod 256)) in
+  let info =
+    Instance_server.open_image t ~now:1.0
+      ~describe:(fun () -> Descriptor.make ~obj_type:Descriptor.Directory "d")
+      image
+  in
+  Alcotest.(check int) "size" 1200 info.Vmsg.file_size;
+  Alcotest.(check int) "live instances" 1 (Instance_server.count t);
+  (* Block reads. *)
+  (match Instance_server.read t ~instance:info.Vmsg.instance ~block:0 with
+  | Ok b -> Alcotest.(check int) "full block" 512 (Bytes.length b)
+  | Error _ -> Alcotest.fail "read 0");
+  (match Instance_server.read t ~instance:info.Vmsg.instance ~block:2 with
+  | Ok b -> Alcotest.(check int) "tail block" (1200 - 1024) (Bytes.length b)
+  | Error _ -> Alcotest.fail "read 2");
+  (match Instance_server.read t ~instance:info.Vmsg.instance ~block:3 with
+  | Error Reply.End_of_file -> ()
+  | _ -> Alcotest.fail "EOF expected");
+  (match Instance_server.read t ~instance:99 ~block:0 with
+  | Error Reply.Invalid_instance -> ()
+  | _ -> Alcotest.fail "unknown instance");
+  Alcotest.(check bool) "release" true (Instance_server.release t info.Vmsg.instance);
+  Alcotest.(check bool) "double release" false
+    (Instance_server.release t info.Vmsg.instance);
+  Alcotest.(check int) "none live" 0 (Instance_server.count t)
+
+let test_instance_server_ids_not_reused () =
+  (* §4.3: servers maximize time before reusing instance identifiers. *)
+  let t = Instance_server.create () in
+  let open_one () =
+    (Instance_server.open_image t ~now:0.0
+       ~describe:(fun () -> Descriptor.make ~obj_type:Descriptor.Directory "d")
+       Bytes.empty)
+      .Vmsg.instance
+  in
+  let a = open_one () in
+  ignore (Instance_server.release t a);
+  let b = open_one () in
+  Alcotest.(check bool) "fresh id after release" true (b <> a)
+
+let test_instance_server_handle_io () =
+  let t = Instance_server.create () in
+  let info =
+    Instance_server.open_image t ~now:0.0
+      ~describe:(fun () -> Descriptor.make ~obj_type:Descriptor.Directory "dir")
+      (Bytes.of_string "image-bytes")
+  in
+  (* Reads and queries through the protocol dispatcher. *)
+  (match
+     Instance_server.handle_io t
+       (Vmsg.request
+          ~payload:(Vmsg.P_read { instance = info.Vmsg.instance; block = 0 })
+          Vmsg.Op.read_instance)
+   with
+  | Some reply -> Alcotest.(check bool) "read ok" true (Vmsg.succeeded reply)
+  | None -> Alcotest.fail "read not handled");
+  (match
+     Instance_server.handle_io t
+       (Vmsg.request
+          ~payload:
+            (Vmsg.P_write
+               { instance = info.Vmsg.instance; block = 0; data = Bytes.of_string "x" })
+          Vmsg.Op.write_instance)
+   with
+  | Some reply ->
+      Alcotest.(check bool) "writes refused" true
+        (Vmsg.reply_code reply = Some Reply.No_permission)
+  | None -> Alcotest.fail "write not handled");
+  match
+    Instance_server.handle_io t (Vmsg.request ~payload:Vmsg.No_payload 9999)
+  with
+  | None -> () (* not an instance operation: caller's problem *)
+  | Some _ -> Alcotest.fail "unknown op must not be claimed"
+
+(* --- Vmsg --- *)
+
+let test_vmsg_sizes () =
+  let req = Csname.make_req "abcdef" in
+  let m = Vmsg.request ~name:req Vmsg.Op.open_instance in
+  Alcotest.(check int) "name counts as payload" 6 (Vmsg.payload_bytes m);
+  let m = Vmsg.request ~name:req ~extra_bytes:100 Vmsg.Op.write_instance in
+  Alcotest.(check int) "extra bytes add" 106 (Vmsg.payload_bytes m);
+  let r = Vmsg.ok () in
+  Alcotest.(check int) "bare reply" 0 (Vmsg.payload_bytes r)
+
+let test_vmsg_reply_codes () =
+  Alcotest.(check bool) "ok reply" true (Vmsg.succeeded (Vmsg.ok ()));
+  Alcotest.(check bool) "failure reply" false
+    (Vmsg.succeeded (Vmsg.reply Reply.Not_found));
+  Alcotest.(check bool) "requests are not successful replies" false
+    (Vmsg.succeeded (Vmsg.request Vmsg.Op.query_name));
+  Alcotest.(check bool) "reply code surfaces" true
+    (Vmsg.reply_code (Vmsg.reply Reply.Bad_context) = Some Reply.Bad_context)
+
+let test_vmsg_csname_range () =
+  Alcotest.(check bool) "open is a csname op" true
+    (Vmsg.Op.is_csname_request Vmsg.Op.open_instance);
+  Alcotest.(check bool) "load_file is a csname op" true
+    (Vmsg.Op.is_csname_request Vmsg.Op.load_file);
+  Alcotest.(check bool) "read is not" false
+    (Vmsg.Op.is_csname_request Vmsg.Op.read_instance);
+  Alcotest.(check bool) "inverse map is not" false
+    (Vmsg.Op.is_csname_request Vmsg.Op.inverse_map_context)
+
+let test_with_name_preserves_rest () =
+  let req = Csname.make_req "x/y" in
+  let m =
+    Vmsg.request ~name:req ~payload:(Vmsg.P_open { mode = Vmsg.Read })
+      ~extra_bytes:7 Vmsg.Op.open_instance
+  in
+  let req' = { req with Csname.index = 2; context = 42 } in
+  let m' = Vmsg.with_name m req' in
+  Alcotest.(check int) "code kept" m.Vmsg.code m'.Vmsg.code;
+  Alcotest.(check int) "extra kept" 7 m'.Vmsg.extra_bytes;
+  Alcotest.(check bool) "payload kept untouched" true (m'.Vmsg.payload == m.Vmsg.payload);
+  match m'.Vmsg.name with
+  | Some r ->
+      Alcotest.(check int) "index rewritten" 2 r.Csname.index;
+      Alcotest.(check int) "context rewritten" 42 r.Csname.context
+  | None -> Alcotest.fail "name lost"
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "naming.csname",
+      [
+        Alcotest.test_case "components" `Quick test_components;
+        Alcotest.test_case "remaining" `Quick test_remaining;
+        Alcotest.test_case "parse prefix" `Quick test_parse_prefix;
+        Alcotest.test_case "advance" `Quick test_advance_past;
+        Alcotest.test_case "advance mismatch" `Quick test_advance_mismatch;
+        qcheck prop_advance_consumes_all;
+        qcheck prop_components_roundtrip;
+      ] );
+    ( "naming.reply",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_reply_roundtrip;
+        Alcotest.test_case "unknown" `Quick test_reply_unknown;
+      ] );
+    ( "naming.descriptor",
+      [
+        qcheck prop_descriptor_roundtrip;
+        qcheck prop_directory_roundtrip;
+        Alcotest.test_case "malformed" `Quick test_descriptor_malformed;
+        Alcotest.test_case "modification limits" `Quick test_modification_limits;
+      ] );
+    ( "naming.walk",
+      [
+        Alcotest.test_case "to leaf" `Quick test_walk_to_leaf;
+        Alcotest.test_case "to context" `Quick test_walk_to_context;
+        Alcotest.test_case "empty name" `Quick test_walk_empty_name;
+        Alcotest.test_case "forwards" `Quick test_walk_forwards;
+        Alcotest.test_case "stops at non-context" `Quick
+          test_walk_forward_consumes_only_prefix;
+        Alcotest.test_case "bad context" `Quick test_walk_bad_context;
+        Alcotest.test_case "rejects prefix" `Quick test_walk_rejects_prefix;
+        Alcotest.test_case "rejects NUL" `Quick test_walk_rejects_nul;
+      ] );
+    ( "naming.instances",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_instance_server_lifecycle;
+        Alcotest.test_case "ids not reused" `Quick
+          test_instance_server_ids_not_reused;
+        Alcotest.test_case "handle_io" `Quick test_instance_server_handle_io;
+      ] );
+    ( "naming.vmsg",
+      [
+        Alcotest.test_case "wire sizes" `Quick test_vmsg_sizes;
+        Alcotest.test_case "reply codes" `Quick test_vmsg_reply_codes;
+        Alcotest.test_case "csname op range" `Quick test_vmsg_csname_range;
+        Alcotest.test_case "with_name preserves rest" `Quick
+          test_with_name_preserves_rest;
+      ] );
+  ]

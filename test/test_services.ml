@@ -1,0 +1,461 @@
+(* Tests for the non-storage services: terminals, printer, mail, time,
+   exception server and program loading — each reached through the same
+   uniform naming and I/O machinery. *)
+
+module K = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Service = Vkernel.Service
+module Scenario = Vworkload.Scenario
+module Runtime = Vruntime.Runtime
+module File_server = Vservices.File_server
+module Program_manager = Vservices.Program_manager
+module Printer_server = Vservices.Printer_server
+module Terminal_server = Vservices.Terminal_server
+module Mail_server = Vservices.Mail_server
+module Time_server = Vservices.Time_server
+module Exception_server = Vservices.Exception_server
+open Vnaming
+
+(* Substring search (no dependency on astring). *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %a" what Vio.Verr.pp e
+
+let run_client ?build body =
+  let t = match build with Some b -> b () | None -> Scenario.build () in
+  let completed = ref false in
+  ignore
+    (Scenario.spawn_client t ~ws:0 (fun self env ->
+         body t self env;
+         completed := true));
+  Scenario.run t;
+  Alcotest.(check bool) "client completed" true !completed;
+  t
+
+(* --- terminals --- *)
+
+let test_terminal_write_read () =
+  let t =
+    run_client (fun _t _self env ->
+        ok_exn "line 1" (Runtime.append_file env "[terminals]console"
+             (Bytes.of_string "first line"));
+        ok_exn "line 2" (Runtime.append_file env "[terminals]console"
+             (Bytes.of_string "second line")))
+  in
+  let ws = Scenario.workstation t 0 in
+  Alcotest.(check (list string)) "lines accumulated"
+    [ "first line"; "second line" ]
+    (Terminal_server.lines ws.Scenario.ws_terminal "console")
+
+let test_terminal_listing_and_query () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "t1" (Runtime.append_file env "[terminals]tty1" (Bytes.of_string "a"));
+         ok_exn "t2" (Runtime.append_file env "[terminals]tty2" (Bytes.of_string "b"));
+         let records = ok_exn "list" (Runtime.list_directory env "[terminals]") in
+         let names = List.map (fun d -> d.Descriptor.name) records in
+         Alcotest.(check (list string)) "terminals listed" [ "tty1"; "tty2" ]
+           (List.sort compare names);
+         List.iter
+           (fun (d : Descriptor.t) ->
+             Alcotest.(check bool) "typed as terminal" true
+               (d.Descriptor.obj_type = Descriptor.Terminal);
+             (* Temporary objects carry instance identifiers (§4.3). *)
+             Alcotest.(check bool) "has instance id" true
+               (d.Descriptor.instance <> None))
+           records;
+         let q = ok_exn "query" (Runtime.query env "[terminals]tty1") in
+         Alcotest.(check int) "one line" 1 q.Descriptor.size))
+
+let test_terminal_read_back () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "w" (Runtime.append_file env "[terminals]log" (Bytes.of_string "hello"));
+         let back = ok_exn "read" (Runtime.read_file env "[terminals]log") in
+         Alcotest.(check string) "readable as a file" "hello\n" (Bytes.to_string back)))
+
+(* --- printer --- *)
+
+let test_printer_job_lifecycle () =
+  let t =
+    run_client (fun _t _self env ->
+        ok_exn "spool" (Runtime.write_file env "[printer]report.ps"
+             (Bytes.make 1024 'p')))
+  in
+  (* The run continued past spooling: the job must have printed. *)
+  Alcotest.(check bool) "job done" true
+    (Printer_server.job_state t.Scenario.printer "report.ps"
+    = Some Printer_server.Done)
+
+let test_printer_queue_listing () =
+  ignore
+    (run_client (fun t _self env ->
+         ok_exn "spool" (Runtime.write_file env "[printer]thesis.ps"
+              (Bytes.make 4096 'q'));
+         ignore t;
+         let records = ok_exn "list queue" (Runtime.list_directory env "[printer]") in
+         match records with
+         | [ d ] ->
+             Alcotest.(check string) "job name" "thesis.ps" d.Descriptor.name;
+             Alcotest.(check bool) "typed as printer job" true
+               (d.Descriptor.obj_type = Descriptor.Printer_job);
+             Alcotest.(check bool) "state attr present" true
+               (List.mem_assoc "state" d.Descriptor.attrs)
+         | l -> Alcotest.failf "expected one job, got %d" (List.length l)))
+
+let test_printer_duplicate_job_rejected () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "spool" (Runtime.write_file env "[printer]dup.ps" (Bytes.of_string "x"));
+         match Runtime.write_file env "[printer]dup.ps" (Bytes.of_string "y") with
+         | Error (Vio.Verr.Denied Reply.Duplicate_name) -> ()
+         | _ -> Alcotest.fail "duplicate job name must be rejected"))
+
+(* --- mail --- *)
+
+let test_mail_deliver_and_fetch () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "deliver"
+           (Runtime.append_file env "[mail]cheriton@su-score.ARPA"
+              (Bytes.of_string "From: mann\nnaming draft attached"));
+         ok_exn "deliver 2"
+           (Runtime.append_file env "[mail]cheriton@su-score.ARPA"
+              (Bytes.of_string "From: lantz\ngraphics paper"));
+         let box = ok_exn "fetch" (Runtime.read_file env "[mail]cheriton@su-score.ARPA") in
+         let text = Bytes.to_string box in
+         Alcotest.(check bool) "first message present" true
+           (contains text "naming draft attached");
+         Alcotest.(check bool) "second message present" true
+           (contains text "From: lantz")))
+
+let test_mail_name_syntax () =
+  ignore
+    (run_client (fun _t _self env ->
+         (* The mail server imposes the external user@host convention. *)
+         match Runtime.append_file env "[mail]not-an-address" (Bytes.of_string "x") with
+         | Error (Vio.Verr.Denied Reply.Illegal_name) -> ()
+         | _ -> Alcotest.fail "mail names must contain user@host"))
+
+let test_mail_directory () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "d1" (Runtime.append_file env "[mail]a@x" (Bytes.of_string "m"));
+         ok_exn "d2" (Runtime.append_file env "[mail]b@y" (Bytes.of_string "m"));
+         let records = ok_exn "list" (Runtime.list_directory env "[mail]") in
+         let names = List.map (fun d -> d.Descriptor.name) records in
+         Alcotest.(check (list string)) "mailboxes" [ "a@x"; "b@y" ]
+           (List.sort compare names);
+         List.iter
+           (fun (d : Descriptor.t) ->
+             Alcotest.(check bool) "typed as mailbox" true
+               (d.Descriptor.obj_type = Descriptor.Mailbox))
+           records))
+
+(* --- VGTS: windows as named objects --- *)
+
+module Vgts = Vservices.Vgts
+
+let test_vgts_window_lifecycle () =
+  let t =
+    run_client (fun _t _self env ->
+        ok_exn "create" (Runtime.create env "[windows]editor");
+        ok_exn "write line 1"
+          (Runtime.append_file env "[windows]editor" (Bytes.of_string "To be, or")); 
+        ok_exn "write line 2"
+          (Runtime.append_file env "[windows]editor" (Bytes.of_string "not to be"));
+        let d = ok_exn "query" (Runtime.query env "[windows]editor") in
+        Alcotest.(check bool) "typed as device" true
+          (d.Descriptor.obj_type = Descriptor.Device);
+        Alcotest.(check bool) "geometry attrs present" true
+          (List.mem_assoc "x" d.Descriptor.attrs
+          && List.mem_assoc "w" d.Descriptor.attrs);
+        (* Window management through the uniform modify operation. *)
+        let moved =
+          {
+            d with
+            Descriptor.attrs =
+              [ ("x", "10"); ("y", "2"); ("w", "30"); ("h", "6") ];
+          }
+        in
+        ok_exn "move/resize" (Runtime.modify env "[windows]editor" moved);
+        let back = ok_exn "read back" (Runtime.read_file env "[windows]editor") in
+        Alcotest.(check string) "content readable" "To be, or\nnot to be\n"
+          (Bytes.to_string back))
+  in
+  let ws = Scenario.workstation t 0 in
+  (match Vgts.geometry ws.Scenario.ws_vgts "editor" with
+  | Some g ->
+      Alcotest.(check int) "moved x" 10 g.Vgts.x;
+      Alcotest.(check int) "resized w" 30 g.Vgts.w
+  | None -> Alcotest.fail "window missing");
+  Alcotest.(check (list string)) "content stored"
+    [ "To be, or"; "not to be" ]
+    (Vgts.window_lines ws.Scenario.ws_vgts "editor")
+
+let test_vgts_listing_and_removal () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "w1" (Runtime.append_file env "[windows]clock" (Bytes.of_string "12:00"));
+         ok_exn "w2" (Runtime.append_file env "[windows]shell" (Bytes.of_string "% "));
+         let records = ok_exn "list" (Runtime.list_directory env "[windows]") in
+         Alcotest.(check (list string)) "windows listed" [ "clock"; "shell" ]
+           (List.sort compare (List.map (fun d -> d.Descriptor.name) records));
+         ok_exn "close" (Runtime.remove env "[windows]clock");
+         let records = ok_exn "list again" (Runtime.list_directory env "[windows]") in
+         Alcotest.(check (list string)) "window closed" [ "shell" ]
+           (List.map (fun d -> d.Descriptor.name) records)))
+
+let test_vgts_render () =
+  let t =
+    run_client (fun _t _self env ->
+        ok_exn "create" (Runtime.create env "[windows]console");
+        ok_exn "line" (Runtime.append_file env "[windows]console" (Bytes.of_string "hello")))
+  in
+  let ws = Scenario.workstation t 0 in
+  let screen = Vgts.render ws.Scenario.ws_vgts ~width:50 ~height:12 in
+  Alcotest.(check bool) "title painted" true
+    (let n = String.length "console" in
+     let h = String.length screen in
+     let rec has i = i + n <= h && (String.sub screen i n = "console" || has (i + 1)) in
+     has 0);
+  Alcotest.(check bool) "content painted" true
+    (let n = String.length "hello" in
+     let h = String.length screen in
+     let rec has i = i + n <= h && (String.sub screen i n = "hello" || has (i + 1)) in
+     has 0)
+
+(* --- internet server: TCP connections as named objects --- *)
+
+module Internet_server = Vservices.Internet_server
+
+let test_tcp_connection_lifecycle () =
+  ignore
+    (run_client (fun t _self env ->
+         (* Opening a host:port name for writing creates a connection. *)
+         ok_exn "connect"
+           (Runtime.append_file env "[internet]su-score.arpa:25"
+              (Bytes.of_string "HELO stanford")); 
+         Alcotest.(check bool) "connection exists" true
+           (Internet_server.connection_state t.Scenario.internet
+              "su-score.arpa:25"
+           <> None);
+         (* Give the WAN echo time to arrive, then read it back. *)
+         Vsim.Proc.delay (Runtime.engine env) 200.0;
+         let echoed = ok_exn "read" (Runtime.read_file env "[internet]su-score.arpa:25") in
+         Alcotest.(check string) "far end echoed" "HELO stanford"
+           (Bytes.to_string echoed);
+         (* Close it via the uniform remove operation. *)
+         ok_exn "close" (Runtime.remove env "[internet]su-score.arpa:25");
+         match Runtime.query env "[internet]su-score.arpa:25" with
+         | Error (Vio.Verr.Denied Reply.Not_found) -> ()
+         | _ -> Alcotest.fail "closed connection still named"))
+
+let test_tcp_name_syntax () =
+  ignore
+    (run_client (fun _t _self env ->
+         List.iter
+           (fun name ->
+             match Runtime.append_file env ("[internet]" ^ name) (Bytes.of_string "x") with
+             | Error (Vio.Verr.Denied Reply.Illegal_name) -> ()
+             | _ -> Alcotest.failf "connection name %S must be illegal" name)
+           [ "nocolon"; ":80"; "host:"; "host:notaport"; "host:99999" ]))
+
+let test_tcp_directory () =
+  ignore
+    (run_client (fun _t _self env ->
+         ok_exn "c1" (Runtime.append_file env "[internet]a.arpa:21" (Bytes.of_string "x"));
+         ok_exn "c2" (Runtime.append_file env "[internet]b.arpa:23" (Bytes.of_string "y"));
+         Vsim.Proc.delay (Runtime.engine env) 200.0;
+         let records = ok_exn "list" (Runtime.list_directory env "[internet]") in
+         let names = List.map (fun d -> d.Descriptor.name) records in
+         Alcotest.(check (list string)) "connections listed"
+           [ "a.arpa:21"; "b.arpa:23" ] (List.sort compare names);
+         List.iter
+           (fun (d : Descriptor.t) ->
+             Alcotest.(check bool) "typed as tcp connection" true
+               (d.Descriptor.obj_type = Descriptor.Tcp_connection);
+             Alcotest.(check (option string)) "established"
+               (Some "established")
+               (List.assoc_opt "state" d.Descriptor.attrs))
+           records))
+
+(* --- time --- *)
+
+let test_time_service () =
+  ignore
+    (run_client (fun _t self env ->
+         ignore env;
+         Vsim.Proc.delay (Runtime.engine env) 123.0;
+         let t1 = ok_exn "get time" (Time_server.get_time self) in
+         Alcotest.(check bool) "time advanced past the delay" true (t1 >= 123.0)))
+
+(* --- program loading (the §3.1 diskless-workstation path) --- *)
+
+let test_program_load_roundtrip () =
+  let image = Bytes.init 65536 (fun i -> Char.chr ((i * 13) mod 256)) in
+  let build () =
+    let t = Scenario.build ~workstations:1 ~file_servers:1 () in
+    (match
+       Program_manager.install_image (Scenario.file_server t 0) ~name:"editor"
+         ~image
+     with
+    | Ok () -> ()
+    | Error code -> Alcotest.failf "install: %s" (Reply.to_string code));
+    t
+  in
+  let elapsed = ref nan in
+  ignore
+    (run_client ~build (fun t _self env ->
+         ignore env;
+         let eng = t.Scenario.engine in
+         let storage = File_server.pid (Scenario.file_server t 0) in
+         let t0 = Vsim.Engine.now eng in
+         let loaded =
+           ok_exn "load"
+             (Program_manager.load
+                (Runtime.self env)
+                ~storage ~context:Context.Well_known.programs ~name:"editor"
+                ~size:65536)
+         in
+         elapsed := Vsim.Engine.now eng -. t0;
+         Alcotest.(check bool) "image intact" true (Bytes.equal loaded image)));
+  (* Paper: 338 ms for 64 KB on 3 Mbit Ethernet (buffered in server). *)
+  Alcotest.(check bool)
+    (Fmt.str "64KB load took %.1f ms (paper: 338)" !elapsed)
+    true
+    (!elapsed > 325.0 && !elapsed < 355.0)
+
+let test_run_program () =
+  let build () =
+    let t = Scenario.build ~workstations:1 ~file_servers:1 () in
+    (match
+       Program_manager.install_image (Scenario.file_server t 0) ~name:"hello"
+         ~image:(Bytes.make 4096 'h')
+     with
+    | Ok () -> ()
+    | Error code -> Alcotest.failf "install: %s" (Reply.to_string code));
+    t
+  in
+  let ran = ref false in
+  ignore
+    (run_client ~build (fun t _self env ->
+         ignore env;
+         let ws = Scenario.workstation t 0 in
+         Program_manager.register ws.Scenario.ws_programs "hello"
+           (fun _self ~argument ->
+             ran := true;
+             String.length argument);
+         let status =
+           ok_exn "run"
+             (Program_manager.run_program ws.Scenario.ws_programs
+                (Runtime.self env) ~program:"hello" ~argument:"abc")
+         in
+         Alcotest.(check int) "exit status" 3 status));
+  Alcotest.(check bool) "program body ran" true !ran
+
+let test_programs_in_execution_context () =
+  let build () =
+    let t = Scenario.build ~workstations:1 ~file_servers:1 () in
+    (match
+       Program_manager.install_image (Scenario.file_server t 0) ~name:"lister"
+         ~image:(Bytes.make 1024 'l')
+     with
+    | Ok () -> ()
+    | Error code -> Alcotest.failf "install: %s" (Reply.to_string code));
+    t
+  in
+  ignore
+    (run_client ~build (fun t _self env ->
+         let ws = Scenario.workstation t 0 in
+         Program_manager.register ws.Scenario.ws_programs "lister"
+           (fun _self ~argument:_ -> 7);
+         ignore
+           (ok_exn "run"
+              (Program_manager.run_program ws.Scenario.ws_programs
+                 (Runtime.self env) ~program:"lister" ~argument:"-v"));
+         (* The execution is listed in the [programs] context with the
+            other object types — §6's list-directory claim. *)
+         let records = ok_exn "list" (Runtime.list_directory env "[programs]") in
+         match records with
+         | [ d ] ->
+             Alcotest.(check string) "program name" "lister" d.Descriptor.name;
+             Alcotest.(check bool) "typed as process" true
+               (d.Descriptor.obj_type = Descriptor.Process);
+             Alcotest.(check (option string)) "exit status recorded"
+               (Some "exited 7")
+               (List.assoc_opt "status" d.Descriptor.attrs);
+             let q = ok_exn "query" (Runtime.query env "[programs]lister") in
+             Alcotest.(check string) "query agrees" d.Descriptor.name
+               q.Descriptor.name
+         | l -> Alcotest.failf "expected one execution, got %d" (List.length l)))
+
+(* --- exception server --- *)
+
+let test_exception_reports () =
+  let t =
+    run_client (fun _t self env ->
+        ignore env;
+        Exception_server.report self ~culprit:(K.self_pid self) "bus error";
+        Exception_server.report self ~culprit:(K.self_pid self) "divide by zero")
+  in
+  let ws = Scenario.workstation t 0 in
+  let whats =
+    List.map
+      (fun r -> r.Exception_server.what)
+      (Exception_server.reports ws.Scenario.ws_exceptions)
+  in
+  Alcotest.(check (list string)) "reports stored"
+    [ "bus error"; "divide by zero" ] whats
+
+let suite =
+  [
+    ( "services.terminal",
+      [
+        Alcotest.test_case "write/read" `Quick test_terminal_write_read;
+        Alcotest.test_case "listing and query" `Quick test_terminal_listing_and_query;
+        Alcotest.test_case "read back" `Quick test_terminal_read_back;
+      ] );
+    ( "services.printer",
+      [
+        Alcotest.test_case "job lifecycle" `Quick test_printer_job_lifecycle;
+        Alcotest.test_case "queue listing" `Quick test_printer_queue_listing;
+        Alcotest.test_case "duplicate job" `Quick test_printer_duplicate_job_rejected;
+      ] );
+    ( "services.mail",
+      [
+        Alcotest.test_case "deliver and fetch" `Quick test_mail_deliver_and_fetch;
+        Alcotest.test_case "name syntax" `Quick test_mail_name_syntax;
+        Alcotest.test_case "directory" `Quick test_mail_directory;
+      ] );
+    ( "services.vgts",
+      [
+        Alcotest.test_case "window lifecycle" `Quick test_vgts_window_lifecycle;
+        Alcotest.test_case "listing and removal" `Quick
+          test_vgts_listing_and_removal;
+        Alcotest.test_case "render" `Quick test_vgts_render;
+      ] );
+    ( "services.internet",
+      [
+        Alcotest.test_case "connection lifecycle" `Quick
+          test_tcp_connection_lifecycle;
+        Alcotest.test_case "name syntax" `Quick test_tcp_name_syntax;
+        Alcotest.test_case "directory" `Quick test_tcp_directory;
+      ] );
+    ("services.time", [ Alcotest.test_case "get time" `Quick test_time_service ]);
+    ( "services.programs",
+      [
+        Alcotest.test_case "64KB load (paper 338ms)" `Quick
+          test_program_load_roundtrip;
+        Alcotest.test_case "run program" `Quick test_run_program;
+        Alcotest.test_case "programs-in-execution context" `Quick
+          test_programs_in_execution_context;
+      ] );
+    ( "services.exceptions",
+      [ Alcotest.test_case "reports" `Quick test_exception_reports ] );
+  ]

@@ -1,0 +1,347 @@
+(* Tests for the discrete-event engine, processes, PRNG and stats. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Vsim.Heap.create ~compare:Int.compare in
+  List.iter (Vsim.Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  Alcotest.(check (list int)) "sorted drain" [ 0; 1; 1; 3; 4; 5; 9 ]
+    (Vsim.Heap.pop_all h)
+
+let test_heap_empty () =
+  let h = Vsim.Heap.create ~compare:Int.compare in
+  Alcotest.(check bool) "empty" true (Vsim.Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Vsim.Heap.pop h);
+  Alcotest.(check (option int)) "peek empty" None (Vsim.Heap.peek h)
+
+let test_heap_peek_stable () =
+  let h = Vsim.Heap.create ~compare:Int.compare in
+  Vsim.Heap.push h 2;
+  Vsim.Heap.push h 1;
+  Alcotest.(check (option int)) "peek" (Some 1) (Vsim.Heap.peek h);
+  Alcotest.(check int) "length unchanged" 2 (Vsim.Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Vsim.Heap.create ~compare:Int.compare in
+      List.iter (Vsim.Heap.push h) xs;
+      Vsim.Heap.pop_all h = List.sort Int.compare xs)
+
+(* --- Engine --- *)
+
+let test_engine_time_order () =
+  let eng = Vsim.Engine.create () in
+  let log = ref [] in
+  Vsim.Engine.schedule ~delay:5.0 eng (fun () -> log := "b" :: !log);
+  Vsim.Engine.schedule ~delay:1.0 eng (fun () -> log := "a" :: !log);
+  Vsim.Engine.schedule ~delay:9.0 eng (fun () -> log := "c" :: !log);
+  Vsim.Engine.run eng;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at last event" 9.0 (Vsim.Engine.now eng)
+
+let test_engine_fifo_at_same_time () =
+  let eng = Vsim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Vsim.Engine.schedule ~delay:1.0 eng (fun () -> log := i :: !log)
+  done;
+  Vsim.Engine.run eng;
+  Alcotest.(check (list int)) "fifo ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let eng = Vsim.Engine.create () in
+  let hits = ref 0 in
+  Vsim.Engine.schedule eng (fun () ->
+      Vsim.Engine.schedule ~delay:2.0 eng (fun () ->
+          incr hits;
+          Vsim.Engine.schedule ~delay:3.0 eng (fun () -> incr hits)));
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "both nested events ran" 2 !hits;
+  check_float "final time" 5.0 (Vsim.Engine.now eng)
+
+let test_engine_until_horizon () =
+  let eng = Vsim.Engine.create () in
+  let hits = ref 0 in
+  Vsim.Engine.schedule ~delay:1.0 eng (fun () -> incr hits);
+  Vsim.Engine.schedule ~delay:10.0 eng (fun () -> incr hits);
+  Vsim.Engine.run ~until:5.0 eng;
+  Alcotest.(check int) "only first ran" 1 !hits;
+  Alcotest.(check int) "one still pending" 1 (Vsim.Engine.pending eng);
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "second ran on resume" 2 !hits
+
+let test_engine_rejects_past () =
+  let eng = Vsim.Engine.create () in
+  Vsim.Engine.schedule ~delay:5.0 eng (fun () ->
+      Alcotest.check_raises "no scheduling in the past"
+        (Vsim.Engine.Time_went_backwards { now = 5.0; requested = 1.0 })
+        (fun () -> Vsim.Engine.schedule_at eng 1.0 (fun () -> ())));
+  Vsim.Engine.run eng
+
+let test_engine_max_events () =
+  let eng = Vsim.Engine.create () in
+  let hits = ref 0 in
+  for _ = 1 to 10 do
+    Vsim.Engine.schedule eng (fun () -> incr hits)
+  done;
+  Vsim.Engine.run ~max_events:3 eng;
+  Alcotest.(check int) "stopped after budget" 3 !hits
+
+(* --- Proc --- *)
+
+let test_proc_delay () =
+  let eng = Vsim.Engine.create () in
+  let finished_at = ref nan in
+  Vsim.Proc.spawn eng (fun () ->
+      Vsim.Proc.delay eng 3.0;
+      Vsim.Proc.delay eng 4.0;
+      finished_at := Vsim.Engine.now eng);
+  Vsim.Engine.run eng;
+  check_float "delays accumulate" 7.0 !finished_at
+
+let test_proc_interleaving () =
+  let eng = Vsim.Engine.create () in
+  let log = ref [] in
+  let emit tag = log := tag :: !log in
+  Vsim.Proc.spawn eng (fun () ->
+      emit "a1";
+      Vsim.Proc.delay eng 2.0;
+      emit "a2");
+  Vsim.Proc.spawn eng (fun () ->
+      emit "b1";
+      Vsim.Proc.delay eng 1.0;
+      emit "b2");
+  Vsim.Engine.run eng;
+  Alcotest.(check (list string)) "interleaved by time" [ "a1"; "b1"; "b2"; "a2" ]
+    (List.rev !log)
+
+let test_ivar_rendezvous () =
+  let eng = Vsim.Engine.create () in
+  let iv = Vsim.Proc.Ivar.create () in
+  let got = ref 0 in
+  Vsim.Proc.spawn eng (fun () -> got := Vsim.Proc.Ivar.read iv);
+  Vsim.Proc.spawn eng (fun () ->
+      Vsim.Proc.delay eng 5.0;
+      Vsim.Proc.Ivar.fill iv (Ok 42));
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "value crossed" 42 !got
+
+let test_ivar_prefilled () =
+  let eng = Vsim.Engine.create () in
+  let iv = Vsim.Proc.Ivar.create () in
+  Vsim.Proc.Ivar.fill iv (Ok 7);
+  let got = ref 0 in
+  Vsim.Proc.spawn eng (fun () -> got := Vsim.Proc.Ivar.read iv);
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "prefilled read" 7 !got
+
+let test_ivar_error () =
+  let eng = Vsim.Engine.create () in
+  let iv = Vsim.Proc.Ivar.create () in
+  let caught = ref false in
+  Vsim.Proc.spawn eng (fun () ->
+      match Vsim.Proc.Ivar.read iv with
+      | (_ : int) -> ()
+      | exception Failure _ -> caught := true);
+  Vsim.Proc.spawn eng (fun () -> Vsim.Proc.Ivar.fill iv (Error (Failure "boom")));
+  Vsim.Engine.run eng;
+  Alcotest.(check bool) "error propagated" true !caught
+
+let test_mailbox_fifo () =
+  let eng = Vsim.Engine.create () in
+  let mb = Vsim.Proc.Mailbox.create () in
+  let got = ref [] in
+  Vsim.Proc.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        got := Vsim.Proc.Mailbox.receive mb :: !got
+      done);
+  Vsim.Proc.spawn eng (fun () ->
+      Vsim.Proc.Mailbox.send mb 1;
+      Vsim.Proc.delay eng 1.0;
+      Vsim.Proc.Mailbox.send mb 2;
+      Vsim.Proc.Mailbox.send mb 3);
+  Vsim.Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_abort () =
+  let eng = Vsim.Engine.create () in
+  let mb : int Vsim.Proc.Mailbox.t = Vsim.Proc.Mailbox.create () in
+  let outcome = ref "" in
+  Vsim.Proc.spawn eng (fun () ->
+      match Vsim.Proc.Mailbox.receive mb with
+      | (_ : int) -> outcome := "value"
+      | exception Vsim.Proc.Killed _ -> outcome := "killed");
+  Vsim.Proc.spawn eng (fun () ->
+      Vsim.Proc.delay eng 1.0;
+      Vsim.Proc.Mailbox.abort_waiters mb (Vsim.Proc.Killed "test"));
+  Vsim.Engine.run eng;
+  Alcotest.(check string) "receiver aborted" "killed" !outcome
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Vsim.Prng.create ~seed:7 and b = Vsim.Prng.create ~seed:7 in
+  let da = List.init 100 (fun _ -> Vsim.Prng.bits a) in
+  let db = List.init 100 (fun _ -> Vsim.Prng.bits b) in
+  Alcotest.(check (list int)) "same seed, same stream" da db
+
+let test_prng_split_independent () =
+  let a = Vsim.Prng.create ~seed:7 in
+  let child = Vsim.Prng.split a in
+  let da = List.init 50 (fun _ -> Vsim.Prng.bits a) in
+  let dc = List.init 50 (fun _ -> Vsim.Prng.bits child) in
+  Alcotest.(check bool) "streams differ" true (da <> dc)
+
+let prop_prng_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let p = Vsim.Prng.create ~seed in
+      let x = Vsim.Prng.int p bound in
+      x >= 0 && x < bound)
+
+let prop_prng_float_in_bounds =
+  QCheck.Test.make ~name:"Prng.float stays in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let p = Vsim.Prng.create ~seed in
+      let x = Vsim.Prng.float p in
+      x >= 0.0 && x < 1.0)
+
+(* --- Stats --- *)
+
+let test_series_summary () =
+  let s = Vsim.Stats.Series.create "t" in
+  List.iter (Vsim.Stats.Series.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_float "mean" 2.5 (Vsim.Stats.Series.mean s);
+  check_float "min" 1.0 (Vsim.Stats.Series.min_ s);
+  check_float "max" 4.0 (Vsim.Stats.Series.max_ s);
+  check_float "median" 2.5 (Vsim.Stats.Series.median s);
+  check_float "sum" 10.0 (Vsim.Stats.Series.sum s)
+
+let test_series_quantiles () =
+  let s = Vsim.Stats.Series.create "t" in
+  for i = 1 to 100 do
+    Vsim.Stats.Series.add s (float_of_int i)
+  done;
+  check_float "p0" 1.0 (Vsim.Stats.Series.quantile s 0.0);
+  check_float "p100" 100.0 (Vsim.Stats.Series.quantile s 1.0);
+  Alcotest.(check bool) "p95 near 95" true
+    (abs_float (Vsim.Stats.Series.quantile s 0.95 -. 95.0) < 1.0)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantiles are monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Vsim.Stats.Series.create "q" in
+      List.iter (Vsim.Stats.Series.add s) xs;
+      let q25 = Vsim.Stats.Series.quantile s 0.25 in
+      let q50 = Vsim.Stats.Series.quantile s 0.5 in
+      let q75 = Vsim.Stats.Series.quantile s 0.75 in
+      q25 <= q50 && q50 <= q75)
+
+let test_histogram () =
+  let s = Vsim.Stats.Series.create "h" in
+  List.iter (Vsim.Stats.Series.add s) [ 0.0; 1.0; 1.5; 2.0; 9.0; 10.0 ];
+  let rows = Vsim.Stats.Series.histogram ~buckets:5 s in
+  Alcotest.(check int) "bucket count" 5 (List.length rows);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 rows in
+  Alcotest.(check int) "all samples bucketed" 6 total;
+  let lo, _, first_count = List.hd rows in
+  Alcotest.(check (float 1e-9)) "first bucket starts at min" 0.0 lo;
+  Alcotest.(check int) "low cluster" 3 first_count
+
+let test_histogram_single_value () =
+  let s = Vsim.Stats.Series.create "h" in
+  Vsim.Stats.Series.add s 5.0;
+  Vsim.Stats.Series.add s 5.0;
+  let rows = Vsim.Stats.Series.histogram ~buckets:3 s in
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 rows in
+  Alcotest.(check int) "degenerate range bucketed" 2 total
+
+let test_counter () =
+  let c = Vsim.Stats.Counter.create "c" in
+  Vsim.Stats.Counter.incr c;
+  Vsim.Stats.Counter.incr ~by:4 c;
+  Alcotest.(check int) "count" 5 (Vsim.Stats.Counter.value c);
+  Vsim.Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Vsim.Stats.Counter.value c)
+
+(* --- Trace --- *)
+
+let test_trace_records () =
+  let eng = Vsim.Engine.create () in
+  let tr = Vsim.Trace.create eng in
+  Vsim.Engine.schedule ~delay:1.5 eng (fun () ->
+      Vsim.Trace.emit tr ~category:"x" "hello %d" 1);
+  Vsim.Engine.run eng;
+  match Vsim.Trace.records tr with
+  | [ r ] ->
+      check_float "timestamp" 1.5 r.Vsim.Trace.time;
+      Alcotest.(check string) "message" "hello 1" r.Vsim.Trace.message
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_trace_filter () =
+  let eng = Vsim.Engine.create () in
+  let tr = Vsim.Trace.create eng in
+  Vsim.Trace.set_categories tr [ "keep" ];
+  Vsim.Trace.emit tr ~category:"keep" "a";
+  Vsim.Trace.emit tr ~category:"drop" "b";
+  Alcotest.(check int) "filtered" 1 (List.length (Vsim.Trace.records tr))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "peek" `Quick test_heap_peek_stable;
+        qcheck prop_heap_sorts;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time order" `Quick test_engine_time_order;
+        Alcotest.test_case "fifo ties" `Quick test_engine_fifo_at_same_time;
+        Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "until horizon" `Quick test_engine_until_horizon;
+        Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        Alcotest.test_case "max events" `Quick test_engine_max_events;
+      ] );
+    ( "sim.proc",
+      [
+        Alcotest.test_case "delay" `Quick test_proc_delay;
+        Alcotest.test_case "interleaving" `Quick test_proc_interleaving;
+        Alcotest.test_case "ivar rendezvous" `Quick test_ivar_rendezvous;
+        Alcotest.test_case "ivar prefilled" `Quick test_ivar_prefilled;
+        Alcotest.test_case "ivar error" `Quick test_ivar_error;
+        Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+        Alcotest.test_case "mailbox abort" `Quick test_mailbox_abort;
+      ] );
+    ( "sim.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+        qcheck prop_prng_int_in_bounds;
+        qcheck prop_prng_float_in_bounds;
+      ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "summary" `Quick test_series_summary;
+        Alcotest.test_case "quantiles" `Quick test_series_quantiles;
+        Alcotest.test_case "counter" `Quick test_counter;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+        Alcotest.test_case "histogram degenerate" `Quick test_histogram_single_value;
+        qcheck prop_quantile_monotone;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "records" `Quick test_trace_records;
+        Alcotest.test_case "filter" `Quick test_trace_filter;
+      ] );
+  ]
