@@ -5,7 +5,10 @@
      dune exec bench/main.exe e1 e4 f1   -- run a subset
 
    Experiments: e1 e2 e3 e4 e5 e6 e7, figures: f1 f2 f3 f4 (or "figs"),
-   micro-benchmarks: micro. *)
+   micro-benchmarks: micro.
+
+   --json FILE additionally dumps every table and comparison printed,
+   grouped by experiment title, as a JSON object to FILE. *)
 
 let registry =
   [
@@ -33,10 +36,37 @@ let registry =
 let default =
   [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "figs"; "ablations"; "day"; "micro" ]
 
+(* Strip "--json FILE" from the argument list, returning the file. *)
+let rec extract_json_file = function
+  | [] -> (None, [])
+  | "--json" :: file :: rest ->
+      let _, names = extract_json_file rest in
+      (Some file, names)
+  | [ "--json" ] ->
+      Fmt.epr "--json requires a file argument@.";
+      exit 1
+  | name :: rest ->
+      let file, names = extract_json_file rest in
+      (file, name :: names)
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with [] | [ _ ] -> default | _ :: args -> args
+  let args =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [] | _ :: args -> args
   in
+  let json_file, names = extract_json_file args in
+  (* Open the output up-front so a bad path fails before, not after, a
+     multi-minute run. *)
+  let json_out =
+    match json_file with
+    | None -> None
+    | Some file -> (
+        match open_out file with
+        | oc -> Some (file, oc)
+        | exception Sys_error msg ->
+            Fmt.epr "--json: %s@." msg;
+            exit 1)
+  in
+  let requested = match names with [] -> default | _ -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name registry with
@@ -45,4 +75,11 @@ let () =
           Fmt.epr "unknown experiment %S; known: %s@." name
             (String.concat " " (List.map fst registry));
           exit 1)
-    requested
+    requested;
+  match json_out with
+  | None -> ()
+  | Some (file, oc) ->
+      output_string oc (Vobs.Json.to_string (Vworkload.Tables.results_json ()));
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "@.results written to %s@." file

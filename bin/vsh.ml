@@ -227,6 +227,40 @@ let cmd_echo _sh args =
   pr "%s" (String.concat " " args);
   Ok ()
 
+(* Dump the span tree of the most recent traced request — by default the
+   last naming operation the shell itself issued (the `trace` command
+   creates no trace of its own). *)
+let cmd_trace sh args =
+  let hub = sh.scenario.Scenario.obs in
+  let id =
+    match args with
+    | [] -> (
+        match Vobs.Hub.last_trace hub with
+        | Some id -> Ok id
+        | None -> Error "no traced request yet")
+    | [ n ] -> (
+        match int_of_string_opt n with
+        | Some id -> Ok id
+        | None -> Error (Fmt.str "bad trace id %S" n))
+    | _ -> Error "usage: trace [ID]"
+  in
+  match id with
+  | Error e -> Error (Vio.Verr.Protocol e)
+  | Ok id -> (
+      match Vobs.Hub.trace_spans hub id with
+      | [] -> Error (Vio.Verr.Protocol (Fmt.str "no spans for trace %d" id))
+      | spans ->
+          pr "trace %d (%d spans):" id (List.length spans);
+          Vobs.Export.pp_timeline Fmt.stdout spans;
+          Ok ())
+
+let cmd_metrics sh args =
+  let m = Vobs.Hub.metrics sh.scenario.Scenario.obs in
+  (match args with
+  | [ "json" ] -> pr "%s" (Vobs.Json.to_string (Vobs.Metrics.to_json m))
+  | _ -> Vobs.Metrics.pp Fmt.stdout m);
+  Ok ()
+
 let commands :
     (string * string * (shell -> string list -> (unit, Vio.Verr.t) result)) list =
   [
@@ -257,6 +291,8 @@ let commands :
     ("crash", "FS-INDEX — crash a file server host", cmd_crash);
     ("restart", "FS-INDEX — restart host + fresh server", cmd_restart);
     ("netstat", "— wire and transaction counters", cmd_netstat);
+    ("trace", "[ID] — span tree of the last (or given) traced request", cmd_trace);
+    ("metrics", "[json] — observability counters and histograms", cmd_metrics);
     ("echo", "TEXT... — print", cmd_echo);
   ]
 
@@ -295,6 +331,7 @@ let demo_script =
     "cat [papers]naming.mss";
     "link [fs1]borrowed [home]papers";
     "cat [fs1]borrowed/naming.mss";
+    "trace";
     "tree [home]";
     "find [home] naming";
     "du [home]";
@@ -313,11 +350,12 @@ let demo_script =
     "write [storage]tmp/after.txt written after restart";
     "cat [storage]tmp/after.txt";
     "netstat";
+    "metrics";
     "time";
   ]
 
 let run_shell script =
-  let t = Scenario.build ~workstations:2 ~file_servers:2 () in
+  let t = Scenario.build ~workstations:2 ~file_servers:2 ~tracing:true () in
   let exit_code = ref 0 in
   ignore
     (Scenario.spawn_client t ~ws:0 ~name:"vsh" (fun _self env ->

@@ -11,11 +11,21 @@ let prefix_close = ']'
 (* The standard fields of every CSname request (§5.3): the name, the
    index at which interpretation is to begin or continue, and the
    context identifier it is interpreted in. The server-pid part of the
-   context is implicit in the message's destination. *)
-type req = { name : string; index : int; context : Context.id }
+   context is implicit in the message's destination.
 
-let make_req ?(index = 0) ?(context = Context.Well_known.default) name =
-  { name; index; context }
+   [trace] piggybacks the observability trace context on the request;
+   it contributes nothing to [segment_bytes], so wire timings are
+   unchanged whether tracing is on or off. *)
+type req = {
+  name : string;
+  index : int;
+  context : Context.id;
+  trace : Vobs.Span.ctx;
+}
+
+let make_req ?(index = 0) ?(context = Context.Well_known.default)
+    ?(trace = Vobs.Span.no_ctx) name =
+  { name; index; context; trace }
 
 let pp_req ppf r =
   Fmt.pf ppf "%S[%d..] in %a" r.name r.index Context.pp_id r.context

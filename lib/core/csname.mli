@@ -13,10 +13,20 @@ val prefix_close : char
     index at which interpretation begins or continues, and the context
     identifier to interpret it in. The server half of the context is
     implicit in the message's destination. Forwarding servers rewrite
-    [index] and [context] and leave the rest of the message alone. *)
-type req = { name : string; index : int; context : Context.id }
+    [index] and [context] and leave the rest of the message alone.
 
-val make_req : ?index:int -> ?context:Context.id -> string -> req
+    [trace] carries the observability trace context ({!Vobs.Span.ctx})
+    alongside the request; it adds nothing to {!segment_bytes}, so wire
+    timings are unaffected by tracing. *)
+type req = {
+  name : string;
+  index : int;
+  context : Context.id;
+  trace : Vobs.Span.ctx;
+}
+
+val make_req :
+  ?index:int -> ?context:Context.id -> ?trace:Vobs.Span.ctx -> string -> req
 val pp_req : Format.formatter -> req -> unit
 
 (** The not-yet-interpreted part of the name. *)

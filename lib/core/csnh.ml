@@ -84,27 +84,84 @@ let make_stats name =
     specific_ms = Vsim.Stats.Series.create (name ^ ".specific-ms");
   }
 
+(* How far into the name this hop's interpretation reached: everything
+   up to the components it did not consume. *)
+let consumed_index req remaining =
+  let total = String.length req.Csname.name in
+  let index_to =
+    match remaining with
+    | [] -> total
+    | _ -> total - String.length (Csname.join remaining)
+  in
+  max req.Csname.index (min index_to total)
+
 (* Handle one request according to the protocol; replies or forwards as
    appropriate. Exposed so servers with custom receive loops (e.g. the
-   prefix server) can reuse it. *)
+   prefix server) can reuse it.
+
+   Observability (when a hub is attached to the domain): every CSname
+   request increments per-operation counters keyed by this server, and
+   a traced request gets one span per hop, its parent link following
+   the Forward chain. All of it is bookkeeping off the simulation
+   clock, so timings are identical with tracing on or off. *)
 let handle_request self handlers stats ~sender (msg : Vmsg.t) =
-  let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
+  let domain = Kernel.domain_of_self self in
+  let engine = Kernel.engine_of_domain domain in
   let now () = Vsim.Engine.now engine in
   let charge ms = if ms > 0.0 then Vsim.Proc.delay engine ms in
+  let hub = Kernel.obs domain in
+  let metric op =
+    match hub with
+    | None -> ()
+    | Some h ->
+        Vobs.Metrics.incr (Vobs.Hub.metrics h)
+          ~host:(Kernel.self_host_name self)
+          ~server:(Kernel.self_name self) ~op
+  in
   Vsim.Stats.Counter.incr stats.requests;
   let reply_with m = ignore (Kernel.reply self ~to_:sender m) in
   match msg.Vmsg.name with
   | Some req when Vmsg.Op.is_csname_request msg.Vmsg.code ->
       let t0 = now () in
+      metric (Vmsg.Op.to_string msg.Vmsg.code);
+      let span =
+        match hub with
+        | None -> None
+        | Some h ->
+            Vobs.Hub.start_span h ~ctx:req.Csname.trace ~now:t0
+              ~op:(Vmsg.Op.to_string msg.Vmsg.code)
+              ~host:(Kernel.self_host_name self)
+              ~server:(Kernel.self_name self)
+              ~pid:(Pid.to_int (Kernel.self_pid self))
+              ~context:req.Csname.context ~index_from:req.Csname.index
+      in
+      let finish ?index_to outcome =
+        match (hub, span) with
+        | Some h, Some s -> Vobs.Hub.finish h s ~now:(now ()) ?index_to ~outcome ()
+        | _ -> ()
+      in
       charge Calibration.csname_common_cpu;
       let lookup ctx component =
+        metric "lookup";
         charge Calibration.component_lookup_cpu;
         handlers.lookup ctx component
       in
       (match walk ~valid_context:handlers.valid_context ~lookup req with
-      | Fail code -> reply_with (Vmsg.reply code)
+      | Fail code ->
+          finish (Reply.to_string code);
+          reply_with (Vmsg.reply code)
       | Forward (spec, req') ->
           Vsim.Stats.Counter.incr stats.forwards;
+          metric "forward";
+          finish ~index_to:req'.Csname.index "forward";
+          (* Re-parent the forwarded request under this hop's span so
+             the next server's span links back here. *)
+          let req' =
+            match span with
+            | None -> req'
+            | Some s ->
+                { req' with Csname.trace = Vobs.Hub.child_ctx s ~now:(now ()) }
+          in
           let msg' = Vmsg.with_name msg req' in
           (match
              Kernel.forward self ~from_:sender ~to_:spec.Context.server msg'
@@ -118,8 +175,15 @@ let handle_request self handlers stats ~sender (msg : Vmsg.t) =
           let reply = handlers.handle_csname ~sender msg req ctx remaining in
           Vsim.Stats.Series.add stats.specific_ms
             (now () -. t0 -. Calibration.csname_common_cpu);
+          let outcome =
+            match Vmsg.reply_code reply with
+            | Some code -> Reply.to_string code
+            | None -> "reply"
+          in
+          finish ~index_to:(consumed_index req remaining) outcome;
           reply_with reply)
   | Some _ | None -> (
+      metric (Vmsg.Op.to_string msg.Vmsg.code);
       match handlers.handle_other ~sender msg with
       | Some reply -> reply_with reply
       | None -> reply_with (Vmsg.reply Reply.Bad_operation))

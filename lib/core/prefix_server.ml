@@ -109,13 +109,65 @@ let directory_image t ~now =
 
 (* --- request handling --- *)
 
+(* Observability helpers: a per-hop span for the prefix server's part of
+   a traced request, metrics keyed by this server's name, and the trace
+   re-parenting applied to every forwarded request. Bookkeeping only —
+   none of it touches simulated time. *)
+
+let obs_metric self op =
+  match Kernel.obs (Kernel.domain_of_self self) with
+  | None -> ()
+  | Some hub ->
+      Vobs.Metrics.incr (Vobs.Hub.metrics hub)
+        ~host:(Kernel.self_host_name self)
+        ~server:(Kernel.self_name self) ~op
+
+let obs_start self (msg : Vmsg.t) (req : Csname.req) =
+  match Kernel.obs (Kernel.domain_of_self self) with
+  | None -> None
+  | Some hub ->
+      let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
+      Option.map
+        (fun span -> (hub, span))
+        (Vobs.Hub.start_span hub ~ctx:req.Csname.trace
+           ~now:(Vsim.Engine.now engine)
+           ~op:(Vmsg.Op.to_string msg.Vmsg.code)
+           ~host:(Kernel.self_host_name self)
+           ~server:(Kernel.self_name self)
+           ~pid:(Pid.to_int (Kernel.self_pid self))
+           ~context:req.Csname.context ~index_from:req.Csname.index)
+
+let obs_finish self span ?index_to outcome =
+  match span with
+  | None -> ()
+  | Some (hub, s) ->
+      let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
+      Vobs.Hub.finish hub s ~now:(Vsim.Engine.now engine) ?index_to ~outcome ()
+
+(* Attach the forwarded request to this hop's span (if traced), so the
+   next server's span links back here. *)
+let obs_reparent self span (req : Csname.req) =
+  match span with
+  | None -> req
+  | Some (_, s) ->
+      let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
+      {
+        req with
+        Csname.trace = Vobs.Hub.child_ctx s ~now:(Vsim.Engine.now engine);
+      }
+
 let handle_prefixed t self ~sender (msg : Vmsg.t) req =
   let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
   Vsim.Stats.Counter.incr t.stats.Csnh.requests;
+  obs_metric self "prefix-lookup";
+  let span = obs_start self msg req in
   (* The prefix parse and request rewrite: the processing the paper
      measures as the 3.94-3.99 ms additive cost of prefixed Opens. *)
   Vsim.Proc.delay engine Calibration.prefix_parse_cpu;
-  let reply_with code = ignore (Kernel.reply self ~to_:sender (Vmsg.reply code)) in
+  let reply_with code =
+    obs_finish self span (Reply.to_string code);
+    ignore (Kernel.reply self ~to_:sender (Vmsg.reply code))
+  in
   match Csname.parse_prefix req with
   | Error code -> reply_with code
   | Ok (prefix, req') -> (
@@ -126,7 +178,9 @@ let handle_prefixed t self ~sender (msg : Vmsg.t) req =
              the rewritten request; the first member to answer serves
              it. *)
           Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
-          let req' = { req' with Csname.context } in
+          obs_metric self "forward";
+          obs_finish self span ~index_to:req'.Csname.index "forward";
+          let req' = obs_reparent self span { req' with Csname.context } in
           ignore
             (Kernel.forward_group self ~from_:sender ~group
                (Vmsg.with_name msg req'))
@@ -135,7 +189,12 @@ let handle_prefixed t self ~sender (msg : Vmsg.t) req =
           | Error code -> reply_with code
           | Ok spec ->
               Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
-              let req' = { req' with Csname.context = spec.Context.context } in
+              obs_metric self "forward";
+              obs_finish self span ~index_to:req'.Csname.index "forward";
+              let req' =
+                obs_reparent self span
+                  { req' with Csname.context = spec.Context.context }
+              in
               ignore
                 (Kernel.forward self ~from_:sender ~to_:spec.Context.server
                    (Vmsg.with_name msg req'))))
@@ -217,14 +276,22 @@ let handle_binding_name t self ~now (msg : Vmsg.t) name =
 let handle_unprefixed t self ~now ~sender (msg : Vmsg.t) req =
   let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
   Vsim.Stats.Counter.incr t.stats.Csnh.requests;
+  obs_metric self (Vmsg.Op.to_string msg.Vmsg.code);
+  let span = obs_start self msg req in
   Vsim.Proc.delay engine Calibration.csname_common_cpu;
-  let reply_with m = ignore (Kernel.reply self ~to_:sender m) in
+  let reply_with m =
+    (match Vmsg.reply_code m with
+    | Some code -> obs_finish self span (Reply.to_string code)
+    | None -> obs_finish self span "reply");
+    ignore (Kernel.reply self ~to_:sender m)
+  in
   match Csname.validate req with
   | Error code -> reply_with (Vmsg.reply code)
   | Ok () ->
       if req.Csname.context <> Context.Well_known.default then
         reply_with (Vmsg.reply Reply.Bad_context)
       else begin
+        obs_metric self "lookup";
         Vsim.Proc.delay engine Calibration.component_lookup_cpu;
         match Csname.components (Csname.remaining req) with
         | [] -> reply_with (handle_own_context t self ~now msg)
@@ -234,9 +301,12 @@ let handle_unprefixed t self ~now ~sender (msg : Vmsg.t) req =
             | None -> reply_with (Vmsg.reply Reply.Not_found)
             | Some (Replicated { group; context }) ->
                 Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
+                obs_metric self "forward";
                 let req' =
                   { (Csname.advance_past req name) with Csname.context }
                 in
+                obs_finish self span ~index_to:req'.Csname.index "forward";
+                let req' = obs_reparent self span req' in
                 ignore
                   (Kernel.forward_group self ~from_:sender ~group
                      (Vmsg.with_name msg req'))
@@ -245,12 +315,15 @@ let handle_unprefixed t self ~now ~sender (msg : Vmsg.t) req =
                 | Error code -> reply_with (Vmsg.reply code)
                 | Ok spec ->
                     Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
+                    obs_metric self "forward";
                     let req' =
                       {
                         (Csname.advance_past req name) with
                         Csname.context = spec.Context.context;
                       }
                     in
+                    obs_finish self span ~index_to:req'.Csname.index "forward";
+                    let req' = obs_reparent self span req' in
                     ignore
                       (Kernel.forward self ~from_:sender
                          ~to_:spec.Context.server (Vmsg.with_name msg req'))))

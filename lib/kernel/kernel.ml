@@ -114,6 +114,7 @@ and 'm domain = {
   all_hosts : (Ethernet.addr, 'm host) Hashtbl.t;
   domain_prng : Vsim.Prng.t;
   mutable trace : Vsim.Trace.t option;
+  mutable domain_obs : Vobs.Hub.t option;
   ipc_transactions : Vsim.Stats.Counter.t;
 }
 
@@ -130,6 +131,17 @@ let trace d fmt =
   | Some tr -> Vsim.Trace.emit tr ~category:"ipc" fmt
 
 let set_trace d tr = d.trace <- Some tr
+let set_obs d hub = d.domain_obs <- Some hub
+let obs d = d.domain_obs
+
+(* Count one kernel operation against (host, "kernel", op) if a hub is
+   attached. Pure bookkeeping: never touches the simulation clock. *)
+let count_op host op =
+  match host.domain.domain_obs with
+  | None -> ()
+  | Some hub ->
+      Vobs.Metrics.incr (Vobs.Hub.metrics hub) ~host:host.host_name
+        ~server:"kernel" ~op
 
 let fresh_txn d =
   let t = d.next_txn in
@@ -160,6 +172,7 @@ let find_process d pid =
 let alive d pid = find_process d pid <> None
 
 let self_pid proc = proc.pid
+let self_name proc = proc.proc_name
 let self_host_name proc = proc.proc_host.host_name
 let host_of_self proc = proc.proc_host
 let domain_of_host h = h.domain
@@ -344,6 +357,7 @@ let send proc ?buffer target msg =
   let host = proc.proc_host in
   let d = host.domain in
   Vsim.Stats.Counter.incr d.ipc_transactions;
+  count_op host "send";
   trace d "Send %a -> %a" Pid.pp proc.pid Pid.pp target;
   match find_process d target with
   | Some target_proc when target_proc.proc_host == host ->
@@ -395,6 +409,7 @@ let receive proc =
             proc.recv_filter <- None;
             proc.recv_waiter <- Some fire)
   in
+  count_op proc.proc_host "receive";
   trace proc.proc_host.domain "Receive %a <- %a" Pid.pp proc.pid Pid.pp d.d_sender;
   (d.d_msg, d.d_sender)
 
@@ -432,6 +447,7 @@ let reply proc ~to_ msg =
   | None -> Error Not_awaiting_reply
   | Some txn -> (
       Hashtbl.remove host.serving (to_, proc.pid);
+      count_op host "reply";
       trace d "Reply %a -> %a" Pid.pp proc.pid Pid.pp to_;
       match find_process d to_ with
       | None -> Ok () (* sender died while blocked; nothing to resume *)
@@ -465,6 +481,7 @@ let forward proc ~from_ ~to_ msg =
   | None -> Error Not_awaiting_reply
   | Some txn -> (
       Hashtbl.remove host.serving (from_, proc.pid);
+      count_op host "forward";
       trace d "Forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
       match find_process d to_ with
       | None ->
@@ -524,6 +541,7 @@ let move_from proc ~sender ~len =
   match Hashtbl.find_opt host.serving (sender, proc.pid) with
   | None -> Error Not_awaiting_reply
   | Some txn -> (
+      count_op host "move-from";
       trace d "MoveFrom %a <- %a (%dB)" Pid.pp proc.pid Pid.pp sender len;
       match find_process d sender with
       | None -> Error Nonexistent_process
@@ -570,6 +588,7 @@ let move_to proc ~sender data =
   match Hashtbl.find_opt host.serving (sender, proc.pid) with
   | None -> Error Not_awaiting_reply
   | Some txn -> (
+      count_op host "move-to";
       trace d "MoveTo %a -> %a (%dB)" Pid.pp proc.pid Pid.pp sender
         (Bytes.length data);
       match find_process d sender with
@@ -663,6 +682,7 @@ let get_pid proc ~service scope =
   check_alive proc;
   let host = proc.proc_host in
   let d = host.domain in
+  count_op host "get-pid";
   charge proc Calibration.getpid_check_cpu;
   match local_service_lookup host ~service ~origin:`Local_query with
   | Some pid when alive d pid -> Some pid
@@ -727,6 +747,7 @@ let send_group proc ~group msg =
   let host = proc.proc_host in
   let d = host.domain in
   Vsim.Stats.Counter.incr d.ipc_transactions;
+  count_op host "group-send";
   trace d "GroupSend %a -> group%d" Pid.pp proc.pid group;
   charge proc Calibration.small_packet_send_cpu;
   let txn = fresh_txn d in
@@ -770,6 +791,7 @@ let forward_group proc ~from_ ~group msg =
   | None -> Error Not_awaiting_reply
   | Some txn ->
       Hashtbl.remove host.serving (from_, proc.pid);
+      count_op host "forward-group";
       trace d "ForwardGroup %a: %a -> group%d" Pid.pp proc.pid Pid.pp from_ group;
       charge proc Calibration.small_packet_send_cpu;
       (* Members on this host are delivered directly (no wire loopback). *)
@@ -927,6 +949,7 @@ let create_domain ?(seed = 42) ~cost engine net =
       all_hosts = Hashtbl.create 16;
       domain_prng = Vsim.Prng.create ~seed;
       trace = None;
+      domain_obs = None;
       ipc_transactions = Vsim.Stats.Counter.create "ipc-transactions";
     }
   in

@@ -64,6 +64,13 @@ val engine_of_domain : 'm domain -> Vsim.Engine.t
 val net_of_domain : 'm domain -> 'm packet Vnet.Ethernet.t
 val set_trace : 'm domain -> Vsim.Trace.t -> unit
 
+(** Attach an observability hub to the domain: kernel primitives count
+    per-host operations against it, and the naming layers above use it
+    for spans. Bookkeeping only — never advances simulated time. *)
+val set_obs : 'm domain -> Vobs.Hub.t -> unit
+
+val obs : 'm domain -> Vobs.Hub.t option
+
 (** Completed + in-flight Send/group-Send transactions, for the
     messages-per-operation benchmarks. *)
 val ipc_transaction_count : 'm domain -> int
@@ -83,6 +90,10 @@ val restart_host : 'm host -> unit
 val spawn : 'm host -> ?name:string -> ('m self -> unit) -> Pid.t
 
 val self_pid : 'm self -> Pid.t
+
+(** The name the process was spawned with. *)
+val self_name : 'm self -> string
+
 val self_host_name : 'm self -> string
 val host_of_self : 'm self -> 'm host
 val domain_of_self : 'm self -> 'm domain

@@ -45,6 +45,7 @@ type 'a t = {
   mutable partitions : (addr * addr) list;
   counters : counters;
   mutable trace : Vsim.Trace.t option;
+  mutable obs : Vobs.Hub.t option;
 }
 
 let create ?(seed = 1) ~config engine =
@@ -60,9 +61,22 @@ let create ?(seed = 1) ~config engine =
     counters =
       { frames_sent = 0; frames_delivered = 0; frames_dropped = 0; bytes_sent = 0 };
     trace = None;
+    obs = None;
   }
 
 let set_trace t trace = t.trace <- Some trace
+let set_obs t hub = t.obs <- Some hub
+
+(* Per-host wire metrics, keyed under server "net". The address stands
+   in for the host name — this layer sits below the kernel and has no
+   better label. *)
+let net_metric ?(by = 1) t addr op =
+  match t.obs with
+  | None -> ()
+  | Some hub ->
+      Vobs.Metrics.incr (Vobs.Hub.metrics hub) ~by
+        ~host:(Printf.sprintf "host%d" addr)
+        ~server:"net" ~op
 
 let config t = t.config
 
@@ -169,6 +183,9 @@ let transmit t frame =
     t.counters.frames_sent <- t.counters.frames_sent + 1;
     t.counters.bytes_sent <-
       t.counters.bytes_sent + t.config.header_bytes + frame.payload_bytes;
+    net_metric t frame.src "frames-sent";
+    net_metric t frame.src "bytes-sent"
+      ~by:(t.config.header_bytes + frame.payload_bytes);
     let arrival = start +. duration +. t.config.propagation_ms in
     trace_emit t "host%d -> %a (%dB payload)" frame.src pp_dest frame.dst
       frame.payload_bytes;
@@ -176,7 +193,10 @@ let transmit t frame =
         let lost =
           t.loss_probability > 0.0 && Vsim.Prng.float t.prng < t.loss_probability
         in
-        if lost then t.counters.frames_dropped <- t.counters.frames_dropped + 1
+        if lost then begin
+          t.counters.frames_dropped <- t.counters.frames_dropped + 1;
+          net_metric t frame.src "frames-lost"
+        end
         else
           List.iter
             (fun addr ->
@@ -186,8 +206,10 @@ let transmit t frame =
               match Hashtbl.find_opt t.hosts addr with
               | Some port when port.up && not (partitioned t frame.src addr) ->
                   t.counters.frames_delivered <- t.counters.frames_delivered + 1;
+                  net_metric t addr "frames-delivered";
                   port.handler frame
               | Some _ | None ->
-                  t.counters.frames_dropped <- t.counters.frames_dropped + 1)
+                  t.counters.frames_dropped <- t.counters.frames_dropped + 1;
+                  net_metric t addr "frames-dropped")
             (intended_destinations t frame))
   end

@@ -32,6 +32,10 @@ val create : ?seed:int -> config:Calibration.network -> Vsim.Engine.t -> 'a t
 (** Record frame transmissions into a trace. *)
 val set_trace : 'a t -> Vsim.Trace.t -> unit
 
+(** Count per-host frame and byte metrics (server "net", hosts keyed
+    ["host<addr>"]) against an observability hub. *)
+val set_obs : 'a t -> Vobs.Hub.t -> unit
+
 val config : 'a t -> Calibration.network
 val counters : 'a t -> counters
 val engine : 'a t -> Vsim.Engine.t

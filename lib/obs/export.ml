@@ -1,0 +1,59 @@
+(* Exporters: the human-readable timeline view of a trace, and JSON.
+
+   The timeline renders the span tree by parent links, children indented
+   under their parent in span-id (creation) order, each line showing
+   where the hop ran, what slice of the name it consumed, and how the
+   hop's latency split between waiting (wire + queueing) and service. *)
+
+let children spans id =
+  List.filter (fun s -> s.Span.parent_id = id) spans
+
+let pp_span_line ppf s =
+  let name_slice =
+    if s.Span.index_to > s.Span.index_from then
+      Printf.sprintf " name[%d..%d]" s.Span.index_from s.Span.index_to
+    else if s.Span.index_from > 0 then
+      Printf.sprintf " name[%d..]" s.Span.index_from
+    else ""
+  in
+  Fmt.pf ppf "%-28s %s/%s pid %d ctx %d%s  wait %.3fms svc %.3fms -> %s"
+    s.Span.op s.Span.host s.Span.server s.Span.pid s.Span.context name_slice
+    s.Span.queue_wait (Span.service_ms s) s.Span.outcome
+
+let pp_timeline ppf spans =
+  let rec render indent s =
+    Fmt.pf ppf "%s%a@." indent pp_span_line s;
+    List.iter (render (indent ^ "  ")) (children spans s.Span.span_id)
+  in
+  match spans with
+  | [] -> Fmt.pf ppf "(no spans)@."
+  | _ ->
+      let roots =
+        (* Roots: parent 0, or parent not in the (possibly trimmed)
+           store — orphans still render rather than vanish. *)
+        List.filter
+          (fun s ->
+            s.Span.parent_id = 0
+            || not
+                 (List.exists
+                    (fun p -> p.Span.span_id = s.Span.parent_id)
+                    spans))
+          spans
+      in
+      List.iter (render "") roots
+
+let trace_to_json spans =
+  Json.List (List.map Span.to_json spans)
+
+let hub_to_json hub =
+  let last =
+    match Hub.last_trace hub with
+    | None -> Json.Null
+    | Some id -> Json.Int id
+  in
+  Json.Obj
+    [
+      ("last_trace", last);
+      ("spans", trace_to_json (Hub.all_spans hub));
+      ("metrics", Metrics.to_json (Hub.metrics hub));
+    ]

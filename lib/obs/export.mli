@@ -1,0 +1,14 @@
+(** Exporters for traces and metrics: a human-readable timeline tree and
+    JSON. *)
+
+(** [pp_timeline ppf spans] renders a span list (e.g. from
+    {!Hub.trace_spans}) as an indented parent/child tree, one line per
+    hop, in creation order. Spans whose parent is missing from the list
+    render as roots. *)
+val pp_timeline : Format.formatter -> Span.t list -> unit
+
+val trace_to_json : Span.t list -> Json.t
+
+(** Whole-hub dump: last trace id, all stored spans, and the metrics
+    registry. *)
+val hub_to_json : Hub.t -> Json.t

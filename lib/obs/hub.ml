@@ -1,0 +1,105 @@
+(* The hub is the per-deployment observability handle: it owns trace and
+   span numbering, the bounded span store, and the metrics registry.
+   One hub is shared by every host in a simulated internetwork — the
+   point of distributed tracing is precisely that spans from different
+   hosts land in the same store, keyed by trace id.
+
+   Tracing and metrics are independently switchable. With tracing off,
+   [start_trace] hands out [Span.no_ctx] and [start_span] returns [None],
+   so instrumented code pays one test per hop. Nothing here ever touches
+   the simulation clock: callers pass [~now] in, which keeps simulated
+   timings bit-identical whether observability is on or off. *)
+
+type t = {
+  mutable tracing : bool;
+  mutable next_trace : int;
+  mutable next_span : int;
+  span_limit : int;
+  mutable spans : Span.t list;  (* newest first, trimmed at span_limit *)
+  mutable span_count : int;
+  mutable last_trace : int;  (* 0 = no trace started yet *)
+  metrics : Metrics.t;
+}
+
+let create ?(tracing = false) ?(span_limit = 10_000) () =
+  {
+    tracing;
+    next_trace = 1;
+    next_span = 1;
+    span_limit;
+    spans = [];
+    span_count = 0;
+    last_trace = 0;
+    metrics = Metrics.create ();
+  }
+
+let tracing t = t.tracing
+let set_tracing t flag = t.tracing <- flag
+let metrics t = t.metrics
+
+let start_trace t ~now =
+  if not t.tracing then Span.no_ctx
+  else begin
+    let id = t.next_trace in
+    t.next_trace <- id + 1;
+    t.last_trace <- id;
+    { Span.trace = id; parent = 0; sent_at = now }
+  end
+
+let record t span =
+  t.spans <- span :: t.spans;
+  t.span_count <- t.span_count + 1;
+  if t.span_count > t.span_limit then begin
+    (* Drop the oldest half; amortises the O(n) trim. *)
+    let keep = t.span_limit / 2 in
+    t.spans <- List.filteri (fun i _ -> i < keep) t.spans;
+    t.span_count <- keep
+  end
+
+let start_span t ~ctx ~now ~op ~host ~server ~pid ~context ~index_from =
+  if not (t.tracing && Span.is_traced ctx) then None
+  else begin
+    let id = t.next_span in
+    t.next_span <- id + 1;
+    let span =
+      {
+        Span.trace_id = ctx.Span.trace;
+        span_id = id;
+        parent_id = ctx.Span.parent;
+        op;
+        host;
+        server;
+        pid;
+        context;
+        index_from;
+        index_to = index_from;
+        queue_wait = now -. ctx.Span.sent_at;
+        started = now;
+        finished = now;
+        outcome = "open";
+      }
+    in
+    record t span;
+    Some span
+  end
+
+let finish _t span ~now ?index_to ~outcome () =
+  span.Span.finished <- now;
+  span.Span.outcome <- outcome;
+  match index_to with
+  | Some i -> span.Span.index_to <- i
+  | None -> ()
+
+(* Context a traced hop hands to the request it forwards (or to a fresh
+   transaction it issues): same trace, this span as parent, reissued now. *)
+let child_ctx span ~now =
+  { Span.trace = span.Span.trace_id; parent = span.Span.span_id; sent_at = now }
+
+let last_trace t = if t.last_trace = 0 then None else Some t.last_trace
+
+let trace_spans t id =
+  List.filter (fun s -> s.Span.trace_id = id) t.spans
+  |> List.sort (fun a b -> compare a.Span.span_id b.Span.span_id)
+
+let all_spans t =
+  List.sort (fun a b -> compare a.Span.span_id b.Span.span_id) t.spans

@@ -1,0 +1,57 @@
+(** The per-deployment observability handle: trace/span numbering, the
+    bounded span store, and the metrics registry. One hub is shared by
+    every host in a simulated internetwork, so spans from different
+    hosts land in one store keyed by trace id.
+
+    Nothing here reads or advances the simulation clock — callers pass
+    [~now] — so simulated timings are bit-identical with observability
+    on or off. *)
+
+type t
+
+(** [create ()] makes a hub with tracing off (metrics enabled). The
+    span store keeps at most [span_limit] spans, dropping oldest. *)
+val create : ?tracing:bool -> ?span_limit:int -> unit -> t
+
+val tracing : t -> bool
+val set_tracing : t -> bool -> unit
+val metrics : t -> Metrics.t
+
+(** [start_trace t ~now] allocates a fresh trace and returns the context
+    to attach to the outgoing request. Returns {!Span.no_ctx} when
+    tracing is off. *)
+val start_trace : t -> now:float -> Span.ctx
+
+(** [start_span t ~ctx ...] opens a span for one hop of a traced
+    request; [None] when tracing is off or [ctx] is untraced. The span
+    is already recorded in the store — mutate it via {!finish}. *)
+val start_span :
+  t ->
+  ctx:Span.ctx ->
+  now:float ->
+  op:string ->
+  host:string ->
+  server:string ->
+  pid:int ->
+  context:int ->
+  index_from:int ->
+  Span.t option
+
+(** [finish t span ~now ?index_to ~outcome ()] closes a span, recording
+    completion time, consumed name index, and outcome (a reply code
+    string, or ["forward"]). *)
+val finish :
+  t -> Span.t -> now:float -> ?index_to:int -> outcome:string -> unit -> unit
+
+(** [child_ctx span ~now] is the context a traced hop attaches to the
+    request it forwards: same trace, [span] as parent, reissued at
+    [now]. *)
+val child_ctx : Span.t -> now:float -> Span.ctx
+
+(** Most recently started trace id, if any trace has been started. *)
+val last_trace : t -> int option
+
+(** All stored spans of a trace, ordered by span id (creation order). *)
+val trace_spans : t -> int -> Span.t list
+
+val all_spans : t -> Span.t list

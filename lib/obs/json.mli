@@ -1,0 +1,19 @@
+(** A minimal JSON tree and printer for the observability exporters.
+
+    NaN and infinite floats render as [null] (JSON has no spelling for
+    them); strings are escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** The field [k] of an object, if present ([None] for non-objects). *)
+val member : string -> t -> t option

@@ -1,0 +1,268 @@
+(* The metrics registry: named counters, gauges and fixed-bucket latency
+   histograms, keyed by (host, server, operation).
+
+   The registry is designed for the simulation's hot paths: recording
+   never touches simulated time (so instrumented and uninstrumented runs
+   are bit-identical), and a disabled registry reduces every operation
+   to one boolean test. Instruments are created lazily on first use, so
+   call sites need no setup. *)
+
+type key = { host : string; server : string; op : string }
+
+let pp_key ppf k = Fmt.pf ppf "%s/%s/%s" k.host k.server k.op
+
+let key_json k =
+  [
+    ("host", Json.String k.host);
+    ("server", Json.String k.server);
+    ("op", Json.String k.op);
+  ]
+
+(* --- fixed-bucket histograms --- *)
+
+module Histogram = struct
+  (* [bounds] are strictly increasing bucket upper bounds; counts has
+     one extra slot for the overflow bucket. Observed extrema are kept
+     so quantile interpolation can clamp the open-ended end buckets. *)
+  type t = {
+    bounds : float array;
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  (* Default bounds suit simulated-ms latencies: sub-ms locals through
+     multi-second bulk transfers. *)
+  let default_bounds =
+    [| 0.1; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0;
+       256.0; 512.0; 1024.0; 4096.0 |]
+
+  let create ?(bounds = default_bounds) () =
+    if Array.length bounds = 0 then invalid_arg "Histogram.create: no bounds";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && bounds.(i - 1) >= b then
+          invalid_arg "Histogram.create: bounds not increasing")
+      bounds;
+    {
+      bounds;
+      counts = Array.make (Array.length bounds + 1) 0;
+      n = 0;
+      sum = 0.0;
+      lo = infinity;
+      hi = neg_infinity;
+    }
+
+  let bucket_of t x =
+    (* Linear scan: bucket counts are small and fixed. *)
+    let rec find i =
+      if i >= Array.length t.bounds then i
+      else if x <= t.bounds.(i) then i
+      else find (i + 1)
+    in
+    find 0
+
+  let observe t x =
+    t.counts.(bucket_of t x) <- t.counts.(bucket_of t x) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let sum t = t.sum
+  let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+  let min_ t = if t.n = 0 then nan else t.lo
+  let max_ t = if t.n = 0 then nan else t.hi
+
+  (* Lower edge of bucket [b], clamped to the observed minimum for the
+     first occupied bucket; upper edge clamped to the observed maximum
+     for the overflow bucket. *)
+  let bucket_edges t b =
+    let lower = if b = 0 then t.lo else t.bounds.(b - 1) in
+    let upper = if b >= Array.length t.bounds then t.hi else t.bounds.(b) in
+    (Float.max lower t.lo |> Float.min t.hi, Float.min upper t.hi)
+
+  (* Quantile by linear interpolation inside the bucket holding the
+     target rank — the standard estimate for pre-aggregated samples.
+     Error is bounded by the width of that bucket. *)
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+    if t.n = 0 then nan
+    else begin
+      let target = q *. float_of_int t.n in
+      let rec walk b cum =
+        if b >= Array.length t.counts then t.hi
+        else begin
+          let c = t.counts.(b) in
+          let cum' = cum +. float_of_int c in
+          if c > 0 && cum' >= target then begin
+            let lower, upper = bucket_edges t b in
+            let frac =
+              if c = 0 then 0.0
+              else Float.max 0.0 (target -. cum) /. float_of_int c
+            in
+            lower +. (frac *. (upper -. lower))
+          end
+          else walk (b + 1) cum'
+        end
+      in
+      walk 0 0.0 |> Float.max t.lo |> Float.min t.hi
+    end
+
+  (* (lower, upper, count) rows for the occupied range. *)
+  let buckets t =
+    List.init
+      (Array.length t.counts)
+      (fun b ->
+        let lower, upper = bucket_edges t b in
+        (lower, upper, t.counts.(b)))
+    |> List.filter (fun (_, _, c) -> c > 0)
+
+  let to_json t =
+    Json.Obj
+      [
+        ("count", Json.Int t.n);
+        ("sum", Json.Float t.sum);
+        ("mean", Json.Float (mean t));
+        ("min", Json.Float (min_ t));
+        ("max", Json.Float (max_ t));
+        ("p50", Json.Float (quantile t 0.5));
+        ("p95", Json.Float (quantile t 0.95));
+        ("p99", Json.Float (quantile t 0.99));
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (lower, upper, c) ->
+                 Json.Obj
+                   [
+                     ("le", Json.Float upper);
+                     ("ge", Json.Float lower);
+                     ("count", Json.Int c);
+                   ])
+               (buckets t)) );
+      ]
+
+  let pp ppf t =
+    Fmt.pf ppf "n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f" t.n
+      (mean t) (quantile t 0.5) (quantile t 0.95) (quantile t 0.99) (max_ t)
+end
+
+(* --- the registry --- *)
+
+type t = {
+  mutable enabled : bool;
+  bounds : float array;
+  counters : (key, int ref) Hashtbl.t;
+  gauges : (key, float ref) Hashtbl.t;
+  histograms : (key, Histogram.t) Hashtbl.t;
+}
+
+let create ?(bounds = Histogram.default_bounds) () =
+  {
+    enabled = true;
+    bounds;
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 32;
+  }
+
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+
+let incr ?(by = 1) t ~host ~server ~op =
+  if t.enabled then begin
+    let k = { host; server; op } in
+    match Hashtbl.find_opt t.counters k with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace t.counters k (ref by)
+  end
+
+let set_gauge t ~host ~server ~op v =
+  if t.enabled then begin
+    let k = { host; server; op } in
+    match Hashtbl.find_opt t.gauges k with
+    | Some r -> r := v
+    | None -> Hashtbl.replace t.gauges k (ref v)
+  end
+
+let observe t ~host ~server ~op v =
+  if t.enabled then begin
+    let k = { host; server; op } in
+    let h =
+      match Hashtbl.find_opt t.histograms k with
+      | Some h -> h
+      | None ->
+          let h = Histogram.create ~bounds:t.bounds () in
+          Hashtbl.replace t.histograms k h;
+          h
+    in
+    Histogram.observe h v
+  end
+
+let counter_value t ~host ~server ~op =
+  match Hashtbl.find_opt t.counters { host; server; op } with
+  | Some r -> !r
+  | None -> 0
+
+let gauge_value t ~host ~server ~op =
+  Option.map ( ! ) (Hashtbl.find_opt t.gauges { host; server; op })
+
+let histogram t ~host ~server ~op =
+  Hashtbl.find_opt t.histograms { host; server; op }
+
+let compare_key a b =
+  match String.compare a.host b.host with
+  | 0 -> (
+      match String.compare a.server b.server with
+      | 0 -> String.compare a.op b.op
+      | c -> c)
+  | c -> c
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+let gauges t = sorted_bindings t.gauges ( ! )
+let histograms t = sorted_bindings t.histograms Fun.id
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms
+
+let to_json t =
+  let instrument extra k = Json.Obj (key_json k @ extra) in
+  Json.Obj
+    [
+      ( "counters",
+        Json.List
+          (List.map
+             (fun (k, v) -> instrument [ ("value", Json.Int v) ] k)
+             (counters t)) );
+      ( "gauges",
+        Json.List
+          (List.map
+             (fun (k, v) -> instrument [ ("value", Json.Float v) ] k)
+             (gauges t)) );
+      ( "histograms",
+        Json.List
+          (List.map
+             (fun (k, h) ->
+               instrument [ ("histogram", Histogram.to_json h) ] k)
+             (histograms t)) );
+    ]
+
+let pp ppf t =
+  List.iter
+    (fun (k, v) -> Fmt.pf ppf "%a = %d@." pp_key k v)
+    (counters t);
+  List.iter
+    (fun (k, v) -> Fmt.pf ppf "%a = %.3f@." pp_key k v)
+    (gauges t);
+  List.iter
+    (fun (k, h) -> Fmt.pf ppf "%a: %a@." pp_key k Histogram.pp h)
+    (histograms t)

@@ -1,0 +1,77 @@
+(** The metrics registry: counters, gauges and fixed-bucket latency
+    histograms keyed by (host, server, operation).
+
+    Recording never touches simulated time, so instrumented and
+    uninstrumented runs produce bit-identical results; a disabled
+    registry reduces every recording call to one boolean test.
+    Instruments are created lazily on first use. *)
+
+type key = { host : string; server : string; op : string }
+
+val pp_key : Format.formatter -> key -> unit
+
+module Histogram : sig
+  type t
+
+  (** Bucket upper bounds in simulated ms, suitable for IPC and file
+      access latencies. *)
+  val default_bounds : float array
+
+  (** [create ~bounds ()] makes an empty histogram. [bounds] must be
+      strictly increasing; an overflow bucket is added automatically.
+      @raise Invalid_argument on empty or non-increasing bounds. *)
+  val create : ?bounds:float array -> unit -> t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  (** [mean], [min_], [max_] are [nan] on an empty histogram. *)
+  val mean : t -> float
+
+  val min_ : t -> float
+  val max_ : t -> float
+
+  (** [quantile t q] estimates the [q]-quantile by linear interpolation
+      inside the bucket holding the target rank, clamped to the observed
+      [min_, max_] range. [nan] on an empty histogram.
+      @raise Invalid_argument unless [0 <= q <= 1]. *)
+  val quantile : t -> float -> float
+
+  (** Occupied buckets as [(lower, upper, count)] rows, edges clamped
+      to the observed range. *)
+  val buckets : t -> (float * float * int) list
+
+  val to_json : t -> Json.t
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+
+val create : ?bounds:float array -> unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** Recording. All are no-ops when the registry is disabled. *)
+
+val incr : ?by:int -> t -> host:string -> server:string -> op:string -> unit
+val set_gauge : t -> host:string -> server:string -> op:string -> float -> unit
+val observe : t -> host:string -> server:string -> op:string -> float -> unit
+
+(** Reading. *)
+
+(** [counter_value] is 0 for a counter never incremented. *)
+val counter_value : t -> host:string -> server:string -> op:string -> int
+
+val gauge_value : t -> host:string -> server:string -> op:string -> float option
+val histogram : t -> host:string -> server:string -> op:string -> Histogram.t option
+
+(** All instruments, sorted by (host, server, op). *)
+
+val counters : t -> (key * int) list
+val gauges : t -> (key * float) list
+val histograms : t -> (key * Histogram.t) list
+
+val reset : t -> unit
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

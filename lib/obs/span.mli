@@ -1,0 +1,36 @@
+(** The span/trace model: a trace follows one CSNH request across every
+    server it visits; a span is one hop. See {!Hub} for creation and
+    storage — this module is the pure data model. *)
+
+(** What travels with a request: trace id, parent span id, and the
+    simulated time the request was (re)issued. *)
+type ctx = { trace : int; parent : int; sent_at : float }
+
+(** The untraced context (trace id 0), the default on every request. *)
+val no_ctx : ctx
+
+val is_traced : ctx -> bool
+
+type t = {
+  trace_id : int;
+  span_id : int;
+  parent_id : int;  (** 0 for a root span *)
+  op : string;
+  host : string;
+  server : string;
+  pid : int;
+  context : int;
+  index_from : int;
+  mutable index_to : int;
+  queue_wait : float;
+      (** sim ms between issue and this hop starting: wire + queueing *)
+  started : float;
+  mutable finished : float;
+  mutable outcome : string;  (** reply code, or "forward" *)
+}
+
+(** Time this hop itself spent on the request, in simulated ms. *)
+val service_ms : t -> float
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

@@ -86,13 +86,68 @@ let route env name =
 
 let charge_stub env = Vsim.Proc.delay (engine env) Calibration.client_stub_cpu
 
+(* --- observability ---
+
+   Every named operation gets (when a hub is attached to the domain) a
+   latency histogram sample keyed (workstation, "runtime", op), and —
+   when tracing is on — one root span per operation; the request sent
+   carries the root's child context, so server-side hops hang under it.
+   One root span covers all retry attempts of an operation. *)
+
+let obs_hub env = Kernel.obs (Kernel.domain_of_self env.self)
+
+let obs_root env ~op ~context =
+  match obs_hub env with
+  | None -> None
+  | Some hub ->
+      let t0 = Vsim.Engine.now (engine env) in
+      let ctx = Vobs.Hub.start_trace hub ~now:t0 in
+      Option.map
+        (fun span -> (hub, span))
+        (Vobs.Hub.start_span hub ~ctx ~now:t0 ~op:("client:" ^ op)
+           ~host:(Kernel.self_host_name env.self)
+           ~server:"runtime"
+           ~pid:(Pid.to_int (Kernel.self_pid env.self))
+           ~context ~index_from:0)
+
+(* Attach the request of one attempt to the root span. *)
+let obs_attach env root (req : Csname.req) =
+  match root with
+  | None -> req
+  | Some (_, span) ->
+      let now = Vsim.Engine.now (engine env) in
+      { req with Csname.trace = Vobs.Hub.child_ctx span ~now }
+
+let obs_done env ~op ~t0 root outcome =
+  (match root with
+  | None -> ()
+  | Some (hub, span) ->
+      Vobs.Hub.finish hub span
+        ~now:(Vsim.Engine.now (engine env))
+        ~outcome ());
+  match obs_hub env with
+  | None -> ()
+  | Some hub ->
+      Vobs.Metrics.observe (Vobs.Hub.metrics hub)
+        ~host:(Kernel.self_host_name env.self)
+        ~server:"runtime" ~op
+        (Vsim.Engine.now (engine env) -. t0)
+
+let outcome_of_result = function
+  | Ok _ -> Reply.to_string Reply.Ok
+  | Error e -> Vio.Verr.to_string e
+
 (* Send a CSname request along the route; on a failure that suggests a
    stale cached binding, invalidate and retry through the prefix
    server. *)
 let transact_name env ~code ?payload ?extra_bytes name =
   charge_stub env;
+  let op = Vmsg.Op.to_string code in
+  let t0 = Vsim.Engine.now (engine env) in
+  let root = obs_root env ~op ~context:env.current.Context.context in
   let attempt r =
-    let msg = Vmsg.request ~name:r.req ?payload ?extra_bytes code in
+    let req = obs_attach env root r.req in
+    let msg = Vmsg.request ~name:req ?payload ?extra_bytes code in
     match Kernel.send env.self r.target msg with
     | Error e -> Error (Vio.Verr.Ipc e)
     | Ok (reply, replier) -> (
@@ -101,19 +156,25 @@ let transact_name env ~code ?payload ?extra_bytes name =
         | Error e -> Error e)
   in
   let r = route env name in
-  match attempt r with
-  | Error (Vio.Verr.Ipc _ | Vio.Verr.Denied (Reply.Bad_context | Reply.Not_found)) as first
-    when r.cached_prefix <> None -> (
-      (* The cached binding may be stale: drop it and go through the
-         prefix server. *)
-      Vsim.Stats.Counter.incr env.cache_stale;
-      (match r.cached_prefix with
-      | Some p -> Hashtbl.remove env.prefix_cache p
-      | None -> ());
-      match attempt { (route env name) with cached_prefix = None } with
-      | Ok _ as ok -> ok
-      | Error _ -> first)
-  | result -> result
+  let result =
+    match attempt r with
+    | Error
+        (Vio.Verr.Ipc _ | Vio.Verr.Denied (Reply.Bad_context | Reply.Not_found))
+      as first
+      when r.cached_prefix <> None -> (
+        (* The cached binding may be stale: drop it and go through the
+           prefix server. *)
+        Vsim.Stats.Counter.incr env.cache_stale;
+        (match r.cached_prefix with
+        | Some p -> Hashtbl.remove env.prefix_cache p
+        | None -> ());
+        match attempt { (route env name) with cached_prefix = None } with
+        | Ok _ as ok -> ok
+        | Error _ -> first)
+    | result -> result
+  in
+  obs_done env ~op ~t0 root (outcome_of_result result);
+  result
 
 (* --- naming operations --- *)
 
@@ -180,8 +241,14 @@ let current_context_name env =
 
 let open_ env ~mode name =
   (* The stub charge happens inside [Vio.Client.open_at]. *)
+  let op = Vmsg.Op.to_string Vmsg.Op.open_instance in
+  let t0 = Vsim.Engine.now (engine env) in
+  let root = obs_root env ~op ~context:env.current.Context.context in
   let r = route env name in
-  Vio.Client.open_at env.self ~server:r.target ~req:r.req ~mode
+  let req = obs_attach env root r.req in
+  let result = Vio.Client.open_at env.self ~server:r.target ~req ~mode in
+  obs_done env ~op ~t0 root (outcome_of_result result);
+  result
 
 let with_instance env ~mode name f =
   match open_ env ~mode name with

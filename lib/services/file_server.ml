@@ -49,6 +49,8 @@ type t = {
   accounts : (string, account) Hashtbl.t;
   stats : Csnh.server_stats;
   mutable pid : Pid.t option;
+  (* Hub and host name for byte-count metrics, set at spawn. *)
+  mutable obs : (Vobs.Hub.t * string) option;
 }
 
 let pid t = match t.pid with Some p -> p | None -> failwith "file server not started"
@@ -404,6 +406,14 @@ let handle_csname t self ~sender (msg : Vmsg.t) _req ctx remaining =
         | _ -> reply Reply.Not_found
       else reply Reply.Bad_operation
 
+(* Count bytes served/stored against (host, server-name, op). *)
+let io_bytes t op n =
+  match t.obs with
+  | None -> ()
+  | Some (hub, host) ->
+      Vobs.Metrics.incr (Vobs.Hub.metrics hub) ~by:n ~host
+        ~server:t.server_name ~op
+
 let handle_io t (msg : Vmsg.t) =
   let open Vmsg in
   match msg.payload with
@@ -418,6 +428,7 @@ let handle_io t (msg : Vmsg.t) =
           else begin
             let len = min bs (Bytes.length image - off) in
             let data = Bytes.sub image off len in
+            io_bytes t "read-bytes" len;
             Some (ok ~extra_bytes:len ~payload:(P_data data) ())
           end
       | Some (Open_file f) -> (
@@ -428,6 +439,7 @@ let handle_io t (msg : Vmsg.t) =
               for ahead = 1 to t.read_ahead do
                 Fs.prefetch_block t.fs ~ino:f.of_ino ~block:(block + ahead)
               done;
+              io_bytes t "read-bytes" (Bytes.length data);
               Some (ok ~extra_bytes:(Bytes.length data) ~payload:(P_data data) ())))
   | P_write { instance; block; data } when msg.code = Op.write_instance -> (
       match Hashtbl.find_opt t.instances instance with
@@ -440,7 +452,9 @@ let handle_io t (msg : Vmsg.t) =
               Fs.write_block t.fs ~ino:f.of_ino ~block:(f.of_base_block + block) data
             with
             | Error code -> Some (reply code)
-            | Ok n -> Some (ok ~payload:(P_count n) ())
+            | Ok n ->
+                io_bytes t "write-bytes" n;
+                Some (ok ~payload:(P_count n) ())
           end)
   | P_instance_arg instance when msg.code = Op.query_instance -> (
       match Hashtbl.find_opt t.instances instance with
@@ -530,6 +544,9 @@ let lookup_for_walk t ctx component =
 (* Register the serving process and handlers for an existing state
    record; shared by cold start and restart-from-disk. *)
 let spawn_server host t scope =
+  (match Kernel.obs (Kernel.domain_of_host host) with
+  | Some hub -> t.obs <- Some (hub, Kernel.host_name host)
+  | None -> t.obs <- None);
   let handlers self =
     {
       Csnh.valid_context =
@@ -589,6 +606,7 @@ let start host ~name ?(owner = "system") ?(scope = Service.Both) () =
       accounts = Hashtbl.create 8;
       stats = Csnh.make_stats name;
       pid = None;
+      obs = None;
     }
   in
   (* Standard layout. *)

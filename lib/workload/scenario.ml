@@ -36,6 +36,7 @@ type t = {
       (* a file server co-resident with one workstation, for the
          local-vs-remote measurements of §6 *)
   prng : Vsim.Prng.t;
+  obs : Vobs.Hub.t;
 }
 
 (* Network address plan: workstations from 1, servers from 100. *)
@@ -84,10 +85,17 @@ let to_prefix_target = function
    [local_file_server_on] additionally runs a file server process on
    that workstation (Local scope), bound to the "[localfs]" prefix. *)
 let build ?(config = Calibration.ethernet_3mbit) ?(workstations = 3)
-    ?(file_servers = 2) ?local_file_server_on ?(seed = 42) () =
+    ?(file_servers = 2) ?local_file_server_on ?(seed = 42) ?(tracing = false)
+    () =
   let engine = Vsim.Engine.create () in
   let net = Ethernet.create ~seed ~config engine in
   let domain = Kernel.create_domain ~seed ~cost:Vmsg.cost_model engine net in
+  (* Attach observability before any host boots so every layer sees it.
+     Pure bookkeeping: simulated timings are identical with [tracing]
+     on or off. *)
+  let obs = Vobs.Hub.create ~tracing () in
+  Kernel.set_obs domain obs;
+  Ethernet.set_obs net obs;
   let fss =
     Array.init file_servers (fun i ->
         let host = Kernel.boot_host domain ~name:(Fmt.str "fs%d" i) (fs_addr i) in
@@ -141,6 +149,7 @@ let build ?(config = Calibration.ethernet_3mbit) ?(workstations = 3)
       time_pid;
       local_fs;
       prng = Vsim.Prng.create ~seed;
+      obs;
     }
   in
   (* Install the standard per-user prefixes. *)

@@ -37,6 +37,9 @@ type t = {
       (** a file server co-resident with one workstation (§6's
           local-vs-remote measurements), when requested *)
   prng : Vsim.Prng.t;
+  obs : Vobs.Hub.t;
+      (** the installation's observability hub: metrics always, spans
+          when built with [~tracing:true] *)
 }
 
 (** Network address plan (exposed for fault injection in tests and
@@ -50,13 +53,16 @@ val internet_addr : Ethernet.addr
 
 (** Build the installation; nothing runs until the engine does.
     [local_file_server_on] additionally runs a Local-scope file server
-    process on that workstation, bound to the "[localfs]" prefix. *)
+    process on that workstation, bound to the "[localfs]" prefix.
+    [tracing] turns on distributed tracing in the installation's
+    observability hub (simulated timings are unaffected). *)
 val build :
   ?config:Vnet.Calibration.network ->
   ?workstations:int ->
   ?file_servers:int ->
   ?local_file_server_on:int ->
   ?seed:int ->
+  ?tracing:bool ->
   unit ->
   t
 

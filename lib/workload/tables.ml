@@ -1,6 +1,37 @@
-(* Plain-text table rendering for the benchmark harness. *)
+(* Plain-text table rendering for the benchmark harness.
+
+   Every table printed is also recorded as JSON, grouped under the most
+   recent title, so the harness can dump a machine-readable summary of
+   a run (bench --json FILE) with no per-experiment code. *)
+
+module Json = Vobs.Json
+
+let json_store : (string * Json.t list ref) list ref = ref []
+let current_title = ref "(untitled)"
+
+let record json =
+  let entries =
+    match List.assoc_opt !current_title !json_store with
+    | Some entries -> entries
+    | None ->
+        let entries = ref [] in
+        json_store := !json_store @ [ (!current_title, entries) ];
+        entries
+  in
+  entries := !entries @ [ json ]
+
+let results_json () =
+  Json.Obj
+    (List.map
+       (fun (title, entries) -> (title, Json.List !entries))
+       !json_store)
+
+let reset_results () =
+  json_store := [];
+  current_title := "(untitled)"
 
 let print_title title =
+  current_title := title;
   let bar = String.make (String.length title) '=' in
   Fmt.pr "@.%s@.%s@." title bar
 
@@ -9,7 +40,7 @@ let print_section title =
   Fmt.pr "@.%s@.%s@." title bar
 
 (* Render rows with left-aligned first column and right-aligned rest. *)
-let print_table ~header rows =
+let print_table_text ~header rows =
   let all = header :: rows in
   let columns = List.length header in
   let width c =
@@ -28,6 +59,13 @@ let print_table ~header rows =
     (String.concat "  " (List.map (fun w -> String.make w '-') widths));
   List.iter (fun row -> Fmt.pr "%s@." (render_row row)) rows
 
+let print_table ~header rows =
+  print_table_text ~header rows;
+  List.iter
+    (fun row ->
+      record (Json.Obj (List.map2 (fun k v -> (k, Json.String v)) header row)))
+    rows
+
 type comparison = {
   label : string;
   paper : float option;  (** the figure the paper reports, if any *)
@@ -38,6 +76,18 @@ type comparison = {
 (* Paper-vs-measured with the relative deviation, the core output format
    of EXPERIMENTS.md. *)
 let print_comparison rows =
+  List.iter
+    (fun { label; paper; measured; unit_ } ->
+      record
+        (Json.Obj
+           [
+             ("label", Json.String label);
+             ( "paper",
+               match paper with Some p -> Json.Float p | None -> Json.Null );
+             ("measured", Json.Float measured);
+             ("unit", Json.String unit_);
+           ]))
+    rows;
   let render { label; paper; measured; unit_ } =
     match paper with
     | Some p ->
@@ -49,7 +99,7 @@ let print_comparison rows =
         ]
     | None -> [ label; "-"; Fmt.str "%.2f %s" measured unit_; "-" ]
   in
-  print_table ~header:[ "quantity"; "paper"; "measured"; "deviation" ]
+  print_table_text ~header:[ "quantity"; "paper"; "measured"; "deviation" ]
     (List.map render rows)
 
 let ms v = Fmt.str "%.2f ms" v

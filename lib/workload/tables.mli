@@ -18,3 +18,18 @@ val print_comparison : comparison list -> unit
 
 val ms : float -> string
 val count : int -> string
+
+(** {1 JSON recording}
+
+    Every comparison and table printed is also recorded, grouped under
+    the most recent {!print_title}, so the harness can dump a
+    machine-readable summary of a run. *)
+
+(** Record an extra JSON entry under the current title. *)
+val record : Vobs.Json.t -> unit
+
+(** Everything recorded so far: an object mapping each title to its
+    entries, in print order. *)
+val results_json : unit -> Vobs.Json.t
+
+val reset_results : unit -> unit

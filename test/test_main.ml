@@ -15,4 +15,5 @@ let () =
          Test_forest.suite;
          Test_day.suite;
          Test_edges.suite;
+         Test_obs.suite;
        ])
