@@ -113,7 +113,7 @@ let a2 () =
              ok "A2 direct open"
                (Vio.Client.open_at self ~server:spec.Context.server
                   ~req:(Csname.make_req ~context:spec.Context.context "target.dat")
-                  ~mode:Vmsg.Read)
+                  ~mode:Vmsg.Read ())
            in
            let direct_ms = Vsim.Engine.now eng -. t1 in
            let direct_frames = frames () - f1 in

@@ -19,6 +19,7 @@ let registry =
     ("e5", E5_footprint.run);
     ("e6", E6_comparison.run);
     ("e7", E7_group.run);
+    ("e8", E8_cache.run);
     ("figs", Figures.run);
     ("f1", Figures.f1);
     ("f2", Figures.f2);
@@ -34,14 +35,22 @@ let registry =
   ]
 
 let default =
-  [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "figs"; "ablations"; "day"; "micro" ]
+  [
+    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "figs"; "ablations"; "day";
+    "micro";
+  ]
 
-(* Strip "--json FILE" from the argument list, returning the file. *)
+(* Strip "--json FILE" from the argument list, returning the file.
+   Giving --json twice is ambiguous (which file wins?), so it is an
+   error rather than a silent overwrite. *)
 let rec extract_json_file = function
   | [] -> (None, [])
-  | "--json" :: file :: rest ->
-      let _, names = extract_json_file rest in
-      (Some file, names)
+  | "--json" :: file :: rest -> (
+      match extract_json_file rest with
+      | Some _, _ ->
+          Fmt.epr "--json given twice@.";
+          exit 1
+      | None, names -> (Some file, names))
   | [ "--json" ] ->
       Fmt.epr "--json requires a file argument@.";
       exit 1
@@ -67,15 +76,17 @@ let () =
             exit 1)
   in
   let requested = match names with [] -> default | _ -> names in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name registry with
-      | Some run -> run ()
-      | None ->
-          Fmt.epr "unknown experiment %S; known: %s@." name
-            (String.concat " " (List.map fst registry));
-          exit 1)
-    requested;
+  (* Validate every name up front: an unknown experiment must fail
+     before, not after, the known ones have run for minutes. *)
+  (match List.filter (fun n -> not (List.mem_assoc n registry)) requested with
+  | [] -> ()
+  | unknown ->
+      Fmt.epr "unknown experiment%s %s; known: %s@."
+        (if List.length unknown = 1 then "" else "s")
+        (String.concat " " (List.map (Fmt.str "%S") unknown))
+        (String.concat " " (List.map fst registry));
+      exit 1);
+  List.iter (fun name -> (List.assoc name registry) ()) requested;
   match json_out with
   | None -> ()
   | Some (file, oc) ->

@@ -254,6 +254,40 @@ let cmd_trace sh args =
           Vobs.Export.pp_timeline Fmt.stdout spans;
           Ok ())
 
+let cmd_cache sh args =
+  let stats () =
+    let s = Runtime.name_cache_stats sh.env in
+    pr "name cache: %s, %d/%d entries"
+      (if Runtime.cache_hit_count sh.env + s.Name_cache.misses > 0
+          || s.Name_cache.size > 0
+       then "in use"
+       else "idle")
+      s.Name_cache.size
+      (Name_cache.capacity (Runtime.name_cache sh.env));
+    pr "  hits %d  misses %d  stale %d  evictions %d  insertions %d"
+      s.Name_cache.hits s.Name_cache.misses s.Name_cache.stale
+      s.Name_cache.evictions s.Name_cache.insertions;
+    List.iter
+      (fun (key, spec) ->
+        pr "  %-24s -> pid %d ctx %d" key
+          (Vkernel.Pid.to_int spec.Context.server)
+          spec.Context.context)
+      (Name_cache.to_list (Runtime.name_cache sh.env))
+  in
+  match args with
+  | [ "on" ] ->
+      Runtime.enable_name_cache sh.env true;
+      pr "name cache enabled";
+      Ok ()
+  | [ "off" ] ->
+      Runtime.enable_name_cache sh.env false;
+      pr "name cache disabled";
+      Ok ()
+  | [] | [ "stats" ] ->
+      stats ();
+      Ok ()
+  | _ -> Error (Vio.Verr.Protocol "usage: cache [on|off|stats]")
+
 let cmd_metrics sh args =
   let m = Vobs.Hub.metrics sh.scenario.Scenario.obs in
   (match args with
@@ -292,6 +326,7 @@ let commands :
     ("restart", "FS-INDEX — restart host + fresh server", cmd_restart);
     ("netstat", "— wire and transaction counters", cmd_netstat);
     ("trace", "[ID] — span tree of the last (or given) traced request", cmd_trace);
+    ("cache", "[on|off|stats] — the name-resolution cache", cmd_cache);
     ("metrics", "[json] — observability counters and histograms", cmd_metrics);
     ("echo", "TEXT... — print", cmd_echo);
   ]
@@ -335,6 +370,12 @@ let demo_script =
     "tree [home]";
     "find [home] naming";
     "du [home]";
+    "echo -- the name-resolution cache --";
+    "cache on";
+    "cat [fs1]borrowed/naming.mss";
+    "cat [fs1]borrowed/naming.mss";
+    "cache stats";
+    "cache off";
     "echo -- diverse objects, one interface --";
     "print naming.ps A4 output of the naming paper";
     "tell console executive started";

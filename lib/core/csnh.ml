@@ -180,7 +180,22 @@ let handle_request self handlers stats ~sender (msg : Vmsg.t) =
             | Some code -> Reply.to_string code
             | None -> "reply"
           in
-          finish ~index_to:(consumed_index req remaining) outcome;
+          let index_to = consumed_index req remaining in
+          (* Stamp the resolved binding into successful replies so
+             caching clients learn (name-prefix -> server, context)
+             pairs for free. The stamp fits the 32-byte message proper
+             — no wire bytes, no clock, so non-caching clients see
+             byte- and time-identical behaviour. *)
+          let reply =
+            if Vmsg.succeeded reply && index_to > 0 then
+              Vmsg.with_binding reply
+                {
+                  Vmsg.upto = index_to;
+                  spec = Context.spec ~server:(Kernel.self_pid self) ~context:ctx;
+                }
+            else reply
+          in
+          finish ~index_to outcome;
           reply_with reply)
   | Some _ | None -> (
       metric (Vmsg.Op.to_string msg.Vmsg.code);

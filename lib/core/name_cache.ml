@@ -1,0 +1,192 @@
+(* The client-side name-resolution cache.
+
+   A bounded LRU mapping name prefixes — always whole components, cut at
+   '/' boundaries or just after a ']' — to the (server-pid, context-id)
+   that implements them. Entries are learned from the bindings servers
+   stamp into successful CSname replies (see {!Csnh}) and from explicit
+   MapContext results, and are validated {e on use}: the cache itself
+   never talks to the network. A reply proving a cached binding stale
+   ([Bad_context], [Not_found], or an IPC failure) makes the run-time
+   call {!invalidate}; the next route falls back to the next-shallower
+   cached prefix, or to the prefix server.
+
+   Everything here is pure bookkeeping: no simulated time is charged, so
+   enabling the counters perturbs nothing. *)
+
+type node = {
+  key : string;
+  mutable spec : Context.spec;
+  mutable prev : node option;  (* towards MRU *)
+  mutable next : node option;  (* towards LRU *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stale : int;
+  evictions : int;
+  insertions : int;
+  size : int;
+}
+
+type t = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Name_cache.create: capacity < 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    stale = 0;
+    evictions = 0;
+    insertions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stale = t.stale;
+    evictions = t.evictions;
+    insertions = t.insertions;
+    size = length t;
+  }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None
+
+(* --- the intrusive doubly-linked recency list --- *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some node | None -> t.lru <- Some node);
+  t.mru <- Some node
+
+let touch t node =
+  if t.mru != Some node then begin
+    unlink t node;
+    push_front t node
+  end
+
+(* --- keys ---
+
+   A key is a name prefix cut at a component boundary, stored without
+   trailing separators: "[fs0]", "[fs0]src", "[fs0]src/lib". *)
+
+let normalize_key key =
+  let n = String.length key in
+  let rec last i = if i > 0 && key.[i - 1] = Csname.separator then last (i - 1) else i in
+  let n' = last n in
+  if n' = n then key else String.sub key 0 n'
+
+(* Every prefix of [name] that ends at a component boundary, deepest
+   first: the whole name, each cut before a '/', and the cut just after
+   a ']' (a bare "[prefix]" binds even when no separator follows). *)
+let candidate_cuts name =
+  let n = String.length name in
+  let cuts = ref [] in
+  let add i = if i > 0 && not (List.mem i !cuts) then cuts := i :: !cuts in
+  add n;
+  for i = 0 to n - 1 do
+    if name.[i] = Csname.separator then add i;
+    if name.[i] = Csname.prefix_close then add (i + 1)
+  done;
+  List.sort_uniq (fun a b -> compare b a) !cuts
+
+let find t name =
+  let rec try_cuts = function
+    | [] ->
+        t.misses <- t.misses + 1;
+        None
+    | cut :: rest -> (
+        let key = normalize_key (String.sub name 0 cut) in
+        match Hashtbl.find_opt t.table key with
+        | Some node ->
+            touch t node;
+            t.hits <- t.hits + 1;
+            Some (key, node.spec)
+        | None -> try_cuts rest)
+  in
+  try_cuts (candidate_cuts name)
+
+let mem t key = Hashtbl.mem t.table (normalize_key key)
+
+let find_exact t key =
+  Option.map (fun node -> node.spec) (Hashtbl.find_opt t.table (normalize_key key))
+
+(* [learn t key spec] inserts or refreshes a binding at MRU position,
+   evicting the LRU entry when over capacity. Returns the evicted key so
+   the caller can account for it. *)
+let learn t key spec =
+  let key = normalize_key key in
+  if key = "" then None
+  else
+    match Hashtbl.find_opt t.table key with
+    | Some node ->
+        node.spec <- spec;
+        touch t node;
+        None
+    | None ->
+        let node = { key; spec; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node;
+        t.insertions <- t.insertions + 1;
+        if Hashtbl.length t.table > t.capacity then (
+          match t.lru with
+          | Some victim ->
+              unlink t victim;
+              Hashtbl.remove t.table victim.key;
+              t.evictions <- t.evictions + 1;
+              Some victim.key
+          | None -> None)
+        else None
+
+(* On-use invalidation: a reply proved this binding wrong. *)
+let invalidate t key =
+  let key = normalize_key key in
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key;
+      t.stale <- t.stale + 1;
+      true
+
+(* Keys in MRU-to-LRU order, for tests and inspection. *)
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk ((node.key, node.spec) :: acc) node.next
+  in
+  walk [] t.mru

@@ -1,0 +1,55 @@
+(** The client-side name-resolution cache: a bounded LRU mapping name
+    prefixes (cut at component boundaries) to the (server-pid,
+    context-id) implementing them.
+
+    Entries are learned from the bindings servers stamp into successful
+    CSname replies and validated {e on use}: the run-time evicts an
+    entry when a reply proves it stale ([Bad_context] / [Not_found] /
+    IPC failure) and falls back one prefix level. The cache itself never
+    performs network activity and never touches simulated time. *)
+
+type t
+
+(** Cumulative counters plus the current entry count. *)
+type stats = {
+  hits : int;  (** [find] returned a binding *)
+  misses : int;  (** [find] found nothing at any boundary *)
+  stale : int;  (** on-use invalidations *)
+  evictions : int;  (** capacity evictions (LRU end) *)
+  insertions : int;  (** distinct keys inserted *)
+  size : int;
+}
+
+val default_capacity : int
+
+(** [create ?capacity ()] — capacity must be at least 1. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+val length : t -> int
+val stats : t -> stats
+
+(** Drop every entry (counters are kept). *)
+val clear : t -> unit
+
+(** [find t name] returns the deepest cached prefix of [name] that ends
+    at a component boundary ('/' or just after ']'), with its binding,
+    promoting the entry to most-recently-used. Counts a hit or miss. *)
+val find : t -> string -> (string * Context.spec) option
+
+val mem : t -> string -> bool
+
+(** Exact-key lookup without touching recency or counters. *)
+val find_exact : t -> string -> Context.spec option
+
+(** [learn t key spec] inserts or refreshes a binding (trailing
+    separators of [key] are stripped); returns the key evicted to make
+    room, if the cache was full. *)
+val learn : t -> string -> Context.spec -> string option
+
+(** [invalidate t key] removes a binding proved stale on use; returns
+    whether it was present. Counts towards [stale]. *)
+val invalidate : t -> string -> bool
+
+(** Bindings in MRU-to-LRU order (tests / inspection). *)
+val to_list : t -> (string * Context.spec) list

@@ -122,6 +122,19 @@ let obs_metric self op =
         ~host:(Kernel.self_host_name self)
         ~server:(Kernel.self_name self) ~op
 
+(* A forward to a resolved binding failed: the kernel has already failed
+   the sender's transaction, so the client sees the error and retries.
+   What must happen here is that the retry resolves afresh — for a
+   logical binding whose pid came from the GetPid cache, drop the stale
+   entry (on-use invalidation). Bookkeeping only; no simulated time. *)
+let forward_failed self target =
+  match target with
+  | Logical { service; _ }
+    when Kernel.getpid_cache_enabled (Kernel.domain_of_self self) ->
+      Kernel.drop_cached_pid self ~service;
+      obs_metric self "logical-stale"
+  | Logical _ | Static _ | Replicated _ -> ()
+
 let obs_start self (msg : Vmsg.t) (req : Csname.req) =
   match Kernel.obs (Kernel.domain_of_self self) with
   | None -> None
@@ -195,9 +208,12 @@ let handle_prefixed t self ~sender (msg : Vmsg.t) req =
                 obs_reparent self span
                   { req' with Csname.context = spec.Context.context }
               in
-              ignore
-                (Kernel.forward self ~from_:sender ~to_:spec.Context.server
-                   (Vmsg.with_name msg req'))))
+              match
+                Kernel.forward self ~from_:sender ~to_:spec.Context.server
+                  (Vmsg.with_name msg req')
+              with
+              | Ok () -> ()
+              | Error _ -> forward_failed self target))
 
 (* Add/delete name operations (§5.7, optional, "ordinarily implemented
    only in context prefix servers"). The subject is the binding itself,
@@ -324,9 +340,12 @@ let handle_unprefixed t self ~now ~sender (msg : Vmsg.t) req =
                     in
                     obs_finish self span ~index_to:req'.Csname.index "forward";
                     let req' = obs_reparent self span req' in
-                    ignore
-                      (Kernel.forward self ~from_:sender
-                         ~to_:spec.Context.server (Vmsg.with_name msg req'))))
+                    match
+                      Kernel.forward self ~from_:sender
+                        ~to_:spec.Context.server (Vmsg.with_name msg req')
+                    with
+                    | Ok () -> ()
+                    | Error _ -> forward_failed self target))
       end
 
 let handle_other t self (msg : Vmsg.t) =

@@ -16,6 +16,15 @@ module Kernel = Vkernel.Kernel
 type payload = ..
 type payload += No_payload
 
+(* The resolution binding a CSNH server stamps into a successful reply:
+   how far into the name interpretation reached, and the (server-pid,
+   context-id) implementing the context at that point. Clients that keep
+   a name-resolution cache learn bindings for free from it; everyone
+   else ignores it. Like [Csname.req.trace], it fits the fixed 32-byte
+   message proper and contributes nothing to [payload_bytes], so wire
+   timings are identical whether any client caches or not. *)
+type binding = { upto : int; spec : Context.spec }
+
 type t = {
   code : int;  (** request code, or reply code for replies *)
   is_reply : bool;
@@ -24,6 +33,8 @@ type t = {
   extra_bytes : int;
       (** wire bytes beyond the 32-byte message and the name segment:
           bulk data, directory records, etc. *)
+  binding : binding option;
+      (** resolution binding stamped into successful CSname replies *)
 }
 
 (* --- operation codes --- *)
@@ -134,10 +145,17 @@ type payload +=
 (* --- constructors --- *)
 
 let request ?name ?(extra_bytes = 0) ?(payload = No_payload) code =
-  { code; is_reply = false; name; payload; extra_bytes }
+  { code; is_reply = false; name; payload; extra_bytes; binding = None }
 
 let reply ?(extra_bytes = 0) ?(payload = No_payload) code =
-  { code = Reply.to_int code; is_reply = true; name = None; payload; extra_bytes }
+  {
+    code = Reply.to_int code;
+    is_reply = true;
+    name = None;
+    payload;
+    extra_bytes;
+    binding = None;
+  }
 
 let ok ?extra_bytes ?payload () = reply ?extra_bytes ?payload Reply.Ok
 
@@ -155,6 +173,9 @@ let succeeded m = reply_code m = Some Reply.Ok
    rest of the (possibly not understood) message intact — the rewrite a
    CSNH server performs before forwarding (§5.4). *)
 let with_name m name = { m with name = Some name }
+
+(* Stamp (or overwrite) the resolution binding of a reply. *)
+let with_binding m binding = { m with binding = Some binding }
 
 (* --- kernel cost model --- *)
 

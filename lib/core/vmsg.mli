@@ -16,6 +16,14 @@ module Kernel = Vkernel.Kernel
 type payload = ..
 type payload += No_payload
 
+(** The resolution binding a CSNH server stamps into a successful
+    reply: how far into the name interpretation reached ([upto], an
+    index into the request's name) and the (server-pid, context-id)
+    implementing the context there. Fits the fixed 32-byte message
+    proper, so it adds no wire bytes; clients with a name-resolution
+    cache learn from it, everyone else ignores it. *)
+type binding = { upto : int; spec : Context.spec }
+
 type t = {
   code : int;  (** request code, or reply code for replies *)
   is_reply : bool;
@@ -24,6 +32,8 @@ type t = {
   extra_bytes : int;
       (** wire bytes beyond the 32-byte message and the name segment:
           bulk data, directory records, etc. *)
+  binding : binding option;
+      (** resolution binding stamped into successful CSname replies *)
 }
 
 (** Operation codes. Codes in [\[100, 120)] are CSname requests and must
@@ -100,6 +110,9 @@ val succeeded : t -> bool
     understood) rest of the message intact — the §5.4 forwarding
     rewrite. *)
 val with_name : t -> Csname.req -> t
+
+(** Stamp the resolution binding of a reply. *)
+val with_binding : t -> binding -> t
 
 (** Wire bytes beyond the 32-byte message proper. *)
 val payload_bytes : t -> int

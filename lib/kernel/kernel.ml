@@ -93,6 +93,12 @@ and 'm host = {
   pendings : (int, 'm pending) Hashtbl.t; (* txn -> blocked local sender *)
   moves : (int, 'm move_op) Hashtbl.t;
   getpid_waits : (int, Pid.t option -> unit) Hashtbl.t;
+  (* Optional service -> pid cache for broadcast GetPid results, shared
+     by the host's processes (the prefix server's logical bindings are
+     the intended user). Gated by [getpid_cache_on]; entries are
+     validated on use — a failed send/forward to a cached pid is the
+     invalidation signal (see [drop_cached_pid]). *)
+  getpid_cache : (int, Pid.t) Hashtbl.t;
   (* At-most-once machinery for retransmitted requests: transactions
      already delivered to a process here, and cached replies to replay
      when the reply frame itself was lost. *)
@@ -115,6 +121,7 @@ and 'm domain = {
   domain_prng : Vsim.Prng.t;
   mutable trace : Vsim.Trace.t option;
   mutable domain_obs : Vobs.Hub.t option;
+  mutable getpid_cache_on : bool;
   ipc_transactions : Vsim.Stats.Counter.t;
 }
 
@@ -687,6 +694,12 @@ let get_pid proc ~service scope =
   match local_service_lookup host ~service ~origin:`Local_query with
   | Some pid when alive d pid -> Some pid
   | _ when scope = Service.Local -> None
+  | _ when d.getpid_cache_on && Hashtbl.mem host.getpid_cache service ->
+      (* Cached broadcast result. Deliberately no liveness check: the
+         cache is validated on use — the failure of the send or forward
+         that follows is what invalidates it (drop_cached_pid). *)
+      count_op host "get-pid-cached";
+      Some (Hashtbl.find host.getpid_cache service)
   | _ ->
       (* Broadcast query; first responder wins (§4.2). *)
       charge proc Calibration.small_packet_send_cpu;
@@ -706,7 +719,30 @@ let get_pid proc ~service scope =
             Engine.schedule ~delay:Calibration.getpid_timeout_ms d.engine
               (fun () -> settle None))
       in
+      (if d.getpid_cache_on then
+         match answer with
+         | Some pid -> Hashtbl.replace host.getpid_cache service pid
+         | None -> ());
       answer
+
+(* Enable or disable the GetPid result cache; disabling flushes every
+   host's cache so behaviour reverts exactly to the uncached kernel. *)
+let set_getpid_cache d flag =
+  d.getpid_cache_on <- flag;
+  if not flag then
+    Hashtbl.iter (fun _ host -> Hashtbl.reset host.getpid_cache) d.all_hosts
+
+let getpid_cache_enabled d = d.getpid_cache_on
+
+(* On-use invalidation: a send or forward to the cached pid failed, so
+   the binding is stale. The caller's client sees that failure and
+   retries; the retry's GetPid broadcasts afresh. *)
+let drop_cached_pid proc ~service =
+  let host = proc.proc_host in
+  if Hashtbl.mem host.getpid_cache service then begin
+    Hashtbl.remove host.getpid_cache service;
+    count_op host "get-pid-stale"
+  end
 
 (* --- process groups and multicast Send (§2.3, §7) --- *)
 
@@ -950,6 +986,7 @@ let create_domain ?(seed = 42) ~cost engine net =
       domain_prng = Vsim.Prng.create ~seed;
       trace = None;
       domain_obs = None;
+      getpid_cache_on = false;
       ipc_transactions = Vsim.Stats.Counter.create "ipc-transactions";
     }
   in
@@ -979,6 +1016,7 @@ let boot_host d ~name addr =
       pendings = Hashtbl.create 16;
       moves = Hashtbl.create 8;
       getpid_waits = Hashtbl.create 8;
+      getpid_cache = Hashtbl.create 8;
       delivered_txns = Hashtbl.create 64;
       completed_replies = Hashtbl.create 64;
       group_members = Hashtbl.create 8;
@@ -1021,6 +1059,7 @@ let crash_host host =
     Hashtbl.reset host.pendings;
     Hashtbl.reset host.moves;
     Hashtbl.reset host.getpid_waits;
+    Hashtbl.reset host.getpid_cache;
     Hashtbl.reset host.delivered_txns;
     Hashtbl.reset host.completed_replies;
     Hashtbl.iter

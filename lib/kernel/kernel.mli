@@ -148,8 +148,24 @@ val clear_pid : 'm host -> service:int -> Pid.t -> unit
 
 (** Look up a service: the local table first, then (unless scope is
     [Local]) a broadcast query answered by the first kernel with a
-    Remote/Both registration. *)
+    Remote/Both registration. With the GetPid cache enabled, a prior
+    broadcast result for the service is returned instead of
+    re-broadcasting — deliberately without a liveness check, since the
+    cache is validated on use (see {!drop_cached_pid}). *)
 val get_pid : 'm self -> service:int -> Service.scope -> Pid.t option
+
+(** Enable or disable the per-host cache of broadcast GetPid results
+    (default off). Disabling flushes every host's cache, reverting
+    behaviour exactly to the uncached kernel. *)
+val set_getpid_cache : 'm domain -> bool -> unit
+
+val getpid_cache_enabled : 'm domain -> bool
+
+(** On-use invalidation of the GetPid cache: call when a send or
+    forward to a cached pid failed. The next [get_pid] for the service
+    broadcasts afresh. Counts (host, "kernel", "get-pid-stale") when an
+    entry was dropped. *)
+val drop_cached_pid : 'm self -> service:int -> unit
 
 (** {1 Process groups and multicast Send (§7)} *)
 

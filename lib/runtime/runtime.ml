@@ -7,7 +7,17 @@
    otherwise it is sent directly to the server implementing the current
    context, with the current context identifier filled into the message.
    "The code that checks for the '[' character is localized in a single
-   common routine." *)
+   common routine."
+
+   The routing routine optionally consults a client-side
+   name-resolution cache ({!Vnaming.Name_cache}): a bounded LRU of
+   name-prefix -> (server, context) bindings, learned from the bindings
+   servers stamp into successful replies, and validated on use — a
+   reply proving a cached binding stale evicts it, falls back one
+   prefix level (the next-deepest cached prefix, or the prefix server)
+   and retries. Off by default: the paper argues against client-side
+   name caching (§2.2) precisely because of the consistency problem the
+   on-use protocol addresses. *)
 
 module Kernel = Vkernel.Kernel
 module Pid = Vkernel.Pid
@@ -19,13 +29,10 @@ type env = {
   self : Vmsg.t Kernel.self;
   prefix_server : Pid.t;
   mutable current : Context.spec;
-  (* Optional client-side cache of prefix -> context bindings: the
-     ablation the paper argues against ("caching the name in the client
-     would introduce inconsistency problems", §2.2). *)
-  mutable prefix_cache_enabled : bool;
-  prefix_cache : (string, Context.spec) Hashtbl.t;
-  cache_hits : Vsim.Stats.Counter.t;
-  cache_stale : Vsim.Stats.Counter.t;
+  (* The client-side name-resolution cache; consulted (and fed) only
+     when [name_cache_enabled]. *)
+  mutable name_cache_enabled : bool;
+  mutable name_cache : Name_cache.t;
 }
 
 let engine env = Kernel.engine_of_domain (Kernel.domain_of_self env.self)
@@ -33,12 +40,21 @@ let self env = env.self
 let current_context env = env.current
 let set_current_context env spec = env.current <- spec
 
-let enable_prefix_cache env flag =
-  env.prefix_cache_enabled <- flag;
-  if not flag then Hashtbl.reset env.prefix_cache
+let enable_name_cache env ?capacity flag =
+  (match capacity with
+  | Some c -> env.name_cache <- Name_cache.create ~capacity:c ()
+  | None -> ());
+  env.name_cache_enabled <- flag;
+  if not flag then Name_cache.clear env.name_cache
 
-let cache_hit_count env = Vsim.Stats.Counter.value env.cache_hits
-let cache_stale_count env = Vsim.Stats.Counter.value env.cache_stale
+(* Backwards-compatible alias from when the cache held only whole
+   '[prefix]' bindings. *)
+let enable_prefix_cache env flag = enable_name_cache env flag
+
+let name_cache env = env.name_cache
+let name_cache_stats env = Name_cache.stats env.name_cache
+let cache_hit_count env = (name_cache_stats env).Name_cache.hits
+let cache_stale_count env = (name_cache_stats env).Name_cache.stale
 
 (* [make self ~current] builds a program environment: the program is
    passed its current context; the workstation's context prefix server
@@ -52,39 +68,9 @@ let make self ~current =
           self;
           prefix_server;
           current;
-          prefix_cache_enabled = false;
-          prefix_cache = Hashtbl.create 8;
-          cache_hits = Vsim.Stats.Counter.create "prefix-cache.hits";
-          cache_stale = Vsim.Stats.Counter.create "prefix-cache.stale";
+          name_cache_enabled = false;
+          name_cache = Name_cache.create ();
         }
-
-(* --- the single common routing routine --- *)
-
-type route = { target : Pid.t; req : Csname.req; cached_prefix : string option }
-
-let route env name =
-  let req = Csname.make_req name in
-  if Csname.starts_with_prefix req then
-    if env.prefix_cache_enabled then
-      match Csname.parse_prefix req with
-      | Ok (prefix, rest) when Hashtbl.mem env.prefix_cache prefix ->
-          let spec = Hashtbl.find env.prefix_cache prefix in
-          Vsim.Stats.Counter.incr env.cache_hits;
-          {
-            target = spec.Context.server;
-            req = { rest with Csname.context = spec.Context.context };
-            cached_prefix = Some prefix;
-          }
-      | _ -> { target = env.prefix_server; req; cached_prefix = None }
-    else { target = env.prefix_server; req; cached_prefix = None }
-  else
-    {
-      target = env.current.Context.server;
-      req = { req with Csname.context = env.current.Context.context };
-      cached_prefix = None;
-    }
-
-let charge_stub env = Vsim.Proc.delay (engine env) Calibration.client_stub_cpu
 
 (* --- observability ---
 
@@ -92,9 +78,21 @@ let charge_stub env = Vsim.Proc.delay (engine env) Calibration.client_stub_cpu
    latency histogram sample keyed (workstation, "runtime", op), and —
    when tracing is on — one root span per operation; the request sent
    carries the root's child context, so server-side hops hang under it.
-   One root span covers all retry attempts of an operation. *)
+   One root span covers all retry attempts of an operation; when the
+   first attempt used a cached binding, the root's op carries a
+   "[cached]" tag. Cache counters land under (workstation, "runtime")
+   with cache-prefixed op names. All bookkeeping: nothing here touches
+   simulated time. *)
 
 let obs_hub env = Kernel.obs (Kernel.domain_of_self env.self)
+
+let obs_cache_metric env op =
+  match obs_hub env with
+  | None -> ()
+  | Some hub ->
+      Vobs.Metrics.incr (Vobs.Hub.metrics hub)
+        ~host:(Kernel.self_host_name env.self)
+        ~server:"runtime" ~op
 
 let obs_root env ~op ~context =
   match obs_hub env with
@@ -137,14 +135,129 @@ let outcome_of_result = function
   | Ok _ -> Reply.to_string Reply.Ok
   | Error e -> Vio.Verr.to_string e
 
+(* --- the single common routing routine --- *)
+
+type route = { target : Pid.t; req : Csname.req; cached_prefix : string option }
+
+let skip_separators name i =
+  let rec loop i =
+    if i < String.length name && name.[i] = Csname.separator then loop (i + 1)
+    else i
+  in
+  loop i
+
+let route env name =
+  let req = Csname.make_req name in
+  if Csname.starts_with_prefix req then begin
+    let cached =
+      if env.name_cache_enabled then Name_cache.find env.name_cache name
+      else None
+    in
+    match cached with
+    | Some (key, spec) ->
+        (* Deepest cached prefix: start interpretation just past it, in
+           the cached context, directly at the implementing server. *)
+        obs_cache_metric env "cache-hit";
+        {
+          target = spec.Context.server;
+          req =
+            {
+              req with
+              Csname.index = skip_separators name (String.length key);
+              context = spec.Context.context;
+            };
+          cached_prefix = Some key;
+        }
+    | None ->
+        if env.name_cache_enabled then obs_cache_metric env "cache-miss";
+        { target = env.prefix_server; req; cached_prefix = None }
+  end
+  else
+    {
+      target = env.current.Context.server;
+      req = { req with Csname.context = env.current.Context.context };
+      cached_prefix = None;
+    }
+
+(* Routing with the cache bypassed: the fallback of last resort after a
+   failure that no cached binding explains. *)
+let route_uncached env name =
+  let req = Csname.make_req name in
+  if Csname.starts_with_prefix req then
+    { target = env.prefix_server; req; cached_prefix = None }
+  else
+    {
+      target = env.current.Context.server;
+      req = { req with Csname.context = env.current.Context.context };
+      cached_prefix = None;
+    }
+
+let charge_stub env = Vsim.Proc.delay (engine env) Calibration.client_stub_cpu
+
+(* Learn a binding a server stamped into a successful reply. Only
+   '[prefix]'-absolute names are cached: a relative name's meaning moves
+   with the current context, so a string-keyed binding for it would be
+   wrong the moment the program changed context. *)
+let learn_from_reply env name (binding : Vmsg.binding option) =
+  if
+    env.name_cache_enabled
+    && String.length name > 0
+    && name.[0] = Csname.prefix_open
+  then
+    match binding with
+    | Some { Vmsg.upto; spec } when upto > 0 && upto <= String.length name ->
+        (match Name_cache.learn env.name_cache (String.sub name 0 upto) spec with
+        | Some _evicted -> obs_cache_metric env "cache-evict"
+        | None -> ());
+        obs_cache_metric env "cache-learn"
+    | _ -> ()
+
+(* Run [attempt] along routes for [name], generalizing the stale-retry
+   loop: a failure that suggests a stale cached binding ([Bad_context],
+   [Not_found], or an IPC failure) evicts the binding used and re-routes
+   — landing on the next-deepest cached prefix, or ultimately on the
+   prefix server. A final IPC failure with no cached binding in play
+   gets one fresh pass: a server-side cached resolution (the prefix
+   server's GetPid cache) invalidates itself on the failed forward, so
+   retrying through it can succeed. If every attempt fails, the first
+   error is returned, as before. *)
+let with_stale_retry env name ~first attempt =
+  let rec go r ~fresh_retried ~first_err =
+    match attempt r with
+    | Ok _ as ok -> ok
+    | Error e -> (
+        let first_err =
+          match first_err with None -> Some e | Some _ -> first_err
+        in
+        let stale_signal =
+          match e with
+          | Vio.Verr.Ipc _
+          | Vio.Verr.Denied (Reply.Bad_context | Reply.Not_found) ->
+              true
+          | _ -> false
+        in
+        match r.cached_prefix with
+        | Some key when stale_signal ->
+            ignore (Name_cache.invalidate env.name_cache key);
+            obs_cache_metric env "cache-stale";
+            go (route env name) ~fresh_retried ~first_err
+        | _ ->
+            let ipc = match e with Vio.Verr.Ipc _ -> true | _ -> false in
+            if ipc && env.name_cache_enabled && not fresh_retried then
+              go (route_uncached env name) ~fresh_retried:true ~first_err
+            else Error (Option.value first_err ~default:e))
+  in
+  go first ~fresh_retried:false ~first_err:None
+
 (* Send a CSname request along the route; on a failure that suggests a
-   stale cached binding, invalidate and retry through the prefix
-   server. *)
+   stale cached binding, invalidate, fall back and retry. *)
 let transact_name env ~code ?payload ?extra_bytes name =
   charge_stub env;
   let op = Vmsg.Op.to_string code in
   let t0 = Vsim.Engine.now (engine env) in
-  let root = obs_root env ~op ~context:env.current.Context.context in
+  let first = route env name in
+  let span_op = if first.cached_prefix <> None then op ^ "[cached]" else op in
+  let root = obs_root env ~op:span_op ~context:env.current.Context.context in
   let attempt r =
     let req = obs_attach env root r.req in
     let msg = Vmsg.request ~name:req ?payload ?extra_bytes code in
@@ -152,47 +265,26 @@ let transact_name env ~code ?payload ?extra_bytes name =
     | Error e -> Error (Vio.Verr.Ipc e)
     | Ok (reply, replier) -> (
         match Verr_reply.check reply with
-        | Ok m -> Ok (m, replier)
+        | Ok m ->
+            learn_from_reply env name m.Vmsg.binding;
+            Ok (m, replier)
         | Error e -> Error e)
   in
-  let r = route env name in
-  let result =
-    match attempt r with
-    | Error
-        (Vio.Verr.Ipc _ | Vio.Verr.Denied (Reply.Bad_context | Reply.Not_found))
-      as first
-      when r.cached_prefix <> None -> (
-        (* The cached binding may be stale: drop it and go through the
-           prefix server. *)
-        Vsim.Stats.Counter.incr env.cache_stale;
-        (match r.cached_prefix with
-        | Some p -> Hashtbl.remove env.prefix_cache p
-        | None -> ());
-        match attempt { (route env name) with cached_prefix = None } with
-        | Ok _ as ok -> ok
-        | Error _ -> first)
-    | result -> result
-  in
+  let result = with_stale_retry env name ~first attempt in
   obs_done env ~op ~t0 root (outcome_of_result result);
   result
 
 (* --- naming operations --- *)
 
-(* Map a name that denotes a context to its (server-pid, context-id),
-   learning the binding for the cache when enabled. *)
+(* Map a name that denotes a context to its (server-pid, context-id).
+   With the cache enabled, the binding is learned from the stamp the
+   answering server put into the reply. *)
 let resolve env name =
   match transact_name env ~code:Vmsg.Op.map_context name with
   | Error e -> Error e
   | Ok (reply, _) -> (
       match reply.Vmsg.payload with
-      | Vmsg.P_context_spec spec ->
-          (if env.prefix_cache_enabled then
-             let req = Csname.make_req name in
-             match Csname.parse_prefix req with
-             | Ok (prefix, rest) when Csname.remaining rest = "" ->
-                 Hashtbl.replace env.prefix_cache prefix spec
-             | _ -> ());
-          Ok spec
+      | Vmsg.P_context_spec spec -> Ok spec
       | _ -> Error (Vio.Verr.Protocol "MapContext reply carried no context"))
 
 (* The analogue of Unix chdir (§6). *)
@@ -243,10 +335,16 @@ let open_ env ~mode name =
   (* The stub charge happens inside [Vio.Client.open_at]. *)
   let op = Vmsg.Op.to_string Vmsg.Op.open_instance in
   let t0 = Vsim.Engine.now (engine env) in
-  let root = obs_root env ~op ~context:env.current.Context.context in
-  let r = route env name in
-  let req = obs_attach env root r.req in
-  let result = Vio.Client.open_at env.self ~server:r.target ~req ~mode in
+  let first = route env name in
+  let span_op = if first.cached_prefix <> None then op ^ "[cached]" else op in
+  let root = obs_root env ~op:span_op ~context:env.current.Context.context in
+  let attempt r =
+    let req = obs_attach env root r.req in
+    Vio.Client.open_at env.self
+      ~learn:(fun b -> learn_from_reply env name (Some b))
+      ~server:r.target ~req ~mode ()
+  in
+  let result = with_stale_retry env name ~first attempt in
   obs_done env ~op ~t0 root (outcome_of_result result);
   result
 

@@ -12,8 +12,9 @@ module Pid = Vkernel.Pid
 open Vnaming
 
 (** A program's naming environment: its current context, its
-    workstation's prefix server, and the optional client-side prefix
-    cache (an ablation §2.2 argues against). *)
+    workstation's prefix server, and the optional client-side
+    name-resolution cache (an ablation §2.2 argues against, here made
+    safe by on-use validation). *)
 type env
 
 (** Build the environment for a program passed its [current] context;
@@ -86,14 +87,44 @@ val delete_prefix : env -> string -> (unit, Vio.Verr.t) result
     context pointing at a context on another server (Figure 4). *)
 val link : env -> string -> target:Context.spec -> (unit, Vio.Verr.t) result
 
-(** {1 The client-side prefix cache ablation} *)
+(** {1 The client-side name-resolution cache}
 
-(** Cache prefix->context bindings at the client, skipping the prefix
-    server on hits. Off by default; §2.2 explains why ("caching the name
-    in the client would introduce inconsistency problems"). *)
+    A bounded LRU of name-prefix -> (server-pid, context-id) bindings,
+    keyed on the deepest prefix of a name that ends at a component
+    boundary. Bindings are learned from the stamps servers put into
+    successful CSname replies, so forward chains teach the client where
+    interpretation landed, for free. Consistency is {e on use}: a
+    [Bad_context]/[Not_found]/IPC failure on a cached binding evicts it
+    and the operation falls back one prefix level (the next-deepest
+    cached prefix, or the prefix server) and retries.
+
+    Off by default — with it off, routing behaviour is exactly the
+    paper's (§2.2 argues against client-side name caching; the on-use
+    protocol is this repo's answer to the inconsistency objection).
+
+    Hit/miss/stale/eviction counts are exported through [Vobs.Metrics]
+    under (workstation, "runtime", "cache-hit" | "cache-miss" |
+    "cache-stale" | "cache-evict" | "cache-learn") whenever an
+    observability hub is attached, and through {!name_cache_stats}. *)
+
+(** Enable or disable the cache; [?capacity] replaces the cache with a
+    fresh one of that capacity (default {!Vnaming.Name_cache.default_capacity}).
+    Disabling clears the entries but keeps the counters. *)
+val enable_name_cache : env -> ?capacity:int -> bool -> unit
+
+val name_cache_stats : env -> Vnaming.Name_cache.stats
+
+(** The cache itself (inspection: tests, vsh). *)
+val name_cache : env -> Vnaming.Name_cache.t
+
+(** Backwards-compatible alias of {!enable_name_cache} (no capacity
+    change), from when the cache held only whole '[prefix]' bindings. *)
 val enable_prefix_cache : env -> bool -> unit
 
+(** Convenience accessors over {!name_cache_stats}; prefer the
+    [Vobs.Metrics] counters for new code. *)
 val cache_hit_count : env -> int
 
-(** Retries after a cached binding demonstrably failed. *)
+(** On-use invalidations: retries after a cached binding demonstrably
+    failed. *)
 val cache_stale_count : env -> int

@@ -35,8 +35,10 @@ let transact self ~server msg =
 
 (* [open_at self ~server ~req ~mode] sends CreateInstance directly to a
    server (no prefix routing), returning the instance and the
-   implementing server. *)
-let open_at self ~server ~req ~mode =
+   implementing server. [?learn] receives the resolution binding the
+   replying server stamped into a successful reply, so the naming layer
+   can feed its cache without this module knowing about caching. *)
+let open_at self ?learn ~server ~req ~mode () =
   charge_stub self;
   let msg =
     Vmsg.request ~name:req ~payload:(Vmsg.P_open { mode }) Vmsg.Op.open_instance
@@ -45,7 +47,11 @@ let open_at self ~server ~req ~mode =
   | Error e -> Error e
   | Ok (reply, replier) -> (
       match reply.Vmsg.payload with
-      | Vmsg.P_instance info -> Ok { server = replier; info }
+      | Vmsg.P_instance info ->
+          (match (learn, reply.Vmsg.binding) with
+          | Some f, Some b -> f b
+          | _ -> ());
+          Ok { server = replier; info }
       | _ -> Error (Verr.Protocol "Open reply carried no instance"))
 
 let read_block self ri ~block =

@@ -17,12 +17,16 @@ val instance_id : remote_instance -> int
 val size : remote_instance -> int
 val block_size : remote_instance -> int
 
-(** Send CreateInstance directly to [server] (no prefix routing). *)
+(** Send CreateInstance directly to [server] (no prefix routing).
+    [?learn] receives the resolution binding a successful reply was
+    stamped with, letting the naming layer feed its cache. *)
 val open_at :
   Vnaming.Vmsg.t Kernel.self ->
+  ?learn:(Vnaming.Vmsg.binding -> unit) ->
   server:Pid.t ->
   req:Vnaming.Csname.req ->
   mode:Vnaming.Vmsg.open_mode ->
+  unit ->
   (remote_instance, Verr.t) result
 
 val read_block :

@@ -47,12 +47,22 @@ let relative path =
 (* An operation mix for the comparison workload. *)
 type op = Open_read of string | Query of string | Delete of string
 
-let operation_stream prng paths ~n ~delete_fraction =
+(* [locality] is the probability an operation targets the small hot set
+   (the first [hot_set] paths) instead of drawing uniformly. At the
+   default 0.0 no extra PRNG draw is made, so streams generated before
+   the knob existed are reproduced bit-for-bit. *)
+let operation_stream ?(locality = 0.0) ?(hot_set = 8) prng paths ~n
+    ~delete_fraction =
   let paths = Array.of_list paths in
   if Array.length paths = 0 then []
   else
+    let hot = min hot_set (Array.length paths) in
     List.init n (fun _ ->
-        let path = paths.(Vsim.Prng.int prng (Array.length paths)) in
+        let path =
+          if locality > 0.0 && hot > 0 && Vsim.Prng.float prng < locality then
+            paths.(Vsim.Prng.int prng hot)
+          else paths.(Vsim.Prng.int prng (Array.length paths))
+        in
         let roll = Vsim.Prng.float prng in
         if roll < delete_fraction then Delete path
         else if roll < 0.5 then Query path

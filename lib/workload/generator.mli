@@ -20,6 +20,16 @@ val relative : string -> string
 type op = Open_read of string | Query of string | Delete of string
 
 (** [n] operations drawn over the given paths with the given fraction of
-    deletes (the rest split between queries and opens). *)
+    deletes (the rest split between queries and opens). [locality] is
+    the probability an operation targets the hot set (the first
+    [hot_set] paths, default 8) instead of drawing uniformly; at the
+    default 0.0 no extra PRNG draw is made, so pre-existing streams are
+    reproduced bit-for-bit. *)
 val operation_stream :
-  Vsim.Prng.t -> string list -> n:int -> delete_fraction:float -> op list
+  ?locality:float ->
+  ?hot_set:int ->
+  Vsim.Prng.t ->
+  string list ->
+  n:int ->
+  delete_fraction:float ->
+  op list

@@ -171,7 +171,7 @@ let run_one seed =
              let actual =
                Vio.Client.open_at self
                  ~server:(File_server.pid (Scenario.file_server t server))
-                 ~req:(Csname.make_req name) ~mode:Vmsg.Read
+                 ~req:(Csname.make_req name) ~mode:Vmsg.Read ()
              in
              let verdict_matches =
                match (expected, actual) with

@@ -16,4 +16,5 @@ let () =
          Test_day.suite;
          Test_edges.suite;
          Test_obs.suite;
+         Test_cache.suite;
        ])

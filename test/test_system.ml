@@ -263,7 +263,7 @@ let test_prefix_server_directory () =
            ok_exn "open prefix dir"
              (Vio.Client.open_at self ~server:prefix_pid
                 ~req:(Csname.make_req "")
-                ~mode:Vmsg.Directory_listing)
+                ~mode:Vmsg.Directory_listing ())
          in
          let records = ok_exn "read dir" (Vio.Client.read_directory self instance) in
          ok_exn "release" (Vio.Client.release self instance);
@@ -640,7 +640,7 @@ let prop_prefix_server_matches_model =
                match
                  Vio.Client.open_at self
                    ~server:(Prefix_server.pid ws.Scenario.ws_prefix)
-                   ~req:(Csname.make_req "") ~mode:Vmsg.Directory_listing
+                   ~req:(Csname.make_req "") ~mode:Vmsg.Directory_listing ()
                with
                | Error _ -> [ "<open failed>" ]
                | Ok instance -> (
