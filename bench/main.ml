@@ -20,6 +20,7 @@ let registry =
     ("e6", E6_comparison.run);
     ("e7", E7_group.run);
     ("e8", E8_cache.run);
+    ("e9", E9_chaos.run);
     ("figs", Figures.run);
     ("f1", Figures.f1);
     ("f2", Figures.f2);
@@ -36,8 +37,8 @@ let registry =
 
 let default =
   [
-    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "figs"; "ablations"; "day";
-    "micro";
+    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "figs"; "ablations";
+    "day"; "micro";
   ]
 
 (* Strip "--json FILE" from the argument list, returning the file.

@@ -22,6 +22,7 @@ type shell = {
   env : Runtime.env;
   scenario : Scenario.t;
   mutable failed : int;
+  mutable injector : Vfault.Injector.t option;
 }
 
 let pr fmt = Fmt.pr (fmt ^^ "@.")
@@ -288,6 +289,79 @@ let cmd_cache sh args =
       Ok ()
   | _ -> Error (Vio.Verr.Protocol "usage: cache [on|off|stats]")
 
+(* Fault injection from the shell: generate a seeded plan against the
+   installation's address layout, shift it to start "now" (plan times
+   are relative to generation time zero), and install it with a revive
+   hook that reboots a crashed file server as a successor process —
+   the same recovery story E9 measures. *)
+let cmd_fault sh args =
+  let t = sh.scenario in
+  let fs_addrs =
+    List.init (Array.length t.Scenario.file_servers) Scenario.fs_addr
+  in
+  let make_plan seed duration_ms =
+    (* Short interactive horizons: start faulting early and pack several
+       episodes in, where a soak benchmark would use the defaults. *)
+    Vfault.Plan.generate ~seed ~duration_ms ~warmup_ms:(duration_ms /. 20.0)
+      ~mean_gap_ms:(duration_ms /. 8.0) ~crashable:fs_addrs
+      ~partitionable:
+        (List.init (Array.length t.Scenario.workstations) Scenario.ws_addr
+        @ [ Scenario.printer_addr; Scenario.mail_addr ])
+      ~slowable:(fs_addrs @ [ Scenario.printer_addr ])
+      ()
+  in
+  let revive addr =
+    Array.iteri
+      (fun i fs ->
+        if Scenario.fs_addr i = addr then
+          match K.host_of_addr t.Scenario.domain addr with
+          | Some host ->
+              t.Scenario.file_servers.(i) <- File_server.restart_from fs host ()
+          | None -> ())
+      t.Scenario.file_servers
+  in
+  let parse_seed s = int_of_string_opt s in
+  let parse_duration = function
+    | [] -> Some 30_000.0
+    | [ d ] -> float_of_string_opt d
+    | _ -> None
+  in
+  match args with
+  | "plan" :: seed :: rest -> (
+      match (parse_seed seed, parse_duration rest) with
+      | Some seed, Some duration_ms ->
+          pr "%a" Vfault.Plan.pp (make_plan seed duration_ms);
+          Ok ()
+      | _ -> Error (Vio.Verr.Protocol "usage: fault plan SEED [DURATION-MS]"))
+  | "inject" :: seed :: rest -> (
+      match (parse_seed seed, parse_duration rest) with
+      | Some seed, Some duration_ms ->
+          let now = Vsim.Engine.now t.Scenario.engine in
+          let plan = make_plan seed duration_ms in
+          let shifted =
+            Vfault.Plan.of_events ~seed
+              (List.map
+                 (fun e -> { e with Vfault.Plan.at = now +. e.Vfault.Plan.at })
+                 plan.Vfault.Plan.events)
+          in
+          sh.injector <- Some (Vfault.Injector.install ~on_restart:revive t shifted);
+          pr "installed fault plan (seed %d): %d events over %.0f ms" seed
+            (List.length shifted.Vfault.Plan.events)
+            duration_ms;
+          Ok ()
+      | _ -> Error (Vio.Verr.Protocol "usage: fault inject SEED [DURATION-MS]"))
+  | [] | [ "status" ] ->
+      pr "%a" Vnet.Ethernet.pp t.Scenario.net;
+      (match sh.injector with
+      | None -> pr "no fault plan installed"
+      | Some inj -> pr "%a" Vfault.Injector.pp inj);
+      Ok ()
+  | _ ->
+      Error
+        (Vio.Verr.Protocol
+           "usage: fault plan SEED [DURATION-MS] | fault inject SEED \
+            [DURATION-MS] | fault status")
+
 let cmd_metrics sh args =
   let m = Vobs.Hub.metrics sh.scenario.Scenario.obs in
   (match args with
@@ -325,6 +399,7 @@ let commands :
     ("crash", "FS-INDEX — crash a file server host", cmd_crash);
     ("restart", "FS-INDEX — restart host + fresh server", cmd_restart);
     ("netstat", "— wire and transaction counters", cmd_netstat);
+    ("fault", "plan|inject SEED [MS] | status — seeded fault injection", cmd_fault);
     ("trace", "[ID] — span tree of the last (or given) traced request", cmd_trace);
     ("cache", "[on|off|stats] — the name-resolution cache", cmd_cache);
     ("metrics", "[json] — observability counters and histograms", cmd_metrics);
@@ -393,6 +468,10 @@ let demo_script =
     "netstat";
     "metrics";
     "time";
+    "echo -- seeded fault injection --";
+    "fault plan 42 10000";
+    "fault status";
+    "fault inject 7 5000";
   ]
 
 let run_shell script =
@@ -400,7 +479,7 @@ let run_shell script =
   let exit_code = ref 0 in
   ignore
     (Scenario.spawn_client t ~ws:0 ~name:"vsh" (fun _self env ->
-         let sh = { env; scenario = t; failed = 0 } in
+         let sh = { env; scenario = t; failed = 0; injector = None } in
          List.iter (execute sh) script;
          if sh.failed > 0 then begin
            pr "vsh: %d command(s) failed" sh.failed;

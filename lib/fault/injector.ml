@@ -1,0 +1,99 @@
+(* Apply a fault plan to a live scenario.
+
+   [install] schedules every plan event on the scenario's engine. The
+   applied actions are recorded (simulated time + rendering) in an
+   ordered timeline — the replay-identity artifact E9 compares across
+   runs — and counted under ("fault", "injector", kind) when metrics
+   are attached. Events that no longer make sense when their time
+   arrives (crash of an already-down host, restart of an up one) are
+   recorded as skipped rather than applied, so overlapping episodes
+   from a generated plan compose safely. *)
+
+module Kernel = Vkernel.Kernel
+module Ethernet = Vnet.Ethernet
+module Scenario = Vworkload.Scenario
+
+type t = {
+  scenario : Scenario.t;
+  plan : Plan.t;
+  on_restart : Ethernet.addr -> unit;
+  mutable applied : (float * string) list;  (* newest first *)
+  mutable skipped : int;
+}
+
+let timeline t = List.rev t.applied
+let skipped t = t.skipped
+let plan t = t.plan
+
+let record inj label =
+  let now = Vsim.Engine.now (Scenario.(inj.scenario.engine)) in
+  inj.applied <- (now, label) :: inj.applied
+
+let metric inj kind =
+  Vobs.Metrics.incr
+    (Vobs.Hub.metrics Scenario.(inj.scenario.obs))
+    ~host:"fault" ~server:"injector" ~op:kind
+
+let skip inj (e : Plan.event) reason =
+  inj.skipped <- inj.skipped + 1;
+  record inj (Fmt.str "skip (%s): %a" reason Plan.pp_action e.Plan.action)
+
+let apply inj (e : Plan.event) =
+  let s = inj.scenario in
+  let host addr = Kernel.host_of_addr Scenario.(s.domain) addr in
+  match e.Plan.action with
+  | Plan.Crash addr -> (
+      match host addr with
+      | Some h when Kernel.host_is_up h ->
+          Kernel.crash_host h;
+          metric inj "crash";
+          record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+      | Some _ -> skip inj e "already down"
+      | None -> skip inj e "unknown host")
+  | Plan.Restart addr -> (
+      match host addr with
+      | Some h when not (Kernel.host_is_up h) ->
+          Kernel.restart_host h;
+          metric inj "restart";
+          record inj (Fmt.str "%a" Plan.pp_action e.Plan.action);
+          (* Revive services: the host is up but empty; the hook reboots
+             whatever should live there (e.g. File_server.restart_from),
+             which re-registers services for logical re-resolution. *)
+          inj.on_restart addr
+      | Some _ -> skip inj e "already up"
+      | None -> skip inj e "unknown host")
+  | Plan.Partition (a, b) ->
+      Ethernet.partition Scenario.(s.net) a b;
+      metric inj "partition";
+      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+  | Plan.Heal (a, b) ->
+      Ethernet.heal Scenario.(s.net) a b;
+      metric inj "heal";
+      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+  | Plan.Loss p ->
+      Ethernet.set_loss_probability Scenario.(s.net) p;
+      metric inj "loss";
+      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+  | Plan.Slow (addr, ms) ->
+      Ethernet.set_extra_latency Scenario.(s.net) addr ms;
+      metric inj "slow";
+      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+
+let install ?(on_restart = fun (_ : Ethernet.addr) -> ()) scenario plan =
+  let inj = { scenario; plan; on_restart; applied = []; skipped = 0 } in
+  List.iter
+    (fun (e : Plan.event) ->
+      Vsim.Engine.schedule_at
+        Scenario.(scenario.engine)
+        e.Plan.at
+        (fun () -> apply inj e))
+    plan.Plan.events;
+  inj
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>injector: %d applied, %d skipped (plan seed %d)@,%a@]"
+    (List.length t.applied - t.skipped)
+    t.skipped t.plan.Plan.seed
+    Fmt.(
+      list ~sep:cut (fun ppf (at, label) -> pf ppf "t=%.0f %s" at label))
+    (timeline t)

@@ -1,0 +1,27 @@
+(** Apply a {!Plan} to a live scenario: every event is scheduled on the
+    scenario's engine; applied (and skipped) actions are recorded in an
+    ordered timeline — the replay-identity artifact — and counted under
+    ("fault", "injector", kind) metrics. Events that no longer make
+    sense at their fire time (crash of a down host, restart of an up
+    one) are skipped, so overlapping generated episodes compose
+    safely. *)
+
+module Ethernet = Vnet.Ethernet
+
+type t
+
+(** [install ?on_restart scenario plan] schedules the plan. Call before
+    running the engine past the plan's first event. [on_restart addr]
+    runs right after a host restart — the hook reboots the services
+    that should live there (e.g. [File_server.restart_from]), which
+    re-registers them for logical-binding re-resolution. *)
+val install :
+  ?on_restart:(Ethernet.addr -> unit) -> Vworkload.Scenario.t -> Plan.t -> t
+
+(** Applied and skipped actions, in application order, with simulated
+    times. *)
+val timeline : t -> (float * string) list
+
+val skipped : t -> int
+val plan : t -> Plan.t
+val pp : Format.formatter -> t -> unit

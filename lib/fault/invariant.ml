@@ -1,0 +1,126 @@
+(* The invariant checker: what must still be true after a faulty run.
+
+   Three invariants, from the paper's graceful-degradation claim:
+
+   - At-most-once side effects: the kernel's duplicate suppression and
+     the client policy of retrying only non-mutating legs mean a marker
+     token appended under faults appears exactly once if its operation
+     reported success, and at most once if it reported failure.
+   - No orphan instances: once every client has finished, no live file
+     server still holds an open instance (crashed incarnations lost
+     theirs with the crash; restarted ones start empty).
+   - Post-heal convergence: after every fault has healed, the given
+     names resolve, from every workstation, to a live server process —
+     logical bindings re-resolve to restarted successors for free.
+
+   Checks return violations instead of raising, so a benchmark can
+   report all of them in one artifact. *)
+
+module Kernel = Vkernel.Kernel
+module Runtime = Vruntime.Runtime
+module File_server = Vservices.File_server
+module Scenario = Vworkload.Scenario
+
+type violation = { invariant : string; detail : string }
+
+let pp_violation ppf v = Fmt.pf ppf "%s: %s" v.invariant v.detail
+
+let to_json violations =
+  Vobs.Json.List
+    (List.map
+       (fun v ->
+         Vobs.Json.Obj
+           [
+             ("invariant", Vobs.Json.String v.invariant);
+             ("detail", Vobs.Json.String v.detail);
+           ])
+       violations)
+
+(* Count non-overlapping occurrences of [token] in [content]. *)
+let occurrences ~token content =
+  let n = String.length token and len = String.length content in
+  if n = 0 then 0
+  else begin
+    let count = ref 0 and i = ref 0 in
+    while !i + n <= len do
+      if String.sub content !i n = token then begin
+        incr count;
+        i := !i + n
+      end
+      else incr i
+    done;
+    !count
+  end
+
+(* [at_most_once ~tokens content]: [tokens] is the marker client's log —
+   each unique token paired with whether its append reported success.
+   Success must appear exactly once; failure at most once (the append
+   may or may not have landed before the fault hit). *)
+let at_most_once ~tokens content =
+  List.filter_map
+    (fun (token, succeeded) ->
+      let n = occurrences ~token content in
+      if succeeded && n <> 1 then
+        Some
+          {
+            invariant = "at-most-once";
+            detail =
+              Fmt.str "token %S reported success but appears %d times" token n;
+          }
+      else if (not succeeded) && n > 1 then
+        Some
+          {
+            invariant = "at-most-once";
+            detail = Fmt.str "token %S (failed op) appears %d times" token n;
+          }
+      else None)
+    tokens
+
+(* [no_orphan_instances servers]: every live file server has released
+   all instances once clients are done. *)
+let no_orphan_instances servers =
+  List.filter_map
+    (fun fs ->
+      let n = File_server.open_instance_count fs in
+      if n = 0 then None
+      else
+        Some
+          {
+            invariant = "no-orphan-instances";
+            detail =
+              Fmt.str "file server %s still holds %d open instance(s)"
+                (File_server.name fs) n;
+          })
+    servers
+
+(* [convergence t ~names] spawns a probe on every workstation resolving
+   each name and runs the simulation until the probes finish: each must
+   resolve to a live server process. Call it after the fault plan has
+   fully healed (a generated plan always has, by its horizon). *)
+let convergence (t : Scenario.t) ~names =
+  let violations = ref [] in
+  let fail ws name reason =
+    violations :=
+      {
+        invariant = "convergence";
+        detail = Fmt.str "ws%d: %S %s" ws name reason;
+      }
+      :: !violations
+  in
+  Array.iteri
+    (fun ws (_ : Scenario.workstation) ->
+      ignore
+        (Scenario.spawn_client t ~ws ~name:(Fmt.str "probe%d" ws)
+           (fun self env ->
+             List.iter
+               (fun name ->
+                 match Runtime.resolve env name with
+                 | Error e -> fail ws name (Fmt.str "failed: %a" Vio.Verr.pp e)
+                 | Ok spec ->
+                     if not (Kernel.alive (Kernel.domain_of_self self)
+                               spec.Vnaming.Context.server)
+                     then fail ws name "resolved to a dead server")
+               names)))
+    Scenario.(t.workstations);
+  Scenario.run t;
+  List.rev !violations

@@ -1,0 +1,25 @@
+(** Post-run invariant checks for faulty executions: at-most-once side
+    effects, no orphan instances on live file servers, and post-heal
+    convergence of names to live servers. Checks return violations
+    rather than raising, so a benchmark can report all of them in one
+    artifact. *)
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+val to_json : violation list -> Vobs.Json.t
+
+(** [at_most_once ~tokens content]: for each [(token, op_succeeded)]
+    from the marker client, a successful append must appear in
+    [content] exactly once and a failed one at most once. *)
+val at_most_once : tokens:(string * bool) list -> string -> violation list
+
+(** Every live file server has 0 open instances once clients are
+    done. *)
+val no_orphan_instances : Vservices.File_server.t list -> violation list
+
+(** Spawn a probe on every workstation resolving each name, run the
+    simulation until the probes finish, and require each resolution to
+    land on a live server process. Call after the plan has fully
+    healed. *)
+val convergence : Vworkload.Scenario.t -> names:string list -> violation list

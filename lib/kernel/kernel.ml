@@ -117,6 +117,13 @@ and 'm domain = {
   mutable next_logical_host : int;
   mutable next_group : int;
   logical_hosts : (int, 'm host) Hashtbl.t;
+  (* Logical-host ids retired by a crash, mapped to the network address
+     they lived at. A send to a pid of a retired incarnation is not
+     failed omnisciently: the kernel has no liveness oracle, so the
+     request goes on the wire to the last-known address and runs the
+     probe machinery until it times out (or the restarted incarnation
+     nacks it). *)
+  retired_logical_hosts : (int, Ethernet.addr) Hashtbl.t;
   all_hosts : (Ethernet.addr, 'm host) Hashtbl.t;
   domain_prng : Vsim.Prng.t;
   mutable trace : Vsim.Trace.t option;
@@ -340,6 +347,37 @@ let arm_timeout host ~txn ~dst_addr =
   in
   Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine (probe 1)
 
+(* Recovery for a locally-submitted transaction that a server forwarded
+   to a remote host. The local send path arms no retransmission — local
+   delivery cannot lose frames — but the forward makes the reply leg
+   lossy: if the remote reply frame is dropped, nothing would ever
+   resend and the sender blocks forever. Probe at the timeout pace (not
+   the retransmission pace): each probe resends the forwarded request —
+   the target's completed-reply cache replays a lost reply, its
+   duplicate suppression absorbs the rest — and the transaction fails
+   with Timeout once the target host is unreachable or the probe budget
+   is spent. Fault-free forwarded transactions complete well before the
+   first probe fires, so loss-free runs see no extra frames. *)
+let arm_forward_recovery host ~txn ~dst_addr resend =
+  let d = host.domain in
+  let rec probe attempts () =
+    if Hashtbl.mem host.pendings txn && host.host_up then begin
+      let target_host_reachable =
+        match Hashtbl.find_opt d.all_hosts dst_addr with
+        | Some h ->
+            h.host_up && not (Ethernet.partitioned d.net host.addr dst_addr)
+        | None -> false
+      in
+      if target_host_reachable && attempts < max_timeout_probes then begin
+        resend ();
+        Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
+          (probe (attempts + 1))
+      end
+      else fill_pending host ~txn (Error (Ipc_error Timeout))
+    end
+  in
+  Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine (probe 1)
+
 (* Periodically resend a request packet while its transaction is still
    pending; the receiving kernel suppresses duplicates. Rides under the
    timeout above, which bounds the total wait. *)
@@ -354,6 +392,28 @@ let arm_retransmit host ~txn resend =
   Engine.schedule ~delay:Calibration.retransmit_interval_ms d.engine tick
 
 (* --- the IPC primitives --- *)
+
+(* The remote leg of Send: put the request on the wire towards
+   [dst_addr] and block with retransmission and timeout armed. *)
+let send_remote proc ?buffer ~dst_addr ~target msg =
+  let host = proc.proc_host in
+  let d = host.domain in
+  charge proc Calibration.small_packet_send_cpu;
+  let txn = fresh_txn d in
+  let result =
+    try
+      Ok
+        (block proc (fun fire ->
+             Hashtbl.replace host.pendings txn { p_fire = fire; p_buffer = buffer };
+             dispatch_remote_request host ~dst_addr ~txn ~sender:proc.pid ~target msg;
+             arm_retransmit host ~txn (fun () ->
+                 dispatch_remote_request host ~dst_addr ~txn ~sender:proc.pid
+                   ~target msg);
+             arm_timeout host ~txn ~dst_addr))
+    with Ipc_error e -> Error e
+  in
+  Hashtbl.remove host.pendings txn;
+  result
 
 (* [send proc target msg] implements the Send primitive: blocks the
    calling fiber until the target (or whoever the message is forwarded
@@ -385,24 +445,18 @@ let send proc ?buffer target msg =
         result
       end
   | Some target_proc ->
-      charge proc Calibration.small_packet_send_cpu;
-      let txn = fresh_txn d in
-      let dst_addr = target_proc.proc_host.addr in
-      let result =
-        try
-          Ok
-            (block proc (fun fire ->
-                 Hashtbl.replace host.pendings txn { p_fire = fire; p_buffer = buffer };
-                 dispatch_remote_request host ~dst_addr ~txn ~sender:proc.pid ~target msg;
-                 arm_retransmit host ~txn (fun () ->
-                     dispatch_remote_request host ~dst_addr ~txn ~sender:proc.pid
-                       ~target msg);
-                 arm_timeout host ~txn ~dst_addr))
-        with Ipc_error e -> Error e
-      in
-      Hashtbl.remove host.pendings txn;
-      result
-  | None -> Error Nonexistent_process
+      send_remote proc ?buffer ~dst_addr:target_proc.proc_host.addr ~target msg
+  | None -> (
+      (* No live process under this pid. If its logical host was retired
+         by a crash, the kernel cannot know that authoritatively (no
+         liveness oracle): the request goes on the wire to the pid's
+         last-known address and fails by timeout or by a Nack from the
+         restarted incarnation. A pid of the local host's own history —
+         or of a never-issued logical host — is refused directly. *)
+      match Hashtbl.find_opt d.retired_logical_hosts (Pid.logical_host target) with
+      | Some dst_addr when dst_addr <> host.addr ->
+          send_remote proc ?buffer ~dst_addr ~target msg
+      | Some _ | None -> Error Nonexistent_process)
 
 (* [receive proc] blocks until a message arrives; returns it with the
    sender's pid. *)
@@ -505,8 +559,19 @@ let forward proc ~from_ ~to_ msg =
           Ok ()
       | Some target_proc ->
           charge proc Calibration.small_packet_send_cpu;
-          dispatch_remote_request host ~dst_addr:target_proc.proc_host.addr ~txn
-            ~sender:from_ ~target:to_ msg;
+          let dst_addr = target_proc.proc_host.addr in
+          let resend () =
+            dispatch_remote_request host ~dst_addr ~txn ~sender:from_
+              ~target:to_ msg
+          in
+          resend ();
+          (* A sender on this very host submitted the transaction via
+             the local path, which arms no retransmission or timeout;
+             now that the transaction has left the host, give it the
+             slow recovery chain. Remote-origin senders already
+             retransmit and time out from their own host. *)
+          if Hashtbl.mem host.pendings txn then
+            arm_forward_recovery host ~txn ~dst_addr resend;
           Ok ())
 
 (* --- MoveTo / MoveFrom --- *)
@@ -878,10 +943,20 @@ let handle_packet host (frame : 'm packet Ethernet.frame) =
                 | _, None ->
                     (* Never deliverable — or the serving process died
                        mid-transaction and a retransmission probed it:
-                       tell the sender. *)
+                       tell the sender. A request addressed to a previous
+                       incarnation of this host nacks Timeout, not
+                       Nonexistent_process: this incarnation knows
+                       nothing about the old one's pids, only that the
+                       transaction can never complete (satellites of the
+                       crash were lost with it). *)
+                    let reason =
+                      if Pid.logical_host target <> host.logical_host then
+                        Timeout
+                      else Nonexistent_process
+                    in
                     transmit host ~dst:(Ethernet.Unicast frame.Ethernet.src)
                       ~payload_bytes:control_payload_bytes
-                      (Nack { txn; reason = Nonexistent_process })))
+                      (Nack { txn; reason })))
   | Reply_pkt { txn; replier; msg } ->
       Engine.schedule ~delay:(remote_recv_cost d msg) d.engine (fun () ->
           if host.host_up then fill_pending host ~txn (Ok (msg, replier)))
@@ -982,6 +1057,7 @@ let create_domain ?(seed = 42) ~cost engine net =
       next_logical_host = 1;
       next_group = 1;
       logical_hosts = Hashtbl.create 16;
+      retired_logical_hosts = Hashtbl.create 16;
       all_hosts = Hashtbl.create 16;
       domain_prng = Vsim.Prng.create ~seed;
       trace = None;
@@ -1045,6 +1121,7 @@ let crash_host host =
     host.host_up <- false;
     Ethernet.set_host_up d.net host.addr false;
     Hashtbl.remove d.logical_hosts host.logical_host;
+    Hashtbl.replace d.retired_logical_hosts host.logical_host host.addr;
     let procs = Hashtbl.fold (fun _ p acc -> p :: acc) host.processes [] in
     List.iter
       (fun proc ->

@@ -31,6 +31,8 @@ type 'a host_port = {
   host_addr : addr;
   mutable up : bool;
   mutable handler : 'a frame -> unit;
+  mutable extra_latency_ms : float;
+      (* slow-host fault injection: added to every frame's arrival *)
 }
 
 type 'a t = {
@@ -88,7 +90,8 @@ exception Duplicate_host of addr
 
 let attach t addr handler =
   if Hashtbl.mem t.hosts addr then raise (Duplicate_host addr);
-  Hashtbl.replace t.hosts addr { host_addr = addr; up = true; handler }
+  Hashtbl.replace t.hosts addr
+    { host_addr = addr; up = true; handler; extra_latency_ms = 0.0 }
 
 let set_handler t addr handler =
   match Hashtbl.find_opt t.hosts addr with
@@ -131,9 +134,37 @@ let leave_group t ~group ~addr =
 
 (* --- fault injection --- *)
 
+let trace_emit t fmt =
+  match t.trace with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some tr -> Vsim.Trace.emit tr ~category:"net" fmt
+
 let set_loss_probability t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Ethernet.set_loss_probability";
-  t.loss_probability <- p
+  t.loss_probability <- p;
+  (* Audit trail: fault plans that flip the loss rate leave a record in
+     both the trace stream and the metrics gauge. *)
+  trace_emit t "loss probability := %.3f" p;
+  match t.obs with
+  | None -> ()
+  | Some hub ->
+      Vobs.Metrics.set_gauge (Vobs.Hub.metrics hub) ~host:"net" ~server:"net"
+        ~op:"loss-probability" p
+
+let loss_probability t = t.loss_probability
+
+let set_extra_latency t addr ms =
+  if ms < 0.0 then invalid_arg "Ethernet.set_extra_latency";
+  match Hashtbl.find_opt t.hosts addr with
+  | None -> invalid_arg "Ethernet.set_extra_latency: unknown host"
+  | Some port ->
+      port.extra_latency_ms <- ms;
+      trace_emit t "host%d extra receive latency := %.3fms" addr ms
+
+let extra_latency t addr =
+  match Hashtbl.find_opt t.hosts addr with
+  | Some port -> port.extra_latency_ms
+  | None -> 0.0
 
 let partition t a b =
   let pair = if a < b then (a, b) else (b, a) in
@@ -149,12 +180,26 @@ let partitioned t a b =
   let pair = if a < b then (a, b) else (b, a) in
   List.mem pair t.partitions
 
-(* --- transmission --- *)
+let pp ppf t =
+  let slow =
+    Hashtbl.fold
+      (fun addr port acc ->
+        if port.extra_latency_ms > 0.0 then (addr, port.extra_latency_ms) :: acc
+        else acc)
+      t.hosts []
+    |> List.sort compare
+  in
+  Fmt.pf ppf
+    "net: %d hosts, loss %.3f, %d partitions%a, sent %d delivered %d dropped \
+     %d (%dB)"
+    (Hashtbl.length t.hosts) t.loss_probability
+    (List.length t.partitions)
+    Fmt.(
+      list ~sep:nop (fun ppf (a, ms) -> pf ppf ", host%d slow +%.1fms" a ms))
+    slow t.counters.frames_sent t.counters.frames_delivered
+    t.counters.frames_dropped t.counters.bytes_sent
 
-let trace_emit t fmt =
-  match t.trace with
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-  | Some tr -> Vsim.Trace.emit tr ~category:"net" fmt
+(* --- transmission --- *)
 
 (* Addresses a frame is aimed at, before liveness/partition checks
    (those happen at arrival time, counting drops). *)
@@ -205,9 +250,26 @@ let transmit t frame =
                  flight. *)
               match Hashtbl.find_opt t.hosts addr with
               | Some port when port.up && not (partitioned t frame.src addr) ->
-                  t.counters.frames_delivered <- t.counters.frames_delivered + 1;
-                  net_metric t addr "frames-delivered";
-                  port.handler frame
+                  let deliver () =
+                    t.counters.frames_delivered <-
+                      t.counters.frames_delivered + 1;
+                    net_metric t addr "frames-delivered";
+                    port.handler frame
+                  in
+                  if port.extra_latency_ms > 0.0 then
+                    (* Slow-host injection: the NIC holds the frame. The
+                       host may crash while it sits there, so re-check
+                       liveness at the deferred delivery time. *)
+                    Vsim.Engine.schedule_at t.engine
+                      (Vsim.Engine.now t.engine +. port.extra_latency_ms)
+                      (fun () ->
+                        if port.up then deliver ()
+                        else begin
+                          t.counters.frames_dropped <-
+                            t.counters.frames_dropped + 1;
+                          net_metric t addr "frames-dropped"
+                        end)
+                  else deliver ()
               | Some _ | None ->
                   t.counters.frames_dropped <- t.counters.frames_dropped + 1;
                   net_metric t addr "frames-dropped")

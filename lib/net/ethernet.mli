@@ -60,8 +60,23 @@ val group_members : 'a t -> int -> addr list
 val join_group : 'a t -> group:int -> addr:addr -> unit
 val leave_group : 'a t -> group:int -> addr:addr -> unit
 
-(** Probability that an arriving frame is dropped. *)
+(** Probability that an arriving frame is dropped. Raises
+    [Invalid_argument] outside [0, 1]. Changes are recorded in the
+    attached trace and exported as the ("net", "net",
+    "loss-probability") metrics gauge so fault plans can be audited. *)
 val set_loss_probability : 'a t -> float -> unit
+
+val loss_probability : 'a t -> float
+
+(** Slow-host fault injection: every frame arriving at [addr] is held
+    [ms] extra simulated milliseconds before the host's handler runs
+    (liveness is re-checked at the deferred time). [0.0] — the default —
+    restores the undelayed path. Raises [Invalid_argument] on a negative
+    value or an unknown host. *)
+val set_extra_latency : 'a t -> addr -> float -> unit
+
+(** Current extra receive latency of a host (0.0 if unknown). *)
+val extra_latency : 'a t -> addr -> float
 
 (** Block frames between two hosts (both directions). *)
 val partition : 'a t -> addr -> addr -> unit
@@ -69,6 +84,10 @@ val partition : 'a t -> addr -> addr -> unit
 val heal : 'a t -> addr -> addr -> unit
 val heal_all : 'a t -> unit
 val partitioned : 'a t -> addr -> addr -> bool
+
+(** One-line audit summary: host count, loss probability, partition
+    count, per-host slow-host latencies, frame counters. *)
+val pp : Format.formatter -> 'a t -> unit
 
 (** Queue a frame for transmission. Broadcast frames are not delivered
     back to the sender. Delivery respects liveness at arrival time,

@@ -77,6 +77,7 @@ let start_span t ~ctx ~now ~op ~host ~server ~pid ~context ~index_from =
         started = now;
         finished = now;
         outcome = "open";
+        tags = [];
       }
     in
     record t span;

@@ -36,7 +36,14 @@ type t = {
   started : float;  (** sim ms when the hop started processing *)
   mutable finished : float;
   mutable outcome : string;  (** reply code, or "forward" *)
+  mutable tags : string list;
+      (** free-form annotations, newest first (e.g. "retry:2", "fault") *)
 }
+
+(* Annotations accumulate newest-first; [tags] presents them in the
+   order they were added. *)
+let add_tag s tag = s.tags <- tag :: s.tags
+let tags s = List.rev s.tags
 
 (* Time this hop itself spent on the request. *)
 let service_ms s = s.finished -. s.started
@@ -46,7 +53,10 @@ let pp ppf s =
     "span %d.%d (parent %d) %s on %s/%s pid %d ctx %d name[%d..%d] wait \
      %.3f svc %.3f -> %s"
     s.trace_id s.span_id s.parent_id s.op s.host s.server s.pid s.context
-    s.index_from s.index_to s.queue_wait (service_ms s) s.outcome
+    s.index_from s.index_to s.queue_wait (service_ms s) s.outcome;
+  match tags s with
+  | [] -> ()
+  | ts -> Fmt.pf ppf " [%a]" Fmt.(list ~sep:comma string) ts
 
 let to_json s =
   Json.Obj
@@ -66,4 +76,5 @@ let to_json s =
       ("finished_ms", Json.Float s.finished);
       ("service_ms", Json.Float (service_ms s));
       ("outcome", Json.String s.outcome);
+      ("tags", Json.List (List.map (fun t -> Json.String t) (tags s)));
     ]

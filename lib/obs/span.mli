@@ -27,7 +27,16 @@ type t = {
   started : float;
   mutable finished : float;
   mutable outcome : string;  (** reply code, or "forward" *)
+  mutable tags : string list;
+      (** free-form annotations, newest first (e.g. "retry:2", "fault") *)
 }
+
+(** Annotate a span (e.g. ["retry:2"], ["fault"]); cheap, unordered
+    metadata that rides along into [pp]/[to_json]. *)
+val add_tag : t -> string -> unit
+
+(** Tags in the order they were added. *)
+val tags : t -> string list
 
 (** Time this hop itself spent on the request, in simulated ms. *)
 val service_ms : t -> float

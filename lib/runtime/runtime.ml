@@ -25,20 +25,39 @@ module Service = Vkernel.Service
 module Calibration = Vnet.Calibration
 open Vnaming
 
+type resilience_stats = {
+  mutable retries : int;  (* re-issued attempts *)
+  mutable retried_ok : int;  (* operations that succeeded after >= 1 retry *)
+  mutable unavailable : int;  (* operations surfaced as [Unavailable] *)
+}
+
 type env = {
   self : Vmsg.t Kernel.self;
   prefix_server : Pid.t;
   mutable current : Context.spec;
+  (* The name [current] was last bound from ([change_context]); the
+     retry loop uses it to re-resolve a pinned context whose server
+     crashed, so relative names fail over too. *)
+  mutable current_name : string option;
+  mutable rebinding : bool;
   (* The client-side name-resolution cache; consulted (and fed) only
      when [name_cache_enabled]. *)
   mutable name_cache_enabled : bool;
   mutable name_cache : Name_cache.t;
+  (* The resilience policy ([Vio.Resilience]); off ([None]) by default.
+     The PRNG drives backoff jitter only, so a seeded run replays the
+     exact retry schedule. *)
+  mutable resilience : Vio.Resilience.policy option;
+  mutable retry_prng : Vsim.Prng.t;
+  rstats : resilience_stats;
 }
 
 let engine env = Kernel.engine_of_domain (Kernel.domain_of_self env.self)
 let self env = env.self
 let current_context env = env.current
-let set_current_context env spec = env.current <- spec
+let set_current_context env spec =
+  env.current <- spec;
+  env.current_name <- None
 
 let enable_name_cache env ?capacity flag =
   (match capacity with
@@ -56,6 +75,15 @@ let name_cache_stats env = Name_cache.stats env.name_cache
 let cache_hit_count env = (name_cache_stats env).Name_cache.hits
 let cache_stale_count env = (name_cache_stats env).Name_cache.stale
 
+let set_resilience env ?(policy = Vio.Resilience.default) ~seed () =
+  env.resilience <- Some policy;
+  env.retry_prng <- Vsim.Prng.create ~seed
+
+let clear_resilience env = env.resilience <- None
+let resilience env = env.resilience
+
+let resilience_stats env = env.rstats
+
 (* [make self ~current] builds a program environment: the program is
    passed its current context; the workstation's context prefix server
    is bound via the local service table. *)
@@ -68,8 +96,13 @@ let make self ~current =
           self;
           prefix_server;
           current;
+          current_name = None;
+          rebinding = false;
           name_cache_enabled = false;
           name_cache = Name_cache.create ();
+          resilience = None;
+          retry_prng = Vsim.Prng.create ~seed:1;
+          rstats = { retries = 0; retried_ok = 0; unavailable = 0 };
         }
 
 (* --- observability ---
@@ -86,7 +119,7 @@ let make self ~current =
 
 let obs_hub env = Kernel.obs (Kernel.domain_of_self env.self)
 
-let obs_cache_metric env op =
+let obs_runtime_metric env op =
   match obs_hub env with
   | None -> ()
   | Some hub ->
@@ -135,6 +168,68 @@ let outcome_of_result = function
   | Ok _ -> Reply.to_string Reply.Ok
   | Error e -> Vio.Verr.to_string e
 
+let obs_tag root tag =
+  match root with
+  | None -> ()
+  | Some ((_ : Vobs.Hub.t), span) -> Vobs.Span.add_tag span tag
+
+(* The resilience retry loop around one named operation. [run] is a
+   whole routed attempt (including the stale-retry cascade); on a
+   retryable failure it is re-issued after a jittered exponential
+   backoff, within the policy's deadline, all under the same obs root
+   span (tagged "fault" on the first retry and "retry:n" per attempt).
+   Re-running [run] routes afresh, so a crashed server's successor is
+   picked up by GetPid re-resolution through the prefix server's
+   logical bindings. When the policy gives up, the caller sees a
+   bounded [Unavailable] instead of an indefinite hang. Off by default
+   ([env.resilience = None]): behaviour and PRNG draws are then exactly
+   as before. *)
+
+(* Forward reference, assigned below [resolve]: re-resolve the pinned
+   current context on a transport-level retry. *)
+let rebind_current = ref (fun (_ : env) -> ())
+
+let with_resilience env ~root ~t0 run =
+  match env.resilience with
+  | None -> run ()
+  | Some policy ->
+      let rec loop attempt =
+        match run () with
+        | Ok _ as ok ->
+            if attempt > 1 then begin
+              env.rstats.retried_ok <- env.rstats.retried_ok + 1;
+              obs_runtime_metric env "retry-ok"
+            end;
+            ok
+        | Error e -> (
+            let elapsed = Vsim.Engine.now (engine env) -. t0 in
+            match
+              Vio.Resilience.next_step policy env.retry_prng ~attempt
+                ~elapsed_ms:elapsed e
+            with
+            | Vio.Resilience.Retry_after wait ->
+                env.rstats.retries <- env.rstats.retries + 1;
+                obs_runtime_metric env "retry";
+                if attempt = 1 then obs_tag root "fault";
+                obs_tag root (Printf.sprintf "retry:%d" attempt);
+                Vsim.Proc.delay (engine env) wait;
+                (* A transport failure may mean the current context's
+                   server died: re-resolve it before routing again. *)
+                (match e with
+                | Vio.Verr.Ipc _ -> !rebind_current env
+                | _ -> ());
+                loop (attempt + 1)
+            | Vio.Resilience.Give_up ->
+                let err = Vio.Resilience.give_up ~attempts:attempt e in
+                (match err with
+                | Vio.Verr.Unavailable _ ->
+                    env.rstats.unavailable <- env.rstats.unavailable + 1;
+                    obs_runtime_metric env "unavailable"
+                | _ -> ());
+                Error err)
+      in
+      loop 1
+
 (* --- the single common routing routine --- *)
 
 type route = { target : Pid.t; req : Csname.req; cached_prefix : string option }
@@ -157,7 +252,7 @@ let route env name =
     | Some (key, spec) ->
         (* Deepest cached prefix: start interpretation just past it, in
            the cached context, directly at the implementing server. *)
-        obs_cache_metric env "cache-hit";
+        obs_runtime_metric env "cache-hit";
         {
           target = spec.Context.server;
           req =
@@ -169,7 +264,7 @@ let route env name =
           cached_prefix = Some key;
         }
     | None ->
-        if env.name_cache_enabled then obs_cache_metric env "cache-miss";
+        if env.name_cache_enabled then obs_runtime_metric env "cache-miss";
         { target = env.prefix_server; req; cached_prefix = None }
   end
   else
@@ -207,9 +302,9 @@ let learn_from_reply env name (binding : Vmsg.binding option) =
     match binding with
     | Some { Vmsg.upto; spec } when upto > 0 && upto <= String.length name ->
         (match Name_cache.learn env.name_cache (String.sub name 0 upto) spec with
-        | Some _evicted -> obs_cache_metric env "cache-evict"
+        | Some _evicted -> obs_runtime_metric env "cache-evict"
         | None -> ());
-        obs_cache_metric env "cache-learn"
+        obs_runtime_metric env "cache-learn"
     | _ -> ()
 
 (* Run [attempt] along routes for [name], generalizing the stale-retry
@@ -239,7 +334,7 @@ let with_stale_retry env name ~first attempt =
         match r.cached_prefix with
         | Some key when stale_signal ->
             ignore (Name_cache.invalidate env.name_cache key);
-            obs_cache_metric env "cache-stale";
+            obs_runtime_metric env "cache-stale";
             go (route env name) ~fresh_retried ~first_err
         | _ ->
             let ipc = match e with Vio.Verr.Ipc _ -> true | _ -> false in
@@ -270,7 +365,21 @@ let transact_name env ~code ?payload ?extra_bytes name =
             Ok (m, replier)
         | Error e -> Error e)
   in
-  let result = with_stale_retry env name ~first attempt in
+  let first_route = ref (Some first) in
+  let result =
+    with_resilience env ~root ~t0 (fun () ->
+        (* The first resilience attempt reuses the route already taken
+           (whose cache metrics are counted); later ones route afresh so
+           re-resolution can land on a successor server. *)
+        let r =
+          match !first_route with
+          | Some r ->
+              first_route := None;
+              r
+          | None -> route env name
+        in
+        with_stale_retry env name ~first:r attempt)
+  in
   obs_done env ~op ~t0 root (outcome_of_result result);
   result
 
@@ -293,7 +402,33 @@ let change_context env name =
   | Error e -> Error e
   | Ok spec ->
       env.current <- spec;
+      env.current_name <- Some name;
       Ok spec
+
+(* On a transport-level retry, re-resolve the current context by the
+   name it was last bound from: if its server crashed, the prefix
+   server's logical bindings (refreshed via GetPid) point at the live
+   successor, so relative names recover without a manual rebind. The
+   probe is one-shot — the policy is disabled for its duration so it
+   cannot recurse into the retry loop. *)
+let () =
+  rebind_current :=
+    fun env ->
+      match env.current_name with
+      | None -> ()
+      | Some name ->
+          if not env.rebinding then begin
+            env.rebinding <- true;
+            let saved = env.resilience in
+            env.resilience <- None;
+            (match resolve env name with
+            | Ok spec when spec <> env.current ->
+                env.current <- spec;
+                obs_runtime_metric env "rebind"
+            | Ok _ | Error _ -> ());
+            env.resilience <- saved;
+            env.rebinding <- false
+          end
 
 (* Determine a printable CSname for the current context (§6 inverse
    mapping): ask the prefix server first, then the implementing server
@@ -344,7 +479,18 @@ let open_ env ~mode name =
       ~learn:(fun b -> learn_from_reply env name (Some b))
       ~server:r.target ~req ~mode ()
   in
-  let result = with_stale_retry env name ~first attempt in
+  let first_route = ref (Some first) in
+  let result =
+    with_resilience env ~root ~t0 (fun () ->
+        let r =
+          match !first_route with
+          | Some r ->
+              first_route := None;
+              r
+          | None -> route env name
+        in
+        with_stale_retry env name ~first:r attempt)
+  in
   obs_done env ~op ~t0 root (outcome_of_result result);
   result
 

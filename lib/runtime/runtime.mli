@@ -26,6 +26,42 @@ val engine : env -> Vsim.Engine.t
 val current_context : env -> Context.spec
 val set_current_context : env -> Context.spec -> unit
 
+(** {1 The client resilience policy}
+
+    With a policy set, every named operation ({!transact_name}-routed
+    calls and {!open_}) re-issues retryable failures ([Ipc Timeout],
+    stale pids, [Denied Retry] — see {!Vio.Resilience.retryable}) after
+    a jittered exponential backoff, within a per-operation deadline.
+    Re-issuing routes afresh, so a crashed server's restarted successor
+    is found by GetPid re-resolution through the prefix server's
+    logical bindings; a current context bound with {!change_context} is
+    likewise re-resolved by its name on transport-level retries, so
+    relative names fail over too. All attempts run under one obs root
+    span, tagged ["fault"]/["retry:n"]. When the policy gives up, the
+    caller sees
+    {!Vio.Verr.Unavailable} (bounded) rather than an indefinite hang.
+
+    Off by default; with it off, behaviour and PRNG draws are exactly
+    the seed's, so fault-free runs stay bit-identical. [seed] drives
+    backoff jitter only — a fixed seed replays the exact retry
+    schedule. *)
+
+val set_resilience :
+  env -> ?policy:Vio.Resilience.policy -> seed:int -> unit -> unit
+
+val clear_resilience : env -> unit
+val resilience : env -> Vio.Resilience.policy option
+
+type resilience_stats = {
+  mutable retries : int;  (** re-issued attempts *)
+  mutable retried_ok : int;  (** operations succeeding after >= 1 retry *)
+  mutable unavailable : int;  (** operations surfaced as [Unavailable] *)
+}
+
+(** Live counters (also exported as (workstation, "runtime", "retry" |
+    "retry-ok" | "unavailable") metrics when a hub is attached). *)
+val resilience_stats : env -> resilience_stats
+
 (** {1 Naming operations} *)
 
 (** Map a name denoting a context to its (server-pid, context-id). *)

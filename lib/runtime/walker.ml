@@ -66,15 +66,21 @@ let disk_usage ?max_depth env ~root =
 
 (* Recursively copy a context's files and directories to another
    context, purely through the public operations — works across servers
-   and through pointers. Returns the number of files copied. *)
-let copy_tree ?max_depth env ~src ~dst =
+   and through pointers. Returns the number of files copied. Every
+   failure — listing a subcontext, creating a directory, copying a
+   file — is reported through [on_error] as it happens and counted, so
+   a mid-tree crash does not hide the errors after it; the result
+   still carries the first failure for callers that ignore the rest. *)
+let copy_tree ?max_depth
+    ?(on_error = fun (_ : string) (_ : Vio.Verr.t) -> ()) env ~src ~dst =
   let copied = ref 0 in
-  let failures = ref [] in
-  let must what = function
-    | Ok () -> ()
-    | Error e -> failures := (what, e) :: !failures
+  let first_err = ref None in
+  let report what e =
+    if !first_err = None then first_err := Some e;
+    on_error what e
   in
-  walk ?max_depth ~follow_pointers:false env ~root:src (fun v ->
+  let must what = function Ok () -> () | Error e -> report what e in
+  walk ?max_depth ~follow_pointers:false ~on_error:report env ~root:src (fun v ->
       (* Rebase the visited name from src onto dst. *)
       let suffix =
         let full = v.v_name and root = src in
@@ -91,9 +97,7 @@ let copy_tree ?max_depth env ~src ~dst =
           incr copied;
           must target (Runtime.copy env ~src:v.v_name ~dst:target)
       | _ -> ());
-  match !failures with
-  | [] -> Ok !copied
-  | (_, e) :: _ -> Error e
+  match !first_err with None -> Ok !copied | Some e -> Error e
 
 (* Render a tree, like find -print with indentation. *)
 let pp_tree ?max_depth env ~root ppf () =

@@ -39,9 +39,18 @@ val disk_usage : ?max_depth:int -> Runtime.env -> root:string -> int
 
 (** Recursively copy the files and directories under [src] to [dst]
     (which must already name a context), across servers if the names
-    say so. Returns the number of files copied, or the first failure. *)
+    say so. Returns the number of files copied. {e Every} failure —
+    listing, directory creation, file copy — is threaded through
+    [on_error] (name it failed on, error) as the walk proceeds, so a
+    mid-tree crash does not hide the errors after it; the result
+    carries the first failure for callers that ignore the rest. *)
 val copy_tree :
-  ?max_depth:int -> Runtime.env -> src:string -> dst:string -> (int, Vio.Verr.t) result
+  ?max_depth:int ->
+  ?on_error:(string -> Vio.Verr.t -> unit) ->
+  Runtime.env ->
+  src:string ->
+  dst:string ->
+  (int, Vio.Verr.t) result
 
 (** Render the reachable tree. *)
 val pp_tree :

@@ -117,6 +117,8 @@ let remove_account t name =
 
 (* --- instances --- *)
 
+let open_instance_count t = Hashtbl.length t.instances
+
 let fresh_instance t kind =
   let id = t.next_instance in
   t.next_instance <- id + 1;

@@ -42,6 +42,10 @@ val fs : t -> Fs.t
 val disk : t -> Disk.t
 val stats : t -> Csnh.server_stats
 
+(** Currently open instances — 0 once every client has released (the
+    no-orphan-instances invariant fault injection checks). *)
+val open_instance_count : t -> int
+
 (** How many blocks to prefetch past each sequential read (0 disables;
     the default is 1). *)
 val set_read_ahead : t -> int -> unit

@@ -5,11 +5,16 @@ type t =
   | Ipc of Vkernel.Kernel.error  (** the message transaction itself failed *)
   | Denied of Vnaming.Reply.code  (** the server's reply code *)
   | Protocol of string  (** reply malformed for the request sent *)
+  | Unavailable of { attempts : int; last : string }
+      (** the resilience policy gave up: retries or the per-operation
+          deadline were exhausted; [last] renders the final error *)
 
 let pp ppf = function
   | Ipc e -> Fmt.pf ppf "ipc: %a" Vkernel.Kernel.pp_error e
   | Denied c -> Fmt.pf ppf "%a" Vnaming.Reply.pp c
   | Protocol s -> Fmt.pf ppf "protocol: %s" s
+  | Unavailable { attempts; last } ->
+      Fmt.pf ppf "unavailable after %d attempts (last: %s)" attempts last
 
 let to_string e = Fmt.str "%a" pp e
 

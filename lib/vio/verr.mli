@@ -5,6 +5,10 @@ type t =
   | Ipc of Vkernel.Kernel.error  (** the message transaction failed *)
   | Denied of Vnaming.Reply.code  (** the server's failure reply code *)
   | Protocol of string  (** reply malformed for the request sent *)
+  | Unavailable of { attempts : int; last : string }
+      (** the resilience policy gave up ({!Resilience}): bounded retries
+          or the per-operation deadline were exhausted; [last] renders
+          the final underlying error *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

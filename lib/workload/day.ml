@@ -20,6 +20,12 @@ type totals = {
   mutable mails : int;
   mutable terminal_lines : int;
   mutable failures : int;
+  (* Failure attribution (failures = ipc_failures + denied), plus the
+     operations the resilience policy saved — the split E9 uses to
+     attribute degradation to the transport vs. the servers. *)
+  mutable ipc_failures : int;
+  mutable denied : int;
+  mutable retried_ok : int;
   latency : Vsim.Stats.Series.t;
 }
 
@@ -33,23 +39,35 @@ let make_totals () =
     mails = 0;
     terminal_lines = 0;
     failures = 0;
+    ipc_failures = 0;
+    denied = 0;
+    retried_ok = 0;
     latency = Vsim.Stats.Series.create "op-latency";
   }
 
 let pp_totals ppf t =
   Fmt.pf ppf
     "edits %d, reads %d, listings %d, program loads %d, print jobs %d,@ \
-     mails %d, terminal lines %d, failures %d;@ op latency %a"
+     mails %d, terminal lines %d, failures %d (ipc %d, denied %d; retried \
+     ok %d);@ op latency %a"
     t.edits t.reads t.lists t.loads t.prints t.mails t.terminal_lines
-    t.failures Vsim.Stats.Series.pp_summary
+    t.failures t.ipc_failures t.denied t.retried_ok
+    Vsim.Stats.Series.pp_summary
     (Vsim.Stats.Series.summarize t.latency)
 
 (* One user's behaviour: a loop of weighted random activities with
    exponential think time. *)
-let user_day (t : Scenario.t) totals ~ws ~until prng =
+let user_day ?resilience ?(on_op = fun ~t0:_ ~t1:_ (_ : (unit, Vio.Verr.t) result) -> ())
+    (t : Scenario.t) totals ~ws ~until prng =
   ignore
     (Scenario.spawn_client t ~ws ~name:(Fmt.str "user%d" ws) (fun self env ->
          let eng = Runtime.engine env in
+         (match resilience with
+         | None -> ()
+         | Some policy ->
+             (* Jitter seed fixed per workstation: the retry schedule
+                replays exactly for a given day seed. *)
+             Runtime.set_resilience env ~policy ~seed:(1000 + ws) ());
          (* Pin the home context once at login: the logical [home]
             binding re-resolves per use and, with several storage
             servers, may land on any of them — for stateful document
@@ -67,11 +85,26 @@ let user_day (t : Scenario.t) totals ~ws ~until prng =
          done;
          let timed f =
            let t0 = Vsim.Engine.now eng in
+           let saved_before = (Runtime.resilience_stats env).Runtime.retried_ok in
            let outcome = f () in
-           Vsim.Stats.Series.add totals.latency (Vsim.Engine.now eng -. t0);
+           let t1 = Vsim.Engine.now eng in
+           Vsim.Stats.Series.add totals.latency (t1 -. t0);
+           totals.retried_ok <-
+             totals.retried_ok
+             + (Runtime.resilience_stats env).Runtime.retried_ok
+             - saved_before;
+           on_op ~t0 ~t1 outcome;
            match outcome with
            | Ok () -> ()
-           | Error (_ : Vio.Verr.t) -> totals.failures <- totals.failures + 1
+           | Error e -> (
+               totals.failures <- totals.failures + 1;
+               (* Attribute: transport-flavoured failures (including a
+                  resilience give-up) vs. the server refusing. *)
+               match e with
+               | Vio.Verr.Ipc _ | Vio.Verr.Unavailable _ ->
+                   totals.ipc_failures <- totals.ipc_failures + 1
+               | Vio.Verr.Denied _ | Vio.Verr.Protocol _ ->
+                   totals.denied <- totals.denied + 1)
          in
          let iteration i =
            match Vsim.Prng.int prng 100 with
@@ -126,8 +159,13 @@ let user_day (t : Scenario.t) totals ~ws ~until prng =
          loop 0))
 
 (* Run a day: [users] workstations for [duration_ms] of simulated time.
-   Returns the totals and the scenario (for further inspection). *)
-let run ?(users = 3) ?(duration_ms = 60_000.0) ?(seed = 11) () =
+   Returns the totals and the scenario (for further inspection).
+   [resilience] arms every user's runtime with the retry policy;
+   [configure] runs on the built scenario before the clock starts (E9
+   schedules its fault plan here); [on_op] sees every timed operation's
+   (start, end, outcome). *)
+let run ?(users = 3) ?(duration_ms = 60_000.0) ?(seed = 11) ?resilience
+    ?configure ?on_op () =
   let t = Scenario.build ~workstations:users ~file_servers:2 ~seed () in
   (match
      Program_manager.install_image (Scenario.file_server t 0) ~name:"editor"
@@ -138,7 +176,9 @@ let run ?(users = 3) ?(duration_ms = 60_000.0) ?(seed = 11) () =
   let totals = make_totals () in
   let prng = Vsim.Prng.create ~seed in
   for ws = 0 to users - 1 do
-    user_day t totals ~ws ~until:duration_ms (Vsim.Prng.split prng)
+    user_day ?resilience ?on_op t totals ~ws ~until:duration_ms
+      (Vsim.Prng.split prng)
   done;
+  (match configure with None -> () | Some f -> f t);
   Scenario.run t;
   (totals, t)

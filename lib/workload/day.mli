@@ -11,12 +11,34 @@ type totals = {
   mutable prints : int;
   mutable mails : int;
   mutable terminal_lines : int;
-  mutable failures : int;
+  mutable failures : int;  (** = [ipc_failures + denied] *)
+  mutable ipc_failures : int;
+      (** transport-flavoured: [Ipc] errors and resilience give-ups
+          ([Unavailable]) *)
+  mutable denied : int;  (** the server refused ([Denied]/[Protocol]) *)
+  mutable retried_ok : int;
+      (** operations the resilience policy saved: succeeded after at
+          least one retry (0 without [?resilience]) *)
   latency : Vsim.Stats.Series.t;  (** per-operation latency (ms) *)
 }
 
 val pp_totals : Format.formatter -> totals -> unit
 
 (** Run [users] workstations for [duration_ms] of simulated time;
-    returns the aggregate totals and the scenario. *)
-val run : ?users:int -> ?duration_ms:float -> ?seed:int -> unit -> totals * Scenario.t
+    returns the aggregate totals and the scenario.
+
+    [resilience] arms every user's runtime with the retry policy
+    (jitter seeds fixed per workstation, so the schedule replays);
+    [configure] runs on the built scenario before the simulation starts
+    — E9 schedules its fault plan here; [on_op] observes every timed
+    operation as [~t0 ~t1 outcome] (simulated ms), the raw timeline
+    unavailability windows and recovery latency are computed from. *)
+val run :
+  ?users:int ->
+  ?duration_ms:float ->
+  ?seed:int ->
+  ?resilience:Vio.Resilience.policy ->
+  ?configure:(Scenario.t -> unit) ->
+  ?on_op:(t0:float -> t1:float -> (unit, Vio.Verr.t) result -> unit) ->
+  unit ->
+  totals * Scenario.t

@@ -17,4 +17,5 @@ let () =
          Test_edges.suite;
          Test_obs.suite;
          Test_cache.suite;
+         Test_fault.suite;
        ])
