@@ -1,0 +1,192 @@
+(* The bench-regression gate: compare a fresh `bench --json` dump
+   against a committed baseline and fail loudly when the run got
+   meaningfully worse.
+
+     dune exec bench/compare.exe -- BASELINE.json FRESH.json
+                                    [--tolerance PCT]
+
+   The gate fails (exit 1) when any of these holds:
+
+   - the fresh run is marked "_incomplete" (an experiment raised and
+     bench/main exited non-zero — the JSON on disk is partial);
+   - any "invariant_violations" list anywhere in the fresh run is
+     non-empty (at-most-once, orphan instances, convergence, replica
+     divergence);
+   - a latency metric present in both runs regressed by more than the
+     tolerance (default 10%).
+
+   Only latency-shaped metrics gate: comparison rows whose unit is a
+   time unit, and recorded fields whose name says latency (latency_*,
+   p50/p99, mean_op_ms). Counters (operations, retries, frame counts)
+   legitimately move when behaviour changes and are reported, not
+   gated — regenerating the committed baseline is the way to bless an
+   intended change. Exit 2 means the gate itself could not run (bad
+   usage, unreadable or unparseable input). *)
+
+module Json = Vobs.Json
+
+let fail_usage () =
+  Fmt.epr "usage: compare BASELINE.json FRESH.json [--tolerance PCT]@.";
+  exit 2
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error msg ->
+      Fmt.epr "compare: %s@." msg;
+      exit 2
+
+let load path =
+  match Json.parse (read_file path) with
+  | Ok json -> json
+  | Error msg ->
+      Fmt.epr "compare: %s: %s@." path msg;
+      exit 2
+
+(* --- metric extraction --- *)
+
+(* A latency metric is addressed by a path through the tree: object
+   keys, plus "label"/"factor" discriminators inside lists so entries
+   pair up even if an experiment gains or loses rows. *)
+
+let contains ~sub s =
+  let n = String.length sub and len = String.length s in
+  let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let is_latency_key k =
+  contains ~sub:"latency" k || k = "p50" || k = "p99" || k = "mean_op_ms"
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let time_unit u = contains ~sub:"ms" u || contains ~sub:"us" u
+
+(* List elements are identified by a "label" or "factor" field when
+   they have one, else by position. *)
+let element_key i = function
+  | Json.Obj _ as o -> (
+      match (Json.member "label" o, Json.member "factor" o) with
+      | Some (Json.String l), _ -> "label=" ^ l
+      | _, Some (Json.Int f) -> Fmt.str "factor=%d" f
+      | _ -> string_of_int i)
+  | _ -> string_of_int i
+
+let rec collect path acc json =
+  match json with
+  | Json.Obj fields ->
+      (* A comparison row gates on its "measured" field when the unit is
+         a time unit. *)
+      let acc =
+        match
+          ( Json.member "label" json,
+            Json.member "measured" json,
+            Json.member "unit" json )
+        with
+        | Some (Json.String _), Some m, Some (Json.String u)
+          when time_unit u -> (
+            match number m with
+            | Some v -> (String.concat "/" (List.rev path) ^ "/measured", v) :: acc
+            | None -> acc)
+        | _ -> acc
+      in
+      List.fold_left
+        (fun acc (k, v) ->
+          match number v with
+          | Some f when is_latency_key k ->
+              (String.concat "/" (List.rev (k :: path)), f) :: acc
+          | _ -> collect (k :: path) acc v)
+        acc fields
+  | Json.List items ->
+      List.fold_left
+        (fun (i, acc) item ->
+          (i + 1, collect (element_key i item :: path) acc item))
+        (0, acc) items
+      |> snd
+  | _ -> acc
+
+let latency_metrics json = List.rev (collect [] [] json)
+
+(* Every non-empty "invariant_violations" list in the tree. *)
+let rec violations path acc json =
+  match json with
+  | Json.Obj fields ->
+      List.fold_left
+        (fun acc (k, v) ->
+          match (k, v) with
+          | "invariant_violations", Json.List (_ :: _ as vs) ->
+              (String.concat "/" (List.rev path), vs) :: acc
+          | _ -> violations (k :: path) acc v)
+        acc fields
+  | Json.List items ->
+      List.fold_left
+        (fun (i, acc) item ->
+          (i + 1, violations (element_key i item :: path) acc item))
+        (0, acc) items
+      |> snd
+  | _ -> acc
+
+(* --- the gate --- *)
+
+let () =
+  let baseline_file, fresh_file, tolerance =
+    match Array.to_list Sys.argv with
+    | [ _; b; f ] -> (b, f, 10.0)
+    | [ _; b; f; "--tolerance"; t ] -> (
+        match float_of_string_opt t with
+        | Some t when t >= 0.0 -> (b, f, t)
+        | _ -> fail_usage ())
+    | _ -> fail_usage ()
+  in
+  let baseline = load baseline_file and fresh = load fresh_file in
+  let failures = ref 0 in
+  (match Json.member "_incomplete" fresh with
+  | Some (Json.String name) ->
+      Fmt.pr "FAIL: fresh run is incomplete (experiment %s raised)@." name;
+      incr failures
+  | Some _ ->
+      Fmt.pr "FAIL: fresh run is incomplete@.";
+      incr failures
+  | None -> ());
+  (match List.rev (violations [] [] fresh) with
+  | [] -> ()
+  | vs ->
+      List.iter
+        (fun (path, entries) ->
+          incr failures;
+          Fmt.pr "FAIL: invariant violations at %s:@." path;
+          List.iter (fun v -> Fmt.pr "  %s@." (Json.to_string v)) entries)
+        vs);
+  let base_metrics = latency_metrics baseline
+  and fresh_metrics = latency_metrics fresh in
+  let compared = ref 0 and improved = ref 0 in
+  List.iter
+    (fun (path, base) ->
+      match List.assoc_opt path fresh_metrics with
+      | None -> Fmt.pr "warn: %s missing from fresh run@." path
+      | Some now when base > 0.0 ->
+          incr compared;
+          let delta = (now -. base) /. base *. 100.0 in
+          if delta > tolerance then begin
+            incr failures;
+            Fmt.pr "FAIL: %s regressed %+.1f%% (%.3f -> %.3f)@." path delta
+              base now
+          end
+          else if delta < -.tolerance then begin
+            incr improved;
+            Fmt.pr "note: %s improved %+.1f%% (%.3f -> %.3f)@." path delta base
+              now
+          end
+      | Some _ -> incr compared)
+    base_metrics;
+  List.iter
+    (fun (path, _) ->
+      if not (List.mem_assoc path base_metrics) then
+        Fmt.pr "note: new metric %s (not in baseline)@." path)
+    fresh_metrics;
+  Fmt.pr "%d latency metric(s) compared against %s (tolerance %.0f%%): %d \
+          regression-or-violation failure(s), %d improved@."
+    !compared baseline_file tolerance !failures !improved;
+  if !failures > 0 then exit 1

@@ -21,6 +21,7 @@ let registry =
     ("e7", E7_group.run);
     ("e8", E8_cache.run);
     ("e9", E9_chaos.run);
+    ("e10", E10_replication.run);
     ("figs", Figures.run);
     ("f1", Figures.f1);
     ("f2", Figures.f2);
@@ -37,8 +38,8 @@ let registry =
 
 let default =
   [
-    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "figs"; "ablations";
-    "day"; "micro";
+    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "figs";
+    "ablations"; "day"; "micro";
   ]
 
 (* Strip "--json FILE" from the argument list, returning the file.
@@ -87,11 +88,39 @@ let () =
         (String.concat " " (List.map (Fmt.str "%S") unknown))
         (String.concat " " (List.map fst registry));
       exit 1);
-  List.iter (fun name -> (List.assoc name registry) ()) requested;
-  match json_out with
+  (* Run experiments, stopping at the first failure. A mid-run exception
+     used to be fatal-but-exit-0 with whatever JSON had accumulated on
+     disk — which a CI gate would happily read as a complete pass. Now
+     the run exits non-zero and the partial JSON is flagged
+     "_incomplete" so no reader can mistake it for a full run. *)
+  let failed =
+    List.fold_left
+      (fun failed name ->
+        match failed with
+        | Some _ -> failed
+        | None -> (
+            match (List.assoc name registry) () with
+            | () -> None
+            | exception e ->
+                Fmt.epr "experiment %s raised: %s@." name (Printexc.to_string e);
+                Some name))
+      None requested
+  in
+  (match json_out with
   | None -> ()
   | Some (file, oc) ->
-      output_string oc (Vobs.Json.to_string (Vworkload.Tables.results_json ()));
+      let results = Vworkload.Tables.results_json () in
+      let results =
+        match (failed, results) with
+        | None, r -> r
+        | Some name, Vobs.Json.Obj fields ->
+            Vobs.Json.Obj (("_incomplete", Vobs.Json.String name) :: fields)
+        | Some name, other ->
+            Vobs.Json.Obj
+              [ ("_incomplete", Vobs.Json.String name); ("results", other) ]
+      in
+      output_string oc (Vobs.Json.to_string results);
       output_char oc '\n';
       close_out oc;
-      Fmt.pr "@.results written to %s@." file
+      Fmt.pr "@.results written to %s@." file);
+  match failed with Some _ -> exit 1 | None -> ()

@@ -23,6 +23,7 @@ type shell = {
   scenario : Scenario.t;
   mutable failed : int;
   mutable injector : Vfault.Injector.t option;
+  mutable replicas : Vservices.Replica.t option;
 }
 
 let pr fmt = Fmt.pr (fmt ^^ "@.")
@@ -362,6 +363,88 @@ let cmd_fault sh args =
            "usage: fault plan SEED [DURATION-MS] | fault inject SEED \
             [DURATION-MS] | fault status")
 
+(* Replicated storage from the shell: join the first N file servers into
+   a replica set under one logical service id and bind [rstore] to it on
+   every workstation — reads balance across members, CSNH writes fan out
+   from the coordinating prefix server. The same machinery E10
+   benchmarks, made interactive. *)
+let cmd_replicas sh args =
+  let t = sh.scenario in
+  let module Replica = Vservices.Replica in
+  let fs_count = Array.length t.Scenario.file_servers in
+  match args with
+  | "on" :: rest -> (
+      let parse = function
+        | [] -> Some (fs_count, Vkernel.Balancer.Round_robin)
+        | [ n ] ->
+            Option.map
+              (fun n -> (n, Vkernel.Balancer.Round_robin))
+              (int_of_string_opt n)
+        | [ n; pol ] -> (
+            match (int_of_string_opt n, Vkernel.Balancer.policy_of_string pol)
+            with
+            | Some n, Some p -> Some (n, p)
+            | _ -> None)
+        | _ -> None
+      in
+      match (sh.replicas, parse rest) with
+      | Some _, _ ->
+          Error
+            (Vio.Verr.Protocol
+               "a replica set is already installed (replicas off first)")
+      | None, None -> Error (Vio.Verr.Protocol "usage: replicas on [N] [rr|nearest]")
+      | None, Some (n, _) when n < 1 || n > fs_count ->
+          Error (Vio.Verr.Protocol (Fmt.str "N must be 1..%d" fs_count))
+      | None, Some (n, policy) ->
+          let members =
+            List.init n (fun i ->
+                match K.host_of_addr t.Scenario.domain (Scenario.fs_addr i) with
+                | Some host -> (host, t.Scenario.file_servers.(i))
+                | None -> assert false)
+          in
+          let r = Replica.install t.Scenario.domain ~policy ~members () in
+          Array.iter
+            (fun ws ->
+              ignore
+                (Prefix_server.add_binding ws.Scenario.ws_prefix "rstore"
+                   (Replica.target r)))
+            t.Scenario.workstations;
+          sh.replicas <- Some r;
+          pr "replica set installed: %d member(s), [rstore] bound on every \
+              workstation" n;
+          Ok ())
+  | [ "off" ] -> (
+      match sh.replicas with
+      | None -> Error (Vio.Verr.Protocol "no replica set installed")
+      | Some r ->
+          Replica.uninstall r;
+          Array.iter
+            (fun ws ->
+              ignore (Prefix_server.delete_binding ws.Scenario.ws_prefix "rstore"))
+            t.Scenario.workstations;
+          sh.replicas <- None;
+          pr "replica set removed; [rstore] unbound";
+          Ok ())
+  | [] | [ "status" ] ->
+      (match sh.replicas with
+      | None -> pr "no replica set installed"
+      | Some r ->
+          pr "replica set: service %s (group %d), factor %d, policy %a"
+            (Vkernel.Service.Id.to_string (Replica.service r))
+            (Replica.group r) (Replica.factor r) Vkernel.Balancer.pp_policy
+            (Replica.policy r);
+          List.iter
+            (fun (addr, fs) ->
+              pr "  host %d: %s (pid %d)" addr (File_server.name fs)
+                (Vkernel.Pid.to_int (File_server.pid fs)))
+            (Replica.members r));
+      Ok ()
+  | _ ->
+      Error
+        (Vio.Verr.Protocol
+           "usage: replicas on [N] [rr|nearest] | replicas off | replicas \
+            status")
+
 let cmd_metrics sh args =
   let m = Vobs.Hub.metrics sh.scenario.Scenario.obs in
   (match args with
@@ -400,6 +483,7 @@ let commands :
     ("restart", "FS-INDEX — restart host + fresh server", cmd_restart);
     ("netstat", "— wire and transaction counters", cmd_netstat);
     ("fault", "plan|inject SEED [MS] | status — seeded fault injection", cmd_fault);
+    ("replicas", "on [N] [rr|nearest] | off | status — replicated [rstore]", cmd_replicas);
     ("trace", "[ID] — span tree of the last (or given) traced request", cmd_trace);
     ("cache", "[on|off|stats] — the name-resolution cache", cmd_cache);
     ("metrics", "[json] — observability counters and histograms", cmd_metrics);
@@ -459,6 +543,17 @@ let demo_script =
     "ls [printer]";
     "ls [terminals]";
     "ls [mail]";
+    "echo -- replicated storage --";
+    "replicas on 2";
+    "replicas status";
+    "mkdir [rstore]repl";
+    "resolve [rstore]repl";
+    "resolve [rstore]repl";
+    "cd [rstore]repl";
+    "write a.txt written through a pinned replica context";
+    "cat a.txt";
+    "cd [home]";
+    "replicas off";
     "echo -- failure and recovery --";
     "crash 0";
     "cat [storage]hello.txt";
@@ -479,7 +574,9 @@ let run_shell script =
   let exit_code = ref 0 in
   ignore
     (Scenario.spawn_client t ~ws:0 ~name:"vsh" (fun _self env ->
-         let sh = { env; scenario = t; failed = 0; injector = None } in
+         let sh =
+           { env; scenario = t; failed = 0; injector = None; replicas = None }
+         in
          List.iter (execute sh) script;
          if sh.failed > 0 then begin
            pr "vsh: %d command(s) failed" sh.failed;

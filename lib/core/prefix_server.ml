@@ -37,6 +37,8 @@ type t = {
   instances : Instance_server.t;
   stats : Csnh.server_stats;
   mutable pid : Pid.t option;
+  mutable next_wseq : int;
+      (* per-coordinator sequence number for replicated writes *)
 }
 
 let owner t = t.owner
@@ -169,6 +171,66 @@ let obs_reparent self span (req : Csname.req) =
         Csname.trace = Vobs.Hub.child_ctx s ~now:(Vsim.Engine.now engine);
       }
 
+(* Write-all fan-out for a logical binding whose service is bound to a
+   replica group (read-one/write-all). The prefix server acts as the
+   coordinator: it stamps the rewritten request with its own (origin,
+   seq), appends it to the group's ordered write log, sends it to every
+   live member in turn — one bounded same-seq retransmission per member,
+   which the member's {!Seq_guard} deduplicates — and answers the client
+   itself with the first successful reply. Serializing all writes for
+   the service through this one process is what gives replicas an
+   identical application order. *)
+let replicate_write t self ~sender ~span ~service ~context (msg : Vmsg.t) req =
+  let d = Kernel.domain_of_self self in
+  obs_metric self "replicate-write";
+  let origin = Pid.to_int (pid t) in
+  let seq = t.next_wseq in
+  t.next_wseq <- seq + 1;
+  let req = obs_reparent self span { req with Csname.context } in
+  let msg' = Vmsg.with_wseq (Vmsg.with_name msg req) { Vmsg.origin; seq } in
+  Kernel.log_group_write d ~service ~origin ~seq msg';
+  let requester = Kernel.host_addr (Kernel.host_of_self self) in
+  let members = Kernel.service_group_members d ~requester ~service in
+  let send_once member = Kernel.send self member msg' in
+  let answer =
+    List.fold_left
+      (fun acc member ->
+        let result =
+          match send_once member with
+          | Ok (r, _) -> Some r
+          | Error _ -> (
+              obs_metric self "replicate-retry";
+              match send_once member with
+              | Ok (r, _) -> Some r
+              | Error _ ->
+                  obs_metric self "replicate-member-lost";
+                  None)
+        in
+        match (acc, result) with
+        | None, Some r -> Some r
+        | acc, _ -> acc)
+      None members
+  in
+  match answer with
+  | None ->
+      obs_finish self span (Reply.to_string Reply.No_server);
+      ignore (Kernel.reply self ~to_:sender (Vmsg.reply Reply.No_server))
+  | Some r ->
+      (match Vmsg.reply_code r with
+      | Some code -> obs_finish self span (Reply.to_string code)
+      | None -> obs_finish self span "reply");
+      ignore (Kernel.reply self ~to_:sender r)
+
+(* Is this CSname request a write against a logical binding whose
+   service is currently replica-bound? *)
+let replicated_write_target self (msg : Vmsg.t) = function
+  | Logical { service; context }
+    when Vmsg.Op.is_csname_write msg.Vmsg.code
+         && Kernel.service_group (Kernel.domain_of_self self) ~service <> None
+    ->
+      Some (service, context)
+  | Logical _ | Static _ | Replicated _ -> None
+
 let handle_prefixed t self ~sender (msg : Vmsg.t) req =
   let engine = Kernel.engine_of_domain (Kernel.domain_of_self self) in
   Vsim.Stats.Counter.incr t.stats.Csnh.requests;
@@ -198,22 +260,27 @@ let handle_prefixed t self ~sender (msg : Vmsg.t) req =
             (Kernel.forward_group self ~from_:sender ~group
                (Vmsg.with_name msg req'))
       | Some target -> (
-          match resolve self target with
-          | Error code -> reply_with code
-          | Ok spec ->
+          match replicated_write_target self msg target with
+          | Some (service, context) ->
               Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
-              obs_metric self "forward";
-              obs_finish self span ~index_to:req'.Csname.index "forward";
-              let req' =
-                obs_reparent self span
-                  { req' with Csname.context = spec.Context.context }
-              in
-              match
-                Kernel.forward self ~from_:sender ~to_:spec.Context.server
-                  (Vmsg.with_name msg req')
-              with
-              | Ok () -> ()
-              | Error _ -> forward_failed self target))
+              replicate_write t self ~sender ~span ~service ~context msg req'
+          | None -> (
+              match resolve self target with
+              | Error code -> reply_with code
+              | Ok spec -> (
+                  Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
+                  obs_metric self "forward";
+                  obs_finish self span ~index_to:req'.Csname.index "forward";
+                  let req' =
+                    obs_reparent self span
+                      { req' with Csname.context = spec.Context.context }
+                  in
+                  match
+                    Kernel.forward self ~from_:sender ~to_:spec.Context.server
+                      (Vmsg.with_name msg req')
+                  with
+                  | Ok () -> ()
+                  | Error _ -> forward_failed self target))))
 
 (* Add/delete name operations (§5.7, optional, "ordinarily implemented
    only in context prefix servers"). The subject is the binding itself,
@@ -327,25 +394,32 @@ let handle_unprefixed t self ~now ~sender (msg : Vmsg.t) req =
                   (Kernel.forward_group self ~from_:sender ~group
                      (Vmsg.with_name msg req'))
             | Some target -> (
-                match resolve self target with
-                | Error code -> reply_with (Vmsg.reply code)
-                | Ok spec ->
+                match replicated_write_target self msg target with
+                | Some (service, context) ->
                     Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
-                    obs_metric self "forward";
-                    let req' =
-                      {
-                        (Csname.advance_past req name) with
-                        Csname.context = spec.Context.context;
-                      }
-                    in
-                    obs_finish self span ~index_to:req'.Csname.index "forward";
-                    let req' = obs_reparent self span req' in
-                    match
-                      Kernel.forward self ~from_:sender
-                        ~to_:spec.Context.server (Vmsg.with_name msg req')
-                    with
-                    | Ok () -> ()
-                    | Error _ -> forward_failed self target))
+                    replicate_write t self ~sender ~span ~service ~context msg
+                      (Csname.advance_past req name)
+                | None -> (
+                    match resolve self target with
+                    | Error code -> reply_with (Vmsg.reply code)
+                    | Ok spec -> (
+                        Vsim.Stats.Counter.incr t.stats.Csnh.forwards;
+                        obs_metric self "forward";
+                        let req' =
+                          {
+                            (Csname.advance_past req name) with
+                            Csname.context = spec.Context.context;
+                          }
+                        in
+                        obs_finish self span ~index_to:req'.Csname.index
+                          "forward";
+                        let req' = obs_reparent self span req' in
+                        match
+                          Kernel.forward self ~from_:sender
+                            ~to_:spec.Context.server (Vmsg.with_name msg req')
+                        with
+                        | Ok () -> ()
+                        | Error _ -> forward_failed self target))))
       end
 
 let handle_other t self (msg : Vmsg.t) =
@@ -387,6 +461,7 @@ let start host ~owner ?(initial = []) () =
       instances = Instance_server.create ~name:"prefix-dirs" ();
       stats = Csnh.make_stats "prefix";
       pid = None;
+      next_wseq = 1;
     }
   in
   List.iter

@@ -1,0 +1,36 @@
+(* Replica-side write deduplication.
+
+   A replicated write arrives stamped with the coordinator's (origin,
+   seq) — see {!Vmsg.wseq}. Each member keeps, per origin, the highest
+   sequence number it has applied plus the replies to recently applied
+   writes, so a coordinator retry (same seq resent after a lost frame)
+   or a catch-up replay after restart is answered from the cache rather
+   than applied twice.
+
+   The applied high-water marks model durable state — like the file
+   system itself, they survive a server restart. The reply cache is
+   memory and is dropped on restart ({!drop_replies}): a replayed write
+   whose seq is already covered is then acknowledged with a plain Ok,
+   which is all a catching-up coordinator needs. *)
+
+type t = {
+  applied : (int, int) Hashtbl.t;  (* origin -> highest applied seq *)
+  replies : (int * int, Vmsg.t) Hashtbl.t;  (* (origin, seq) -> reply *)
+}
+
+let create () = { applied = Hashtbl.create 8; replies = Hashtbl.create 32 }
+
+let applied_seq t ~origin =
+  match Hashtbl.find_opt t.applied origin with Some s -> s | None -> 0
+
+(* Writes from one origin arrive in seq order (the coordinator
+   serializes them), so a single high-water mark per origin suffices. *)
+let admit t ~origin ~seq =
+  if seq > applied_seq t ~origin then `Fresh
+  else `Replay (Hashtbl.find_opt t.replies (origin, seq))
+
+let record t ~origin ~seq reply =
+  if seq > applied_seq t ~origin then Hashtbl.replace t.applied origin seq;
+  Hashtbl.replace t.replies (origin, seq) reply
+
+let drop_replies t = Hashtbl.reset t.replies

@@ -1,0 +1,27 @@
+(** Replica-side deduplication of replicated writes.
+
+    A replicated write is stamped with the coordinator's (origin, seq)
+    pair ({!Vmsg.wseq}). A member admits each pair at most once: a
+    coordinator retry or a catch-up replay of an already-applied write
+    is answered from the cached reply instead of being applied again.
+
+    The applied high-water marks are durable (they survive a server
+    restart, like the file system); the reply cache is memory and is
+    dropped on restart via {!drop_replies}. *)
+
+type t
+
+val create : unit -> t
+
+(** Highest sequence number applied from [origin]; 0 if none. *)
+val applied_seq : t -> origin:int -> int
+
+(** [`Fresh] — apply the write, then {!record} it. [`Replay r] — the
+    write was already applied; answer with [r] if cached, or a plain
+    Ok if the reply cache was lost to a restart. *)
+val admit : t -> origin:int -> seq:int -> [ `Fresh | `Replay of Vmsg.t option ]
+
+val record : t -> origin:int -> seq:int -> Vmsg.t -> unit
+
+(** Forget cached replies (a restart loses memory, not the disk). *)
+val drop_replies : t -> unit

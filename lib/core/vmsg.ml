@@ -25,6 +25,13 @@ type payload += No_payload
    timings are identical whether any client caches or not. *)
 type binding = { upto : int; spec : Context.spec }
 
+(* Write sequencing for replicated services: the coordinating prefix
+   server stamps each fanned-out CSNH write with its own pid ([origin])
+   and a per-coordinator counter ([seq]). Replicas deduplicate retries
+   and replays on (origin, seq). Like [binding], the pair fits the
+   32-byte message proper and contributes nothing to [payload_bytes]. *)
+type wseq = { origin : int; seq : int }
+
 type t = {
   code : int;  (** request code, or reply code for replies *)
   is_reply : bool;
@@ -35,6 +42,8 @@ type t = {
           bulk data, directory records, etc. *)
   binding : binding option;
       (** resolution binding stamped into successful CSname replies *)
+  wseq : wseq option;
+      (** replicated-write sequence number stamped by the coordinator *)
 }
 
 (* --- operation codes --- *)
@@ -71,6 +80,13 @@ module Op = struct
   let first_service_specific = 200
 
   let is_csname_request code = code >= 100 && code < 120
+
+  (* The CSname requests that mutate the object or name space — the set
+     a replicated service must apply at every member (write-all). *)
+  let is_csname_write code =
+    code = modify_name || code = add_context_name
+    || code = delete_context_name || code = create_object
+    || code = remove_object || code = rename_object
 
   let names : (int, string) Hashtbl.t = Hashtbl.create 32
 
@@ -145,7 +161,8 @@ type payload +=
 (* --- constructors --- *)
 
 let request ?name ?(extra_bytes = 0) ?(payload = No_payload) code =
-  { code; is_reply = false; name; payload; extra_bytes; binding = None }
+  { code; is_reply = false; name; payload; extra_bytes; binding = None;
+    wseq = None }
 
 let reply ?(extra_bytes = 0) ?(payload = No_payload) code =
   {
@@ -155,6 +172,7 @@ let reply ?(extra_bytes = 0) ?(payload = No_payload) code =
     payload;
     extra_bytes;
     binding = None;
+    wseq = None;
   }
 
 let ok ?extra_bytes ?payload () = reply ?extra_bytes ?payload Reply.Ok
@@ -176,6 +194,9 @@ let with_name m name = { m with name = Some name }
 
 (* Stamp (or overwrite) the resolution binding of a reply. *)
 let with_binding m binding = { m with binding = Some binding }
+
+(* Stamp the coordinator's (origin, seq) onto a fanned-out write. *)
+let with_wseq m wseq = { m with wseq = Some wseq }
 
 (* --- kernel cost model --- *)
 

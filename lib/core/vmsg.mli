@@ -24,6 +24,13 @@ type payload += No_payload
     cache learn from it, everyone else ignores it. *)
 type binding = { upto : int; spec : Context.spec }
 
+(** Write sequencing for replicated services: the coordinating prefix
+    server stamps each fanned-out CSNH write with its own pid
+    ([origin]) and a per-coordinator counter ([seq]); replicas
+    deduplicate retries and replays on the pair. Fits the 32-byte
+    message proper — no wire bytes. *)
+type wseq = { origin : int; seq : int }
+
 type t = {
   code : int;  (** request code, or reply code for replies *)
   is_reply : bool;
@@ -34,6 +41,8 @@ type t = {
           bulk data, directory records, etc. *)
   binding : binding option;
       (** resolution binding stamped into successful CSname replies *)
+  wseq : wseq option;
+      (** replicated-write sequence number stamped by the coordinator *)
 }
 
 (** Operation codes. Codes in [\[100, 120)] are CSname requests and must
@@ -61,6 +70,10 @@ module Op : sig
   val first_service_specific : int
 
   val is_csname_request : int -> bool
+
+  (** The CSname requests that mutate the object or name space — the
+      set a replicated service applies at every member (write-all). *)
+  val is_csname_write : int -> bool
 
   (** Register a printable name for a service-specific code. *)
   val register : int -> string -> unit
@@ -113,6 +126,9 @@ val with_name : t -> Csname.req -> t
 
 (** Stamp the resolution binding of a reply. *)
 val with_binding : t -> binding -> t
+
+(** Stamp the coordinator's (origin, seq) onto a fanned-out write. *)
+val with_wseq : t -> wseq -> t
 
 (** Wire bytes beyond the 32-byte message proper. *)
 val payload_bytes : t -> int

@@ -20,6 +20,7 @@ module Kernel = Vkernel.Kernel
 module Runtime = Vruntime.Runtime
 module File_server = Vservices.File_server
 module Scenario = Vworkload.Scenario
+module Vmsg = Vnaming.Vmsg
 
 type violation = { invariant : string; detail : string }
 
@@ -92,6 +93,67 @@ let no_orphan_instances servers =
                 (File_server.name fs) n;
           })
     servers
+
+(* [replica_divergence t ~members ~names] probes every replica member
+   DIRECTLY (bypassing balancer and coordinator) with a MapContext for
+   each name and requires identical answers: same reply code and, on
+   success, same context id. Server pids necessarily differ between
+   members, so they are ignored; context ids are inode-derived, and the
+   single write coordinator applies every write in the same order to
+   identically-initialized members, so ids must match when the replicas
+   have converged. Call after the plan has fully healed and any revived
+   member has caught up. *)
+let replica_divergence (t : Scenario.t) ~members ~names =
+  let violations = ref [] in
+  (match members with
+  | [] | [ _ ] -> ()
+  | _ ->
+      ignore
+        (Scenario.spawn_client t ~ws:0 ~name:"divergence-probe"
+           (fun self (_ : Runtime.env) ->
+             List.iter
+               (fun name ->
+                 let probe fs =
+                   let msg =
+                     Vmsg.request ~name:(Vnaming.Csname.make_req name)
+                       Vmsg.Op.map_context
+                   in
+                   match Kernel.send self (File_server.pid fs) msg with
+                   | Error e ->
+                       (File_server.name fs, Fmt.str "ipc %a" Kernel.pp_error e)
+                   | Ok (reply, _) ->
+                       let ctx =
+                         match reply.Vmsg.payload with
+                         | Vmsg.P_context_spec spec ->
+                             Fmt.str " ctx %a" Vnaming.Context.pp_id
+                               spec.Vnaming.Context.context
+                         | _ -> ""
+                       in
+                       ( File_server.name fs,
+                         Fmt.str "%s%s"
+                           (match Vmsg.reply_code reply with
+                           | Some code -> Vnaming.Reply.to_string code
+                           | None -> "no-reply")
+                           ctx )
+                 in
+                 match List.map probe members with
+                 | [] -> ()
+                 | (_, first) :: _ as answers ->
+                     List.iter
+                       (fun (member, answer) ->
+                         if answer <> first then
+                           violations :=
+                             {
+                               invariant = "replica-divergence";
+                               detail =
+                                 Fmt.str "%S: member %s answered %S, expected %S"
+                                   name member answer first;
+                             }
+                             :: !violations)
+                       answers)
+               names));
+      Scenario.run t);
+  List.rev !violations
 
 (* [convergence t ~names] spawns a probe on every workstation resolving
    each name and runs the simulation until the probes finish: each must

@@ -23,3 +23,14 @@ val no_orphan_instances : Vservices.File_server.t list -> violation list
     land on a live server process. Call after the plan has fully
     healed. *)
 val convergence : Vworkload.Scenario.t -> names:string list -> violation list
+
+(** Probe every replica member directly with a MapContext for each name
+    and require identical answers — same reply code and, on success,
+    same (inode-derived) context id; member pids are ignored. Call after
+    the plan has healed and revived members have caught up. Vacuous for
+    fewer than two members. *)
+val replica_divergence :
+  Vworkload.Scenario.t ->
+  members:Vservices.File_server.t list ->
+  names:string list ->
+  violation list

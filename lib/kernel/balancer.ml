@@ -1,0 +1,51 @@
+(* Deterministic replica selection for service groups (§7).
+
+   When a logical service is implemented by a process group, GetPid
+   must still return a single pid. The choice is made here, as a pure
+   function of the policy, a round-robin cursor and the requester's
+   address — no clock, no per-call PRNG draw — so a seeded run replays
+   the identical sequence of choices. The cursor itself is seeded once
+   at registration time (see [Kernel.register_service_group]), which is
+   the only randomness replica selection consumes. *)
+
+type policy =
+  | Round_robin  (** cycle through the live members in address order *)
+  | Nearest_host
+      (** the live member whose network address is closest to the
+          requester's — a stand-in for topology-aware selection *)
+
+let pp_policy ppf = function
+  | Round_robin -> Fmt.string ppf "round-robin"
+  | Nearest_host -> Fmt.string ppf "nearest-host"
+
+let policy_of_string = function
+  | "rr" | "round-robin" -> Some Round_robin
+  | "nearest" | "nearest-host" -> Some Nearest_host
+  | _ -> None
+
+(* [pick policy ~cursor ~origin members] chooses one of [members] —
+   (pid, address) pairs, expected sorted by address for determinism.
+   [cursor] only matters for [Round_robin]; [origin] only for
+   [Nearest_host]. *)
+let pick policy ~cursor ~origin members =
+  match members with
+  | [] -> None
+  | _ -> (
+      match policy with
+      | Round_robin ->
+          let n = List.length members in
+          let i = ((cursor mod n) + n) mod n in
+          Some (fst (List.nth members i))
+      | Nearest_host ->
+          let distance addr = abs (addr - origin) in
+          let best =
+            List.fold_left
+              (fun acc (pid, addr) ->
+                match acc with
+                | None -> Some (pid, addr)
+                | Some (_, best_addr) ->
+                    if distance addr < distance best_addr then Some (pid, addr)
+                    else acc)
+              None members
+          in
+          Option.map fst best)

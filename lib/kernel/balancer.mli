@@ -1,0 +1,22 @@
+(** Deterministic replica selection for service groups (§7): when a
+    logical service is implemented by a process group, GetPid returns
+    one member chosen here. Selection is a pure function of the policy,
+    a round-robin cursor and the requester's address, so a seeded run
+    replays the identical choices. *)
+
+type policy =
+  | Round_robin  (** cycle through the live members in address order *)
+  | Nearest_host
+      (** the live member whose network address is closest to the
+          requester's *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+(** Accepts "rr"/"round-robin" and "nearest"/"nearest-host". *)
+val policy_of_string : string -> policy option
+
+(** [pick policy ~cursor ~origin members] chooses among [members] —
+    (pid, address) pairs sorted by address. [None] iff the list is
+    empty. *)
+val pick :
+  policy -> cursor:int -> origin:int -> (Pid.t * int) list -> Pid.t option

@@ -108,6 +108,19 @@ and 'm host = {
   host_prng : Vsim.Prng.t;
 }
 
+(* A logical service implemented by a whole process group (§7): GetPid
+   for the service returns one member, chosen by the balancer; naming
+   writes are fanned out write-all by the coordinating prefix server and
+   logged here so a member that missed some (it was down) can catch up
+   by replay. The kernel never inspects the logged messages, only
+   stores them — the same separation it keeps everywhere else. *)
+and 'm service_group = {
+  sg_group : int;  (* the process group implementing the service *)
+  sg_policy : Balancer.policy;
+  mutable sg_cursor : int;  (* round-robin position, seeded at registration *)
+  mutable sg_log : (int * int * 'm) list;  (* (origin, seq, msg), newest first *)
+}
+
 and 'm domain = {
   engine : Engine.t;
   net : 'm packet Ethernet.t;
@@ -125,6 +138,7 @@ and 'm domain = {
      nacks it). *)
   retired_logical_hosts : (int, Ethernet.addr) Hashtbl.t;
   all_hosts : (Ethernet.addr, 'm host) Hashtbl.t;
+  service_groups : (int, 'm service_group) Hashtbl.t;  (* by service id *)
   domain_prng : Vsim.Prng.t;
   mutable trace : Vsim.Trace.t option;
   mutable domain_obs : Vobs.Hub.t option;
@@ -750,6 +764,97 @@ let local_service_lookup host ~service ~origin =
       List.find_opt (fun (_, sc) -> Service.visible ~registered:sc ~origin) entries
       |> Option.map fst
 
+(* --- replicated services: a logical service id bound to a group --- *)
+
+let register_service_group d ~service ~group policy =
+  (* The only randomness replica selection consumes: the round-robin
+     cursor's starting point. Drawn here, once, so a domain that never
+     registers a group draws nothing and replays bit-identically. *)
+  let cursor = Vsim.Prng.int d.domain_prng 1024 in
+  Hashtbl.replace d.service_groups service
+    { sg_group = group; sg_policy = policy; sg_cursor = cursor; sg_log = [] }
+
+let clear_service_group d ~service = Hashtbl.remove d.service_groups service
+
+let service_group d ~service =
+  Option.map (fun sg -> sg.sg_group) (Hashtbl.find_opt d.service_groups service)
+
+let service_group_policy d ~service =
+  Option.map (fun sg -> sg.sg_policy) (Hashtbl.find_opt d.service_groups service)
+
+let registered_service_groups d =
+  Hashtbl.fold (fun service sg acc -> (service, sg.sg_group) :: acc)
+    d.service_groups []
+  |> List.sort compare
+
+let local_group_members host ~group =
+  match Hashtbl.find_opt host.group_members group with Some l -> l | None -> []
+
+(* The live members of a group visible from [requester]: on an up host,
+   not partitioned away, process alive — sorted by (address, local pid)
+   so every host enumerates them identically. *)
+let reachable_group_members d ~requester ~group =
+  Hashtbl.fold
+    (fun addr h acc ->
+      if h.host_up && not (Ethernet.partitioned d.net requester addr) then
+        List.fold_left
+          (fun acc pid ->
+            match Hashtbl.find_opt h.processes (Pid.local_pid pid) with
+            | Some p when p.proc_alive -> (pid, addr) :: acc
+            | Some _ | None -> acc)
+          acc
+          (local_group_members h ~group)
+      else acc)
+    d.all_hosts []
+  |> List.sort (fun (p1, a1) (p2, a2) ->
+         compare (a1, Pid.local_pid p1) (a2, Pid.local_pid p2))
+
+let service_group_members d ~requester ~service =
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> []
+  | Some sg ->
+      List.map fst (reachable_group_members d ~requester ~group:sg.sg_group)
+
+(* Ordered write-all log for a replicated service: append-only, read
+   back oldest-first by a member catching up after a restart. *)
+let log_group_write d ~service ~origin ~seq msg =
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> ()
+  | Some sg -> sg.sg_log <- (origin, seq, msg) :: sg.sg_log
+
+let group_write_log d ~service =
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> []
+  | Some sg -> List.rev sg.sg_log
+
+(* GetPid against the service-group registry: the service has a
+   registered group with at least one live reachable member. Split into
+   an availability check and the choice itself so only the choice
+   advances the round-robin cursor (a guard must not). *)
+let balanced_lookup_available host ~service =
+  let d = host.domain in
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> false
+  | Some sg ->
+      reachable_group_members d ~requester:host.addr ~group:sg.sg_group <> []
+
+let balanced_choice host ~service =
+  let d = host.domain in
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> None
+  | Some sg -> (
+      match reachable_group_members d ~requester:host.addr ~group:sg.sg_group with
+      | [] -> None
+      | members ->
+          let choice =
+            Balancer.pick sg.sg_policy ~cursor:sg.sg_cursor ~origin:host.addr
+              members
+          in
+          (match sg.sg_policy with
+          | Balancer.Round_robin -> sg.sg_cursor <- sg.sg_cursor + 1
+          | Balancer.Nearest_host -> ());
+          choice)
+
 let get_pid proc ~service scope =
   check_alive proc;
   let host = proc.proc_host in
@@ -759,6 +864,9 @@ let get_pid proc ~service scope =
   match local_service_lookup host ~service ~origin:`Local_query with
   | Some pid when alive d pid -> Some pid
   | _ when scope = Service.Local -> None
+  | _ when balanced_lookup_available host ~service ->
+      count_op host "get-pid-balanced";
+      balanced_choice host ~service
   | _ when d.getpid_cache_on && Hashtbl.mem host.getpid_cache service ->
       (* Cached broadcast result. Deliberately no liveness check: the
          cache is validated on use — the failure of the send or forward
@@ -835,9 +943,6 @@ let leave_group host ~group pid =
         Ethernet.leave_group host.domain.net ~group ~addr:host.addr
       end
       else Hashtbl.replace host.group_members group members
-
-let local_group_members host ~group =
-  match Hashtbl.find_opt host.group_members group with Some l -> l | None -> []
 
 (* [send_group proc ~group msg] multicasts to every member of the group
    and blocks for the first reply, V's group-send semantics. Members on
@@ -1059,6 +1164,7 @@ let create_domain ?(seed = 42) ~cost engine net =
       logical_hosts = Hashtbl.create 16;
       retired_logical_hosts = Hashtbl.create 16;
       all_hosts = Hashtbl.create 16;
+      service_groups = Hashtbl.create 8;
       domain_prng = Vsim.Prng.create ~seed;
       trace = None;
       domain_obs = None;

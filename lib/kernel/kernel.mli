@@ -182,3 +182,41 @@ val send_group : 'm self -> group:int -> 'm -> ('m * Pid.t, error) result
     implemented transparently by a group of servers). *)
 val forward_group :
   'm self -> from_:Pid.t -> group:int -> 'm -> (unit, error) result
+
+(** {1 Replicated services (§7: a service implemented by a group)}
+
+    A logical service id may be bound, domain-wide, to a process group.
+    While the binding is in place, [get_pid] for that service returns
+    one live reachable member, chosen by a deterministic balancer
+    ({!Balancer.policy}) — ahead of the GetPid cache and the broadcast
+    path, but after the local service table. The round-robin cursor is
+    seeded from the domain PRNG once at registration, so a run that
+    never registers a group draws nothing and replays bit-identically. *)
+
+val register_service_group :
+  'm domain -> service:int -> group:int -> Balancer.policy -> unit
+
+(** Remove the service→group binding; [get_pid] reverts to the ordinary
+    cache/broadcast path. *)
+val clear_service_group : 'm domain -> service:int -> unit
+
+val service_group : 'm domain -> service:int -> int option
+val service_group_policy : 'm domain -> service:int -> Balancer.policy option
+
+(** All (service, group) bindings, sorted. *)
+val registered_service_groups : 'm domain -> (int * int) list
+
+(** The live members of [service]'s group visible from [requester]: on
+    an up host, not partitioned away from it, process alive — sorted by
+    (address, local pid) so every host enumerates them identically.
+    Empty when the service has no group. *)
+val service_group_members :
+  'm domain -> requester:Vnet.Ethernet.addr -> service:int -> Pid.t list
+
+(** Append a write to the service's ordered write-all log, keyed by the
+    coordinator's (origin, seq). Read back oldest-first by a member
+    catching up after restart. No-ops when the service has no group. *)
+val log_group_write :
+  'm domain -> service:int -> origin:int -> seq:int -> 'm -> unit
+
+val group_write_log : 'm domain -> service:int -> (int * int * 'm) list

@@ -33,6 +33,7 @@ module Id = struct
   let name_server = 9 (* centralized baseline, §2.1 *)
   let internet = 10
   let vgts = 11
+  let replica_storage = 12 (* replicated directory service, §7 *)
 
   let to_string = function
     | 1 -> "storage"
@@ -46,5 +47,6 @@ module Id = struct
     | 9 -> "name-server"
     | 10 -> "internet"
     | 11 -> "vgts"
+    | 12 -> "replica-storage"
     | n -> Fmt.str "service%d" n
 end

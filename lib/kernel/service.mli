@@ -34,5 +34,8 @@ module Id : sig
   (** The virtual graphics terminal (window) server. *)
   val vgts : int
 
+  (** A directory service implemented by a replica group (§7). *)
+  val replica_storage : int
+
   val to_string : int -> string
 end

@@ -78,3 +78,199 @@ let pp ppf t = Fmt.string ppf (to_string t)
 let member k = function
   | Obj fields -> List.assoc_opt k fields
   | _ -> None
+
+(* --- parsing ---
+
+   A recursive-descent parser matching the printer above: enough JSON to
+   read back what [to_string] wrote (the bench-regression gate compares
+   a fresh run against a committed baseline). Accepts standard JSON;
+   numbers with '.', 'e' or leading '-'-then-fraction become [Float],
+   all-digit forms become [Int]. Errors carry the byte offset. *)
+
+exception Parse_error of int * string
+
+type cursor = { src : string; mutable pos : int }
+
+let parse_fail c msg = raise (Parse_error (c.pos, msg))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    &&
+    match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> parse_fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | None -> parse_fail c "unterminated escape"
+        | Some e ->
+            c.pos <- c.pos + 1;
+            (match e with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if c.pos + 4 > String.length c.src then
+                  parse_fail c "truncated \\u escape";
+                let hex = String.sub c.src c.pos 4 in
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some n -> n
+                  | None -> parse_fail c "bad \\u escape"
+                in
+                c.pos <- c.pos + 4;
+                (* The printer only emits \u for control characters; for
+                   anything else fall back to UTF-8 encoding. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                end
+            | _ -> parse_fail c "unknown escape");
+            go ())
+    | Some ch ->
+        c.pos <- c.pos + 1;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let consume () = c.pos <- c.pos + 1 in
+  if peek c = Some '-' then consume ();
+  while match peek c with Some '0' .. '9' -> true | _ -> false do
+    consume ()
+  done;
+  if peek c = Some '.' then begin
+    is_float := true;
+    consume ();
+    while match peek c with Some '0' .. '9' -> true | _ -> false do
+      consume ()
+    done
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      consume ();
+      (match peek c with Some ('+' | '-') -> consume () | _ -> ());
+      while match peek c with Some '0' .. '9' -> true | _ -> false do
+        consume ()
+      done
+  | _ -> ());
+  let text = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_fail c "bad number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        (* Integer overflow: fall back to float. *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> parse_fail c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_body c)
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          c.pos <- c.pos + 1;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          (k, parse_value c)
+        in
+        let fields = ref [ field () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          c.pos <- c.pos + 1;
+          fields := field () :: !fields;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !fields)
+      end
+  | Some ch -> parse_fail c (Printf.sprintf "unexpected %C" ch)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "offset %d: trailing garbage" c.pos)
+      else Ok v
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "offset %d: %s" pos msg)

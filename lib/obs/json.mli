@@ -17,3 +17,9 @@ val pp : Format.formatter -> t -> unit
 
 (** The field [k] of an object, if present ([None] for non-objects). *)
 val member : string -> t -> t option
+
+(** Parse a complete JSON document — the inverse of {!to_string}, for
+    reading committed baselines back. Numbers containing '.', 'e' or
+    'E' parse as [Float], bare integers as [Int]; errors carry the byte
+    offset. *)
+val parse : string -> (t, string) result

@@ -215,9 +215,7 @@ let with_resilience env ~root ~t0 run =
                 Vsim.Proc.delay (engine env) wait;
                 (* A transport failure may mean the current context's
                    server died: re-resolve it before routing again. *)
-                (match e with
-                | Vio.Verr.Ipc _ -> !rebind_current env
-                | _ -> ());
+                if Vio.Resilience.rebind_worthy e then !rebind_current env;
                 loop (attempt + 1)
             | Vio.Resilience.Give_up ->
                 let err = Vio.Resilience.give_up ~attempts:attempt e in
@@ -288,6 +286,22 @@ let route_uncached env name =
     }
 
 let charge_stub env = Vsim.Proc.delay (engine env) Calibration.client_stub_cpu
+
+(* Failover accounting: when a later resilience attempt routes to a
+   different server pid than the one before it — the re-resolution found
+   a successor or a surviving replica — tag the operation's root span
+   "failover:n" (n counts failovers within this operation) and bump the
+   (workstation, "runtime", "failover") counter. Route changes inside
+   the stale-cache cascade are not failovers; only cross-attempt changes
+   count. *)
+let note_failover env ~root ~last_target ~failovers (r : route) =
+  (match !last_target with
+  | Some p when not (Pid.equal p r.target) ->
+      incr failovers;
+      obs_runtime_metric env "failover";
+      obs_tag root (Printf.sprintf "failover:%d" !failovers)
+  | Some _ | None -> ());
+  last_target := Some r.target
 
 (* Learn a binding a server stamped into a successful reply. Only
    '[prefix]'-absolute names are cached: a relative name's meaning moves
@@ -366,6 +380,8 @@ let transact_name env ~code ?payload ?extra_bytes name =
         | Error e -> Error e)
   in
   let first_route = ref (Some first) in
+  let last_target = ref None in
+  let failovers = ref 0 in
   let result =
     with_resilience env ~root ~t0 (fun () ->
         (* The first resilience attempt reuses the route already taken
@@ -378,6 +394,7 @@ let transact_name env ~code ?payload ?extra_bytes name =
               r
           | None -> route env name
         in
+        note_failover env ~root ~last_target ~failovers r;
         with_stale_retry env name ~first:r attempt)
   in
   obs_done env ~op ~t0 root (outcome_of_result result);
@@ -480,6 +497,8 @@ let open_ env ~mode name =
       ~server:r.target ~req ~mode ()
   in
   let first_route = ref (Some first) in
+  let last_target = ref None in
+  let failovers = ref 0 in
   let result =
     with_resilience env ~root ~t0 (fun () ->
         let r =
@@ -489,6 +508,7 @@ let open_ env ~mode name =
               r
           | None -> route env name
         in
+        note_failover env ~root ~last_target ~failovers r;
         with_stale_retry env name ~first:r attempt)
   in
   obs_done env ~op ~t0 root (outcome_of_result result);

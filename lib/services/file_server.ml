@@ -48,6 +48,9 @@ type t = {
   mutable users_ino : int;
   accounts : (string, account) Hashtbl.t;
   stats : Csnh.server_stats;
+  guard : Seq_guard.t;
+      (* dedupe of replicated writes on (origin, seq); the applied marks
+         are durable like the disk, the reply cache is not *)
   mutable pid : Pid.t option;
   (* Hub and host name for byte-count metrics, set at spawn. *)
   mutable obs : (Vobs.Hub.t * string) option;
@@ -554,8 +557,21 @@ let spawn_server host t scope =
       Csnh.valid_context =
         (fun ctx -> ctx = Context.Well_known.accounts || ino_of_ctx t ctx <> None);
       lookup = lookup_for_walk t;
-      handle_csname = (fun ~sender msg req ctx remaining ->
-          handle_csname t self ~sender msg req ctx remaining);
+      handle_csname =
+        (fun ~sender msg req ctx remaining ->
+          (* Replicated writes arrive stamped with the coordinator's
+             (origin, seq): admit each pair once, answer retries and
+             replays from the cache (write-all idempotence). *)
+          match msg.Vmsg.wseq with
+          | Some { Vmsg.origin; seq } -> (
+              match Seq_guard.admit t.guard ~origin ~seq with
+              | `Replay (Some cached) -> cached
+              | `Replay None -> Vmsg.ok ()
+              | `Fresh ->
+                  let r = handle_csname t self ~sender msg req ctx remaining in
+                  Seq_guard.record t.guard ~origin ~seq r;
+                  r)
+          | None -> handle_csname t self ~sender msg req ctx remaining);
       handle_other = (fun ~sender msg -> handle_other t ~sender msg);
     }
   in
@@ -580,8 +596,11 @@ let restart_from old host ?(scope = Service.Both) () =
       pid = None;
     }
   in
-  (* Anything buffered in the dead server's memory is gone. *)
+  (* Anything buffered in the dead server's memory is gone — including
+     the cached replies to replicated writes (the applied marks are on
+     disk and survive). *)
   Fs.drop_caches t.fs;
+  Seq_guard.drop_replies t.guard;
   spawn_server host t scope;
   t
 
@@ -607,6 +626,7 @@ let start host ~name ?(owner = "system") ?(scope = Service.Both) () =
       users_ino = Fs.root_ino;
       accounts = Hashtbl.create 8;
       stats = Csnh.make_stats name;
+      guard = Seq_guard.create ();
       pid = None;
       obs = None;
     }

@@ -1,0 +1,95 @@
+(* Replicated directory service management (§7).
+
+   A replica set is N file servers joined into one process group and
+   registered, domain-wide, under one logical service id. Clients name
+   the service through a logical prefix binding; GetPid then returns one
+   live member via the kernel's deterministic balancer (read-one), and
+   the coordinating prefix server fans CSNH writes out to every member
+   (write-all, see {!Prefix_server}).
+
+   This module only wires the pieces together: it owns no protocol
+   state. Members register the service with [Remote] scope so a GetPid
+   issued on a member's own host still goes through the balancer rather
+   than short-circuiting in the local service table. *)
+
+module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Service = Vkernel.Service
+module Balancer = Vkernel.Balancer
+module Ethernet = Vnet.Ethernet
+open Vnaming
+
+type t = {
+  domain : Vmsg.t Kernel.domain;
+  service : int;
+  group : int;
+  policy : Balancer.policy;
+  mutable members : (Ethernet.addr * File_server.t) list;
+}
+
+let service t = t.service
+let group t = t.group
+let policy t = t.policy
+let factor t = List.length t.members
+
+let members t =
+  List.sort (fun (a, _) (b, _) -> compare a b) t.members
+
+let member_pids t = List.map (fun (_, fs) -> File_server.pid fs) (members t)
+
+let find_member t addr =
+  List.assoc_opt addr t.members
+
+(* The prefix-binding target clients should use for this replica set:
+   logical, so every use re-resolves through GetPid (§6) and therefore
+   through the balancer. *)
+let target t =
+  Prefix_server.Logical
+    { service = t.service; context = Context.Well_known.default }
+
+let enroll t host fs =
+  let p = File_server.pid fs in
+  Kernel.set_pid host ~service:t.service p Service.Remote;
+  Kernel.join_group host ~group:t.group p
+
+let install domain ?(service = Service.Id.replica_storage)
+    ?(policy = Balancer.Round_robin) ~members () =
+  let group = Kernel.create_group domain in
+  let t =
+    {
+      domain;
+      service;
+      group;
+      policy;
+      members =
+        List.map (fun (host, fs) -> (Kernel.host_addr host, fs)) members;
+    }
+  in
+  List.iter (fun (host, fs) -> enroll t host fs) members;
+  Kernel.register_service_group domain ~service ~group policy;
+  t
+
+let uninstall t = Kernel.clear_service_group t.domain ~service:t.service
+
+(* Revive the member on [addr] after a crash: boot a fresh server over
+   the surviving disk, replay the group's write log to it — the member's
+   {!Seq_guard} skips everything already applied (durable marks) and
+   applies the writes it missed while down — and only then rejoin the
+   group, so the balancer and the write fan-out never see a member that
+   has not caught up. *)
+let revive t addr =
+  match (find_member t addr, Kernel.host_of_addr t.domain addr) with
+  | None, _ | _, None -> None
+  | Some fs, Some host ->
+      let fresh = File_server.restart_from fs host () in
+      t.members <-
+        (addr, fresh) :: List.remove_assoc addr t.members;
+      let p = File_server.pid fresh in
+      let log = Kernel.group_write_log t.domain ~service:t.service in
+      ignore
+        (Kernel.spawn host ~name:"replica-catchup" (fun self ->
+             List.iter
+               (fun (_origin, _seq, msg) -> ignore (Kernel.send self p msg))
+               log;
+             enroll t host fresh));
+      Some fresh

@@ -1,0 +1,55 @@
+(** Replicated directory service management (§7).
+
+    A replica set is N file servers joined into one process group and
+    registered, domain-wide, under one logical service id: GetPid
+    returns one live member via the kernel balancer (read-one), the
+    coordinating prefix server fans CSNH writes out to every member
+    (write-all). This module wires the pieces together; the protocol
+    lives in {!Vkernel.Kernel}, {!Vnaming.Prefix_server} and
+    {!Vnaming.Seq_guard}. *)
+
+module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Service = Vkernel.Service
+module Balancer = Vkernel.Balancer
+module Ethernet = Vnet.Ethernet
+open Vnaming
+
+type t
+
+(** Join [members] into a fresh process group and bind it to [service]
+    (default {!Service.Id.replica_storage}) with the given balancer
+    policy. Members register the service with [Remote] scope so lookups
+    on their own hosts still balance. *)
+val install :
+  Vmsg.t Kernel.domain ->
+  ?service:int ->
+  ?policy:Balancer.policy ->
+  members:(Vmsg.t Kernel.host * File_server.t) list ->
+  unit ->
+  t
+
+(** Drop the service→group binding; GetPid reverts to broadcast. *)
+val uninstall : t -> unit
+
+val service : t -> int
+val group : t -> int
+val policy : t -> Balancer.policy
+val factor : t -> int
+
+(** Members sorted by host address. *)
+val members : t -> (Ethernet.addr * File_server.t) list
+
+val member_pids : t -> Pid.t list
+val find_member : t -> Ethernet.addr -> File_server.t option
+
+(** The prefix-binding target clients should use: logical, so every use
+    re-resolves through GetPid and the balancer. *)
+val target : t -> Prefix_server.target
+
+(** Revive the member on [addr] after a crash: restart it over the
+    surviving disk, replay the group write log to it (its {!Seq_guard}
+    skips already-applied writes), then rejoin it to the group — the
+    balancer never sees a member that has not caught up. Returns the
+    fresh server, or [None] if [addr] holds no member. *)
+val revive : t -> Ethernet.addr -> File_server.t option

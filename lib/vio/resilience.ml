@@ -46,6 +46,14 @@ let retryable = function
       true
   | Verr.Ipc _ | Verr.Denied _ | Verr.Protocol _ | Verr.Unavailable _ -> false
 
+(* Transport-level failures, where the retry should first re-resolve
+   its route (GetPid / rebind) because the server itself may be gone —
+   as opposed to server denials, which came from a live server and
+   would be answered identically by any replica. *)
+let rebind_worthy = function
+  | Verr.Ipc _ -> true
+  | Verr.Denied _ | Verr.Protocol _ | Verr.Unavailable _ -> false
+
 (* Exponential backoff with equal jitter: attempt [n] (1-based count of
    failures so far) waits cap/2 + U[0, cap/2) where cap doubles per
    attempt from [base_backoff_ms] up to [max_backoff_ms]. The random

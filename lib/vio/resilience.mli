@@ -23,6 +23,10 @@ val pp_policy : Format.formatter -> policy -> unit
     denials, protocol errors and [Unavailable] are permanent. *)
 val retryable : Verr.t -> bool
 
+(** Transport-level failures whose retry should first re-resolve its
+    route (the server may be gone); server denials are not. *)
+val rebind_worthy : Verr.t -> bool
+
 (** [backoff_ms p prng ~attempt] for 1-based failure count [attempt]:
     exponential with equal jitter, capped at [max_backoff_ms]. *)
 val backoff_ms : policy -> Vsim.Prng.t -> attempt:int -> float

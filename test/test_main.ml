@@ -18,4 +18,5 @@ let () =
          Test_obs.suite;
          Test_cache.suite;
          Test_fault.suite;
+         Test_replication.suite;
        ])

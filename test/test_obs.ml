@@ -34,6 +34,40 @@ let test_json_encoder () =
   Alcotest.(check bool) "member hit" true (member "k" obj = Some (Int 7));
   Alcotest.(check bool) "member miss" true (member "z" obj = None)
 
+(* --- JSON parser: the inverse of the encoder --- *)
+
+let test_json_parser () =
+  let open Vobs.Json in
+  let roundtrip j =
+    match parse (to_string j) with
+    | Ok j' ->
+        Alcotest.(check string)
+          (Fmt.str "roundtrip %s" (to_string j))
+          (to_string j) (to_string j')
+    | Error msg -> Alcotest.failf "parse %s: %s" (to_string j) msg
+  in
+  List.iter roundtrip
+    [
+      Null;
+      Bool false;
+      Int (-42);
+      Float 2.0;
+      Float 3.14159;
+      String "q\" b\\ n\n t\t u\001";
+      List [ Int 1; Float 2.5; String "x"; List []; Obj [] ];
+      Obj [ ("a", Int 1); ("nested", Obj [ ("l", List [ Bool true ]) ]) ];
+    ];
+  (match parse "  { \"a\" : [ 1 , 2.5e1 ] } " with
+  | Ok (Obj [ ("a", List [ Int 1; Float 25.0 ]) ]) -> ()
+  | Ok j -> Alcotest.failf "whitespace/exponent parse: got %s" (to_string j)
+  | Error msg -> Alcotest.failf "whitespace/exponent parse: %s" msg);
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Ok j -> Alcotest.failf "accepted %S as %s" bad (to_string j)
+      | Error (_ : string) -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "tru" ]
+
 (* --- span tree across a forwarded open --- *)
 
 (* Chain fs0:/hop -> fs1:/hop -> fs2:/target.dat, then open
@@ -240,6 +274,7 @@ let suite =
     ( "obs",
       [
         Alcotest.test_case "json encoder" `Quick test_json_encoder;
+        Alcotest.test_case "json parser roundtrip" `Quick test_json_parser;
         Alcotest.test_case "span tree across 3 forwards" `Quick
           test_span_tree_forwarded_open;
         Alcotest.test_case "timeline render" `Quick test_timeline_render;

@@ -1,0 +1,183 @@
+(* Tests for replicated name services: deterministic read-one balancing
+   through GetPid, write-all convergence and duplicate suppression under
+   redelivery, client failover to a surviving member (with the span tag
+   that records it), and the replica-divergence invariant actually
+   firing when members are skewed behind the coordinator's back. *)
+
+module K = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Scenario = Vworkload.Scenario
+module Runtime = Vruntime.Runtime
+module Verr = Vio.Verr
+module File_server = Vservices.File_server
+module Replica = Vservices.Replica
+module Fs = Vservices.Fs
+module Invariant = Vfault.Invariant
+open Vnaming
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %a" what Verr.pp e
+
+(* Build an installation with the first [factor] file servers joined
+   into a replica set and "[rstore]" bound to it on every workstation —
+   the E10 setup, miniaturized. *)
+let build_replicated ?(workstations = 1) ?(file_servers = 3) ?seed ?tracing
+    ~factor () =
+  let t = Scenario.build ~workstations ~file_servers ?seed ?tracing () in
+  let domain = Scenario.(t.domain) in
+  let members =
+    List.init factor (fun i ->
+        match K.host_of_addr domain (Scenario.fs_addr i) with
+        | Some host -> (host, Scenario.(t.file_servers).(i))
+        | None -> assert false)
+  in
+  let rset = Replica.install domain ~members () in
+  Array.iter
+    (fun ws ->
+      match
+        Prefix_server.add_binding
+          Scenario.(ws.ws_prefix)
+          "rstore" (Replica.target rset)
+      with
+      | Ok () -> ()
+      | Error code -> Alcotest.failf "binding rstore: %a" Reply.pp code)
+    Scenario.(t.workstations);
+  (t, rset)
+
+(* --- read-one balancing: deterministic and actually balanced --- *)
+
+(* Resolving the logical binding repeatedly walks the balancer cursor;
+   the member sequence is a pure function of the installation seed, and
+   it visits more than one member. *)
+let member_sequence seed =
+  let t, rset = build_replicated ~seed ~factor:3 () in
+  let pids = Replica.member_pids rset in
+  let index pid =
+    let rec go i = function
+      | [] -> Alcotest.failf "resolved to non-member pid %d" (Pid.to_int pid)
+      | p :: rest -> if Pid.equal p pid then i else go (i + 1) rest
+    in
+    go 0 pids
+  in
+  let seq = ref [] in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"balance-probe" (fun _self env ->
+         for _ = 1 to 8 do
+           let spec = ok_exn "resolve [rstore]" (Runtime.resolve env "[rstore]") in
+           seq := index spec.Context.server :: !seq
+         done));
+  Scenario.run t;
+  List.rev !seq
+
+let test_balancing_deterministic () =
+  let a = member_sequence 11 and b = member_sequence 11 in
+  Alcotest.(check (list int)) "same seed, same member sequence" a b;
+  Alcotest.(check bool) "more than one member served reads" true
+    (List.sort_uniq compare a |> List.length > 1)
+
+(* --- write-all convergence and duplicate suppression --- *)
+
+let test_write_all_converges () =
+  let t, rset = build_replicated ~seed:12 ~factor:2 () in
+  let domain = Scenario.(t.domain) in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"writer" (fun _self env ->
+         ok_exn "mkdir" (Runtime.create env ~directory:true "[rstore]top");
+         ok_exn "create" (Runtime.create env "[rstore]top/a");
+         ok_exn "create" (Runtime.create env "[rstore]top/b");
+         ok_exn "remove" (Runtime.remove env "[rstore]top/b")));
+  Scenario.run t;
+  let members = List.map snd (Replica.members rset) in
+  Alcotest.(check (list string))
+    "members converged" []
+    (List.map (Fmt.str "%a" Invariant.pp_violation)
+       (Invariant.replica_divergence t ~members ~names:[ "top"; "top/a" ]));
+  (* Redeliver an already-applied logged write straight to one member —
+     the retry a coordinator performs after a lost frame. The member's
+     sequence guard must swallow it: no error, and no divergence. *)
+  let log = K.group_write_log domain ~service:(Replica.service rset) in
+  Alcotest.(check bool) "writes were logged" true (List.length log >= 4);
+  let _, _, dup = List.nth log (List.length log - 1) in
+  let member0 = List.hd members in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"redeliver" (fun self _env ->
+         match K.send self (File_server.pid member0) dup with
+         | Error e -> Alcotest.failf "redelivery failed: %a" K.pp_error e
+         | Ok (_ : Vmsg.t * Pid.t) -> ()));
+  Scenario.run t;
+  Alcotest.(check (list string))
+    "redelivery changed nothing" []
+    (List.map (Fmt.str "%a" Invariant.pp_violation)
+       (Invariant.replica_divergence t ~members ~names:[ "top"; "top/a" ]))
+
+(* --- failover: the surviving member takes over, tagged once --- *)
+
+let test_failover_span () =
+  let t, rset = build_replicated ~seed:13 ~factor:2 ~tracing:true () in
+  let domain = Scenario.(t.domain) in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"failover-client" (fun _self env ->
+         Runtime.set_resilience env ~seed:21 ();
+         (* Pin the replicated root: relative operations now go straight
+            to one member and must fail over by re-resolution when that
+            member dies. *)
+         let spec =
+           ok_exn "pin [rstore]" (Runtime.change_context env "[rstore]")
+         in
+         let addr, _ =
+           List.find
+             (fun (_, fs) -> Pid.equal (File_server.pid fs) spec.Context.server)
+             (Replica.members rset)
+         in
+         (match K.host_of_addr domain addr with
+         | Some host -> K.crash_host host
+         | None -> Alcotest.fail "member host missing");
+         ok_exn "query after crash"
+           (Result.map
+              (fun (_ : Descriptor.t) -> ())
+              (Runtime.query env "tmp"))));
+  Scenario.run t;
+  let tagged tag =
+    List.filter
+      (fun s -> List.mem tag (Vobs.Span.tags s))
+      (Vobs.Hub.all_spans Scenario.(t.obs))
+  in
+  Alcotest.(check int) "exactly one failover:1 span" 1
+    (List.length (tagged "failover:1"));
+  Alcotest.(check int) "no second failover" 0
+    (List.length (tagged "failover:2"))
+
+(* --- the divergence invariant can actually fire --- *)
+
+let test_divergence_detected () =
+  let t, rset = build_replicated ~seed:14 ~factor:2 () in
+  let members = List.map snd (Replica.members rset) in
+  (* Skew one member behind the coordinator's back: a directory created
+     directly on member 0 that the write-all protocol never saw. *)
+  (match
+     Fs.mkdir (File_server.fs (List.hd members)) ~dir:Fs.root_ino ~owner:"test"
+       "skew"
+   with
+  | Ok (_ : int) -> ()
+  | Error code -> Alcotest.failf "direct mkdir: %a" Reply.pp code);
+  match Invariant.replica_divergence t ~members ~names:[ "skew" ] with
+  | [] -> Alcotest.fail "skewed members reported as converged"
+  | v :: _ ->
+      Alcotest.(check string)
+        "right invariant" "replica-divergence" v.Invariant.invariant
+
+let suite =
+  [
+    ( "replication",
+      [
+        Alcotest.test_case "read-one balancing is deterministic" `Quick
+          test_balancing_deterministic;
+        Alcotest.test_case "write-all converges; duplicates suppressed" `Quick
+          test_write_all_converges;
+        Alcotest.test_case "failover to survivor, tagged exactly once" `Quick
+          test_failover_span;
+        Alcotest.test_case "divergence invariant fires on skew" `Quick
+          test_divergence_detected;
+      ] );
+  ]
