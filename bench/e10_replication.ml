@@ -170,7 +170,11 @@ let run_factor factor =
           Scenario.(t.file_servers)
     | None -> ()
   in
-  let inj = Injector.install ~on_restart:revive t (fault_plan ()) in
+  (* Heal-time convergence: a member partitioned from a coordinating
+     workstation missed that coordinator's write fan-outs; replaying
+     the group log on heal brings it back in step. *)
+  let heal _ _ = Replica.sync rset in
+  let inj = Injector.install ~on_restart:revive ~on_heal:heal t (fault_plan ()) in
   let ops = ref [] in
   let latency = Series.create "e10-latency" in
   for ws = 0 to users - 1 do

@@ -206,13 +206,25 @@ let cmd_restart sh = function
   | [ which ] -> (
       match int_of_string_opt which with
       | Some i when i < Array.length sh.scenario.Scenario.file_servers ->
+          let addr = Scenario.fs_addr i in
           let host =
-            Option.get
-              (K.host_of_addr sh.scenario.Scenario.domain (Scenario.fs_addr i))
+            Option.get (K.host_of_addr sh.scenario.Scenario.domain addr)
           in
           K.restart_host host;
-          ignore (File_server.start host ~name:(Fmt.str "fs%d'" i) ~owner:"system" ());
-          pr "restarted host and started a fresh file server process";
+          (* A replica-set member must come back through [Replica.revive]
+             — catch up on the group write log, then re-enroll — or the
+             set would keep balancing reads onto the dead pid. *)
+          (match
+             Option.bind sh.replicas (fun r -> Vservices.Replica.revive r addr)
+           with
+          | Some fresh ->
+              sh.scenario.Scenario.file_servers.(i) <- fresh;
+              pr "restarted host; replica member catching up before rejoining"
+          | None ->
+              ignore
+                (File_server.start host ~name:(Fmt.str "fs%d'" i)
+                   ~owner:"system" ());
+              pr "restarted host and started a fresh file server process");
           Ok ()
       | _ -> Error (Vio.Verr.Protocol "usage: restart FS-INDEX"))
   | _ -> Error (Vio.Verr.Protocol "usage: restart FS-INDEX")

@@ -174,12 +174,25 @@ let obs_reparent self span (req : Csname.req) =
 (* Write-all fan-out for a logical binding whose service is bound to a
    replica group (read-one/write-all). The prefix server acts as the
    coordinator: it stamps the rewritten request with its own (origin,
-   seq), appends it to the group's ordered write log, sends it to every
-   live member in turn — one bounded same-seq retransmission per member,
-   which the member's {!Seq_guard} deduplicates — and answers the client
-   itself with the first successful reply. Serializing all writes for
-   the service through this one process is what gives replicas an
-   identical application order. *)
+   seq), appends it PENDING to the group's ordered write log — before
+   the first send, so a concurrent catch-up sees every write whose
+   fan-out has begun — then sends it to every live member in turn, with
+   one bounded same-seq retransmission per member (the member's
+   {!Seq_guard} deduplicates). A member answering Retry to a stamped
+   write is reporting a sequence gap (it missed an earlier write and
+   refuses to apply out of order): its reply never answers the client.
+
+   The entry's fate follows the fan-out's: once any member answered —
+   or any send failed ambiguously (a timeout can lose the reply frame
+   of a request the member DID apply) — the entry is committed, so
+   replay eventually delivers it to every member and the replicas
+   converge; a write the client saw fail may then still land, which is
+   exactly the at-most-once contract. Only a fan-out that failed
+   definitively everywhere (no member process existed to apply it) is
+   aborted: the entry is removed and the sequence number reused, so the
+   origin's committed seq stream stays gap-free for the in-order guard.
+   Serializing all writes for the service through this one process is
+   what gives replicas an identical application order. *)
 let replicate_write t self ~sender ~span ~service ~context (msg : Vmsg.t) req =
   let d = Kernel.domain_of_self self in
   obs_metric self "replicate-write";
@@ -192,34 +205,50 @@ let replicate_write t self ~sender ~span ~service ~context (msg : Vmsg.t) req =
   let requester = Kernel.host_addr (Kernel.host_of_self self) in
   let members = Kernel.service_group_members d ~requester ~service in
   let send_once member = Kernel.send self member msg' in
+  let is_gap r = Vmsg.reply_code r = Some Reply.Retry in
+  let outcome member =
+    match send_once member with
+    | Ok (r, _) when is_gap r ->
+        obs_metric self "replicate-out-of-sync";
+        `Rejected
+    | Ok (r, _) -> `Answered r
+    | Error e1 -> (
+        obs_metric self "replicate-retry";
+        match send_once member with
+        | Ok (r, _) when is_gap r ->
+            obs_metric self "replicate-out-of-sync";
+            `Rejected
+        | Ok (r, _) -> `Answered r
+        | Error e2 ->
+            obs_metric self "replicate-member-lost";
+            (* Nonexistent_process is authoritative (a kernel nack: no
+               live process, nothing applied); anything else may have
+               delivered the request and lost the reply. *)
+            if
+              e1 = Kernel.Nonexistent_process && e2 = Kernel.Nonexistent_process
+            then `Lost_definite
+            else `Lost_ambiguous)
+  in
+  let outcomes = List.map outcome members in
   let answer =
-    List.fold_left
-      (fun acc member ->
-        let result =
-          match send_once member with
-          | Ok (r, _) -> Some r
-          | Error _ -> (
-              obs_metric self "replicate-retry";
-              match send_once member with
-              | Ok (r, _) -> Some r
-              | Error _ ->
-                  obs_metric self "replicate-member-lost";
-                  None)
-        in
-        match (acc, result) with
-        | None, Some r -> Some r
-        | acc, _ -> acc)
-      None members
+    List.find_map (function `Answered r -> Some r | _ -> None) outcomes
   in
   match answer with
-  | None ->
-      obs_finish self span (Reply.to_string Reply.No_server);
-      ignore (Kernel.reply self ~to_:sender (Vmsg.reply Reply.No_server))
   | Some r ->
+      Kernel.commit_group_write d ~service ~origin ~seq;
       (match Vmsg.reply_code r with
       | Some code -> obs_finish self span (Reply.to_string code)
       | None -> obs_finish self span "reply");
       ignore (Kernel.reply self ~to_:sender r)
+  | None ->
+      if List.exists (function `Lost_ambiguous -> true | _ -> false) outcomes
+      then Kernel.commit_group_write d ~service ~origin ~seq
+      else begin
+        Kernel.abort_group_write d ~service ~origin ~seq;
+        if t.next_wseq = seq + 1 then t.next_wseq <- seq
+      end;
+      obs_finish self span (Reply.to_string Reply.No_server);
+      ignore (Kernel.reply self ~to_:sender (Vmsg.reply Reply.No_server))
 
 (* Is this CSname request a write against a logical binding whose
    service is currently replica-bound? *)

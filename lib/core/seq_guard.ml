@@ -1,4 +1,4 @@
-(* Replica-side write deduplication.
+(* Replica-side write deduplication and ordering.
 
    A replicated write arrives stamped with the coordinator's (origin,
    seq) — see {!Vmsg.wseq}. Each member keeps, per origin, the highest
@@ -7,30 +7,46 @@
    or a catch-up replay after restart is answered from the cache rather
    than applied twice.
 
+   Admission is strictly in-order per origin: the only admissible fresh
+   write is applied+1. A larger seq means this member missed a write
+   (lost frame, partition) — applying it anyway would let the member
+   skip the missed write forever, and would apply operations on the
+   same name out of order (create then remove could invert). Such
+   writes are rejected as [`Gap]; the member stays consistent at its
+   high-water mark until a log replay (revive, or heal-time sync)
+   delivers the missing sequence numbers in order.
+
    The applied high-water marks model durable state — like the file
    system itself, they survive a server restart. The reply cache is
-   memory and is dropped on restart ({!drop_replies}): a replayed write
-   whose seq is already covered is then acknowledged with a plain Ok,
-   which is all a catching-up coordinator needs. *)
+   memory, bounded to a sliding window of [reply_window] entries per
+   origin, and is dropped entirely on restart ({!drop_replies}): a
+   replayed write whose seq is already covered is then acknowledged
+   with a plain Ok, which is all a catching-up coordinator needs. *)
 
 type t = {
   applied : (int, int) Hashtbl.t;  (* origin -> highest applied seq *)
   replies : (int * int, Vmsg.t) Hashtbl.t;  (* (origin, seq) -> reply *)
 }
 
+(* Replies retained per origin. A coordinator retransmits only the
+   in-flight seq, so any window covers it; the slack absorbs replays
+   arriving while newer writes land. *)
+let reply_window = 32
+
 let create () = { applied = Hashtbl.create 8; replies = Hashtbl.create 32 }
 
 let applied_seq t ~origin =
   match Hashtbl.find_opt t.applied origin with Some s -> s | None -> 0
 
-(* Writes from one origin arrive in seq order (the coordinator
-   serializes them), so a single high-water mark per origin suffices. *)
 let admit t ~origin ~seq =
-  if seq > applied_seq t ~origin then `Fresh
-  else `Replay (Hashtbl.find_opt t.replies (origin, seq))
+  let applied = applied_seq t ~origin in
+  if seq <= applied then `Replay (Hashtbl.find_opt t.replies (origin, seq))
+  else if seq = applied + 1 then `Fresh
+  else `Gap
 
 let record t ~origin ~seq reply =
   if seq > applied_seq t ~origin then Hashtbl.replace t.applied origin seq;
-  Hashtbl.replace t.replies (origin, seq) reply
+  Hashtbl.replace t.replies (origin, seq) reply;
+  Hashtbl.remove t.replies (origin, seq - reply_window)
 
 let drop_replies t = Hashtbl.reset t.replies

@@ -1,13 +1,16 @@
-(** Replica-side deduplication of replicated writes.
+(** Replica-side deduplication and ordering of replicated writes.
 
     A replicated write is stamped with the coordinator's (origin, seq)
-    pair ({!Vmsg.wseq}). A member admits each pair at most once: a
-    coordinator retry or a catch-up replay of an already-applied write
-    is answered from the cached reply instead of being applied again.
+    pair ({!Vmsg.wseq}). A member admits each pair at most once and
+    strictly in order: a coordinator retry or a catch-up replay of an
+    already-applied write is answered from the cached reply instead of
+    being applied again, and a write that would skip past a missed
+    sequence number is rejected rather than applied out of order.
 
     The applied high-water marks are durable (they survive a server
-    restart, like the file system); the reply cache is memory and is
-    dropped on restart via {!drop_replies}. *)
+    restart, like the file system); the reply cache is memory, bounded
+    to a sliding window per origin, and is dropped on restart via
+    {!drop_replies}. *)
 
 type t
 
@@ -16,10 +19,16 @@ val create : unit -> t
 (** Highest sequence number applied from [origin]; 0 if none. *)
 val applied_seq : t -> origin:int -> int
 
-(** [`Fresh] — apply the write, then {!record} it. [`Replay r] — the
-    write was already applied; answer with [r] if cached, or a plain
-    Ok if the reply cache was lost to a restart. *)
-val admit : t -> origin:int -> seq:int -> [ `Fresh | `Replay of Vmsg.t option ]
+(** [`Fresh] — the write is the next in sequence: apply it, then
+    {!record} it. [`Replay r] — the write was already applied; answer
+    with [r] if cached, or a plain Ok if the reply cache was lost to a
+    restart. [`Gap] — this member missed at least one earlier write
+    from [origin]; it must NOT apply this one (same-name operations
+    could invert) and should answer with a rejection the coordinator
+    recognizes, staying at its high-water mark until a log replay
+    delivers the missing writes in order. *)
+val admit :
+  t -> origin:int -> seq:int -> [ `Fresh | `Replay of Vmsg.t option | `Gap ]
 
 val record : t -> origin:int -> seq:int -> Vmsg.t -> unit
 

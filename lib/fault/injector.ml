@@ -17,6 +17,7 @@ type t = {
   scenario : Scenario.t;
   plan : Plan.t;
   on_restart : Ethernet.addr -> unit;
+  on_heal : Ethernet.addr -> Ethernet.addr -> unit;
   mutable applied : (float * string) list;  (* newest first *)
   mutable skipped : int;
 }
@@ -69,7 +70,11 @@ let apply inj (e : Plan.event) =
   | Plan.Heal (a, b) ->
       Ethernet.heal Scenario.(s.net) a b;
       metric inj "heal";
-      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action);
+      (* Reconverge replicated state: a member partitioned from its
+         write coordinator missed fan-outs; the hook replays the group
+         write log (e.g. Replica.sync) now that frames flow again. *)
+      inj.on_heal a b
   | Plan.Loss p ->
       Ethernet.set_loss_probability Scenario.(s.net) p;
       metric inj "loss";
@@ -79,8 +84,12 @@ let apply inj (e : Plan.event) =
       metric inj "slow";
       record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
 
-let install ?(on_restart = fun (_ : Ethernet.addr) -> ()) scenario plan =
-  let inj = { scenario; plan; on_restart; applied = []; skipped = 0 } in
+let install ?(on_restart = fun (_ : Ethernet.addr) -> ())
+    ?(on_heal = fun (_ : Ethernet.addr) (_ : Ethernet.addr) -> ()) scenario plan
+    =
+  let inj =
+    { scenario; plan; on_restart; on_heal; applied = []; skipped = 0 }
+  in
   List.iter
     (fun (e : Plan.event) ->
       Vsim.Engine.schedule_at

@@ -10,13 +10,22 @@ module Ethernet = Vnet.Ethernet
 
 type t
 
-(** [install ?on_restart scenario plan] schedules the plan. Call before
-    running the engine past the plan's first event. [on_restart addr]
-    runs right after a host restart — the hook reboots the services
-    that should live there (e.g. [File_server.restart_from]), which
-    re-registers them for logical-binding re-resolution. *)
+(** [install ?on_restart ?on_heal scenario plan] schedules the plan.
+    Call before running the engine past the plan's first event.
+    [on_restart addr] runs right after a host restart — the hook
+    reboots the services that should live there (e.g.
+    [File_server.restart_from]), which re-registers them for
+    logical-binding re-resolution. [on_heal a b] runs right after a
+    partition between [a] and [b] heals — the hook reconverges
+    replicated state that the partition let drift (e.g.
+    [Replica.sync], replaying the group write log to members that
+    missed fan-outs while unreachable). *)
 val install :
-  ?on_restart:(Ethernet.addr -> unit) -> Vworkload.Scenario.t -> Plan.t -> t
+  ?on_restart:(Ethernet.addr -> unit) ->
+  ?on_heal:(Ethernet.addr -> Ethernet.addr -> unit) ->
+  Vworkload.Scenario.t ->
+  Plan.t ->
+  t
 
 (** Applied and skipped actions, in application order, with simulated
     times. *)

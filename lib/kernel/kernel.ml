@@ -111,14 +111,35 @@ and 'm host = {
 (* A logical service implemented by a whole process group (§7): GetPid
    for the service returns one member, chosen by the balancer; naming
    writes are fanned out write-all by the coordinating prefix server and
-   logged here so a member that missed some (it was down) can catch up
-   by replay. The kernel never inspects the logged messages, only
-   stores them — the same separation it keeps everywhere else. *)
+   logged here so a member that missed some (it was down, or partitioned
+   away) can catch up by replay. The kernel never inspects the logged
+   messages, only stores them — the same separation it keeps everywhere
+   else.
+
+   An entry is PENDING from the moment the coordinator starts its
+   fan-out and becomes COMMITTED once some member may have applied it
+   (a member answered, or a send failed ambiguously — the request may
+   have been delivered with the reply frame lost). A fan-out that fails
+   definitively everywhere is ABORTED: the entry is removed before any
+   replay can see it. Catch-up readers see committed entries only, and
+   [group_write_pending] lets them wait out in-flight fan-outs before
+   declaring themselves caught up. *)
+and 'm sg_entry = {
+  le_origin : int;
+  le_seq : int;
+  le_msg : 'm;
+  mutable le_committed : bool;
+}
+
 and 'm service_group = {
   sg_group : int;  (* the process group implementing the service *)
   sg_policy : Balancer.policy;
   mutable sg_cursor : int;  (* round-robin position, seeded at registration *)
-  mutable sg_log : (int * int * 'm) list;  (* (origin, seq, msg), newest first *)
+  mutable sg_log : 'm sg_entry list;  (* newest first *)
+  mutable sg_log_len : int;
+  (* origin -> highest seq trimmed out of the capped log; a member whose
+     durable applied mark is below this cannot catch up by replay. *)
+  sg_trim_hw : (int, int) Hashtbl.t;
 }
 
 and 'm domain = {
@@ -772,7 +793,14 @@ let register_service_group d ~service ~group policy =
      registers a group draws nothing and replays bit-identically. *)
   let cursor = Vsim.Prng.int d.domain_prng 1024 in
   Hashtbl.replace d.service_groups service
-    { sg_group = group; sg_policy = policy; sg_cursor = cursor; sg_log = [] }
+    {
+      sg_group = group;
+      sg_policy = policy;
+      sg_cursor = cursor;
+      sg_log = [];
+      sg_log_len = 0;
+      sg_trim_hw = Hashtbl.create 4;
+    }
 
 let clear_service_group d ~service = Hashtbl.remove d.service_groups service
 
@@ -815,17 +843,95 @@ let service_group_members d ~requester ~service =
   | Some sg ->
       List.map fst (reachable_group_members d ~requester ~group:sg.sg_group)
 
-(* Ordered write-all log for a replicated service: append-only, read
-   back oldest-first by a member catching up after a restart. *)
+(* Ordered write-all log for a replicated service: appended pending at
+   fan-out start, committed or aborted when the fan-out resolves, read
+   back (committed entries, oldest first) by a member catching up. The
+   log is capped: once it exceeds [sg_log_cap] committed entries the
+   oldest are trimmed, with the per-origin trim high-water mark kept so
+   a catch-up can detect that replay alone can no longer cover it. *)
+let sg_log_cap = 1024
+
+let sg_trim sg =
+  if sg.sg_log_len > sg_log_cap then begin
+    let rec split n = function
+      | [] -> ([], [])
+      | e :: rest ->
+          if n = 0 then ([], e :: rest)
+          else
+            let kept, dropped = split (n - 1) rest in
+            (e :: kept, dropped)
+    in
+    let kept, dropped = split sg_log_cap sg.sg_log in
+    (* A pending entry is always recent (a fan-out resolves within one
+       coordinator request), so only committed entries can age into the
+       dropped tail; keep any pending stragglers regardless. *)
+    let stragglers = List.filter (fun e -> not e.le_committed) dropped in
+    List.iter
+      (fun e ->
+        if e.le_committed then
+          let prev =
+            match Hashtbl.find_opt sg.sg_trim_hw e.le_origin with
+            | Some s -> s
+            | None -> 0
+          in
+          Hashtbl.replace sg.sg_trim_hw e.le_origin (max prev e.le_seq))
+      dropped;
+    sg.sg_log <- kept @ stragglers;
+    sg.sg_log_len <- List.length sg.sg_log
+  end
+
 let log_group_write d ~service ~origin ~seq msg =
   match Hashtbl.find_opt d.service_groups service with
   | None -> ()
-  | Some sg -> sg.sg_log <- (origin, seq, msg) :: sg.sg_log
+  | Some sg ->
+      sg.sg_log <-
+        { le_origin = origin; le_seq = seq; le_msg = msg; le_committed = false }
+        :: sg.sg_log;
+      sg.sg_log_len <- sg.sg_log_len + 1;
+      sg_trim sg
+
+let commit_group_write d ~service ~origin ~seq =
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> ()
+  | Some sg ->
+      List.iter
+        (fun e ->
+          if e.le_origin = origin && e.le_seq = seq then e.le_committed <- true)
+        sg.sg_log
+
+let abort_group_write d ~service ~origin ~seq =
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> ()
+  | Some sg ->
+      sg.sg_log <-
+        List.filter
+          (fun e ->
+            not (e.le_origin = origin && e.le_seq = seq && not e.le_committed))
+          sg.sg_log;
+      sg.sg_log_len <- List.length sg.sg_log
 
 let group_write_log d ~service =
   match Hashtbl.find_opt d.service_groups service with
   | None -> []
-  | Some sg -> List.rev sg.sg_log
+  | Some sg ->
+      List.rev
+        (List.filter_map
+           (fun e ->
+             if e.le_committed then Some (e.le_origin, e.le_seq, e.le_msg)
+             else None)
+           sg.sg_log)
+
+let group_write_pending d ~service =
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> false
+  | Some sg -> List.exists (fun e -> not e.le_committed) sg.sg_log
+
+let group_write_trimmed d ~service =
+  match Hashtbl.find_opt d.service_groups service with
+  | None -> []
+  | Some sg ->
+      Hashtbl.fold (fun origin seq acc -> (origin, seq) :: acc) sg.sg_trim_hw []
+      |> List.sort compare
 
 (* GetPid against the service-group registry: the service has a
    registered group with at least one live reachable member. Split into

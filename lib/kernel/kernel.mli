@@ -213,10 +213,39 @@ val registered_service_groups : 'm domain -> (int * int) list
 val service_group_members :
   'm domain -> requester:Vnet.Ethernet.addr -> service:int -> Pid.t list
 
-(** Append a write to the service's ordered write-all log, keyed by the
-    coordinator's (origin, seq). Read back oldest-first by a member
-    catching up after restart. No-ops when the service has no group. *)
+(** Append a PENDING write to the service's ordered write-all log,
+    keyed by the coordinator's (origin, seq), before the fan-out's
+    first send — so a concurrent catch-up can see (and wait out) the
+    in-flight write. Resolve it with {!commit_group_write} once some
+    member may have applied it, or {!abort_group_write} when the
+    fan-out failed definitively everywhere. The log keeps at most a
+    bounded number of committed entries; the oldest are trimmed with
+    their per-origin high-water mark retained ({!group_write_trimmed}).
+    No-ops when the service has no group. *)
 val log_group_write :
   'm domain -> service:int -> origin:int -> seq:int -> 'm -> unit
 
+(** Mark a pending entry committed: some member answered the write, or
+    a send failed ambiguously (the member may have applied it with the
+    reply frame lost), so replay must eventually deliver it to every
+    member. *)
+val commit_group_write :
+  'm domain -> service:int -> origin:int -> seq:int -> unit
+
+(** Remove a pending entry whose fan-out failed definitively on every
+    member: no replica saw it, so nothing may ever replay it (the
+    coordinator is then free to reuse the sequence number). *)
+val abort_group_write :
+  'm domain -> service:int -> origin:int -> seq:int -> unit
+
+(** The committed entries, oldest first. *)
 val group_write_log : 'm domain -> service:int -> (int * int * 'm) list
+
+(** Is any logged write still pending (fan-out in flight)? A catch-up
+    must not declare itself complete while this holds. *)
+val group_write_pending : 'm domain -> service:int -> bool
+
+(** Per-origin highest sequence number trimmed out of the capped log,
+    sorted by origin. A member whose durable applied mark for an origin
+    is below that origin's trim mark cannot catch up by replay. *)
+val group_write_trimmed : 'm domain -> service:int -> (int * int) list

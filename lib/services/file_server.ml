@@ -58,6 +58,7 @@ type t = {
 
 let pid t = match t.pid with Some p -> p | None -> failwith "file server not started"
 let fs t = t.fs
+let applied_wseq t ~origin = Seq_guard.applied_seq t.guard ~origin
 let disk t = t.disk
 let stats t = t.stats
 (* How many blocks to prefetch past each sequential read (0 disables). *)
@@ -560,13 +561,18 @@ let spawn_server host t scope =
       handle_csname =
         (fun ~sender msg req ctx remaining ->
           (* Replicated writes arrive stamped with the coordinator's
-             (origin, seq): admit each pair once, answer retries and
-             replays from the cache (write-all idempotence). *)
+             (origin, seq): admit each pair once and in order, answer
+             retries and replays from the cache (write-all idempotence).
+             A gap means this member missed an earlier write: refuse
+             with Retry — the out-of-sync rejection the coordinator
+             treats as "member did not apply" — and wait for a log
+             replay to deliver the missing writes in order. *)
           match msg.Vmsg.wseq with
           | Some { Vmsg.origin; seq } -> (
               match Seq_guard.admit t.guard ~origin ~seq with
               | `Replay (Some cached) -> cached
               | `Replay None -> Vmsg.ok ()
+              | `Gap -> Vmsg.reply Reply.Retry
               | `Fresh ->
                   let r = handle_csname t self ~sender msg req ctx remaining in
                   Seq_guard.record t.guard ~origin ~seq r;

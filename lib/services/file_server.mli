@@ -42,6 +42,12 @@ val fs : t -> Fs.t
 val disk : t -> Disk.t
 val stats : t -> Csnh.server_stats
 
+(** Highest replicated-write sequence number this member has durably
+    applied from [origin] (see {!Vnaming.Seq_guard}); 0 if none. Used
+    by a catch-up to decide whether the trimmed group log still covers
+    this member. *)
+val applied_wseq : t -> origin:int -> int
+
 (** Currently open instances — 0 once every client has released (the
     no-orphan-instances invariant fault injection checks). *)
 val open_instance_count : t -> int

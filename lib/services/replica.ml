@@ -71,12 +71,77 @@ let install domain ?(service = Service.Id.replica_storage)
 
 let uninstall t = Kernel.clear_service_group t.domain ~service:t.service
 
+let metric t host op =
+  match Kernel.obs t.domain with
+  | None -> ()
+  | Some hub ->
+      Vobs.Metrics.incr (Vobs.Hub.metrics hub) ~host:(Kernel.host_name host)
+        ~server:"replica" ~op
+
+(* Retries per logged entry before a catch-up gives up: the sends are
+   host-local, so a failure means the host is going down again and the
+   rejoin should be abandoned, not papered over. *)
+let replay_attempts = 5
+
+(* Replay the committed group write log to member process [p] from a
+   process on its own host (local sends are immune to partitions), then
+   run [on_caught_up] — atomically with the check that there is nothing
+   left to replay.
+
+   The loop matters: writes keep fanning out while the replay runs, so
+   one pass over a snapshot of the log is not enough. Each round
+   re-reads the log and replays the tail this process has not sent yet
+   (the member's {!Seq_guard} deduplicates, so overlap with the live
+   fan-out is harmless); committed entries are append-only, making the
+   replayed count a valid cursor. The final round finds no new entries
+   AND no write still pending (a fan-out in flight has logged its entry
+   pending before its first send), and [on_caught_up] runs in that same
+   event step — no send or delay intervenes — so no write can slip
+   between the check and it. A replay send that still fails after
+   {!replay_attempts} aborts the catch-up without running
+   [on_caught_up]: the member has a known gap and must not rejoin. *)
+let catch_up t host p ~label ~on_caught_up =
+  let d = t.domain in
+  let engine = Kernel.engine_of_domain d in
+  ignore
+    (Kernel.spawn host ~name:label (fun self ->
+         let replay (_origin, _seq, msg) =
+           let rec go attempt =
+             match Kernel.send self p msg with
+             | Ok (_ : Vmsg.t * Pid.t) -> true
+             | Error _ when attempt < replay_attempts ->
+                 metric t host "replay-retry";
+                 Vsim.Proc.delay engine 1.0;
+                 go (attempt + 1)
+             | Error _ -> false
+           in
+           go 1
+         in
+         let rec drain replayed =
+           let log = Kernel.group_write_log d ~service:t.service in
+           let n = List.length log in
+           if n = replayed then
+             if Kernel.group_write_pending d ~service:t.service then begin
+               Vsim.Proc.delay engine 1.0;
+               drain replayed
+             end
+             else on_caught_up ()
+           else
+             let tail = List.filteri (fun i _ -> i >= replayed) log in
+             if List.for_all replay tail then drain n
+             else metric t host "catchup-abort"
+         in
+         drain 0))
+
 (* Revive the member on [addr] after a crash: boot a fresh server over
    the surviving disk, replay the group's write log to it — the member's
    {!Seq_guard} skips everything already applied (durable marks) and
-   applies the writes it missed while down — and only then rejoin the
-   group, so the balancer and the write fan-out never see a member that
-   has not caught up. *)
+   applies the writes it missed while down, in order — and only then
+   rejoin the group, so the balancer and the write fan-out never see a
+   member that has not caught up. The rejoin is abandoned (and counted
+   under the "replica" metrics) if the capped log has trimmed writes
+   this member never applied, or if the replay itself fails: enrolling
+   a member with a known gap would serve stale reads as fresh. *)
 let revive t addr =
   match (find_member t addr, Kernel.host_of_addr t.domain addr) with
   | None, _ | _, None -> None
@@ -84,12 +149,31 @@ let revive t addr =
       let fresh = File_server.restart_from fs host () in
       t.members <-
         (addr, fresh) :: List.remove_assoc addr t.members;
-      let p = File_server.pid fresh in
-      let log = Kernel.group_write_log t.domain ~service:t.service in
-      ignore
-        (Kernel.spawn host ~name:"replica-catchup" (fun self ->
-             List.iter
-               (fun (_origin, _seq, msg) -> ignore (Kernel.send self p msg))
-               log;
-             enroll t host fresh));
+      let covered =
+        List.for_all
+          (fun (origin, trimmed) ->
+            File_server.applied_wseq fresh ~origin >= trimmed)
+          (Kernel.group_write_trimmed t.domain ~service:t.service)
+      in
+      if covered then
+        catch_up t host (File_server.pid fresh) ~label:"replica-catchup"
+          ~on_caught_up:(fun () -> enroll t host fresh)
+      else metric t host "catchup-uncovered";
       Some fresh
+
+(* Replay the committed write log to every live member: the convergence
+   pass run when a partition heals. A member that was partitioned from
+   the coordinator missed its fan-outs silently — and its in-order
+   {!Seq_guard} has been refusing every later write since — so replay
+   is what brings it back in step; members that missed nothing answer
+   every entry from their guards at no cost to consistency. *)
+let sync t =
+  List.iter
+    (fun (addr, fs) ->
+      match Kernel.host_of_addr t.domain addr with
+      | None -> ()
+      | Some host ->
+          if Kernel.host_is_up host then
+            catch_up t host (File_server.pid fs) ~label:"replica-sync"
+              ~on_caught_up:(fun () -> ()))
+    (members t)

@@ -148,6 +148,205 @@ let test_failover_span () =
   Alcotest.(check int) "no second failover" 0
     (List.length (tagged "failover:2"))
 
+(* --- the sequence guard: in-order admission, bounded reply cache --- *)
+
+let test_seq_guard_ordering () =
+  let g = Seq_guard.create () in
+  (match Seq_guard.admit g ~origin:1 ~seq:1 with
+  | `Fresh -> ()
+  | _ -> Alcotest.fail "seq 1 must be fresh");
+  Seq_guard.record g ~origin:1 ~seq:1 (Vmsg.ok ());
+  (* A skipped sequence number is a gap: the member missed a write and
+     must refuse, not apply out of order. *)
+  (match Seq_guard.admit g ~origin:1 ~seq:3 with
+  | `Gap -> ()
+  | _ -> Alcotest.fail "seq 3 after 1 must be a gap");
+  (match Seq_guard.admit g ~origin:1 ~seq:2 with
+  | `Fresh -> ()
+  | _ -> Alcotest.fail "seq 2 must be fresh");
+  Seq_guard.record g ~origin:1 ~seq:2 (Vmsg.ok ());
+  (match Seq_guard.admit g ~origin:1 ~seq:1 with
+  | `Replay (Some _) -> ()
+  | _ -> Alcotest.fail "seq 1 must replay its cached reply");
+  (* Reply cache is a sliding window: old replies age out (answered
+     with a plain Ok), the dedupe high-water mark never does. *)
+  for seq = 3 to 40 do
+    Seq_guard.record g ~origin:1 ~seq (Vmsg.ok ())
+  done;
+  (match Seq_guard.admit g ~origin:1 ~seq:1 with
+  | `Replay None -> ()
+  | _ -> Alcotest.fail "evicted reply must still be a replay");
+  (match Seq_guard.admit g ~origin:1 ~seq:9 with
+  | `Replay (Some _) -> ()
+  | _ -> Alcotest.fail "in-window reply must stay cached");
+  Alcotest.(check int) "high-water mark" 40 (Seq_guard.applied_seq g ~origin:1)
+
+(* --- the write-log lifecycle: pending, committed, aborted, capped --- *)
+
+let test_log_lifecycle () =
+  let t, rset = build_replicated ~seed:16 ~factor:2 () in
+  let d = Scenario.(t.domain) in
+  let service = Replica.service rset in
+  let msg = Vmsg.ok () in
+  K.log_group_write d ~service ~origin:7 ~seq:1 msg;
+  Alcotest.(check bool) "pending after append" true
+    (K.group_write_pending d ~service);
+  Alcotest.(check int) "pending entry hidden from replay" 0
+    (List.length (K.group_write_log d ~service));
+  K.commit_group_write d ~service ~origin:7 ~seq:1;
+  Alcotest.(check bool) "committed entry not pending" false
+    (K.group_write_pending d ~service);
+  Alcotest.(check int) "committed entry visible" 1
+    (List.length (K.group_write_log d ~service));
+  K.log_group_write d ~service ~origin:7 ~seq:2 msg;
+  K.abort_group_write d ~service ~origin:7 ~seq:2;
+  Alcotest.(check bool) "aborted entry not pending" false
+    (K.group_write_pending d ~service);
+  Alcotest.(check int) "aborted entry removed" 1
+    (List.length (K.group_write_log d ~service));
+  (* Overflow the cap: the oldest committed entries trim out, leaving
+     their per-origin high-water mark behind. *)
+  for seq = 2 to 1030 do
+    K.log_group_write d ~service ~origin:7 ~seq msg;
+    K.commit_group_write d ~service ~origin:7 ~seq
+  done;
+  Alcotest.(check int) "log capped" 1024
+    (List.length (K.group_write_log d ~service));
+  Alcotest.(check (list (pair int int)))
+    "trim high-water mark" [ (7, 6) ]
+    (K.group_write_trimmed d ~service)
+
+(* --- revive: writes racing the catch-up still reach the member --- *)
+
+let test_revive_catchup_converges () =
+  let t, rset = build_replicated ~seed:15 ~factor:2 () in
+  let domain = Scenario.(t.domain) in
+  let addr1 = Scenario.fs_addr 1 in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"writer" (fun _self env ->
+         ok_exn "mkdir" (Runtime.create env ~directory:true "[rstore]top");
+         (match K.host_of_addr domain addr1 with
+         | Some h -> K.crash_host h
+         | None -> Alcotest.fail "member host missing");
+         (* Member 1 is down: these reach member 0 only, via the log. *)
+         for i = 1 to 8 do
+           ok_exn "create" (Runtime.create env (Fmt.str "[rstore]top/down%d" i))
+         done;
+         (match K.host_of_addr domain addr1 with
+         | Some h -> K.restart_host h
+         | None -> ());
+         (match Replica.revive rset addr1 with
+         | Some (_ : File_server.t) -> ()
+         | None -> Alcotest.fail "revive returned no member");
+         (* The catch-up is replaying right now: these writes race the
+            rejoin, and the drain loop + pending check must ensure the
+            revived member gets every one — by replay if they land
+            before the rejoin, by fan-out if after. *)
+         for i = 1 to 8 do
+           ok_exn "create"
+             (Runtime.create env (Fmt.str "[rstore]top/during%d" i))
+         done));
+  Scenario.run t;
+  let members = List.map snd (Replica.members rset) in
+  let names =
+    "top"
+    :: List.concat_map
+         (fun i -> [ Fmt.str "top/down%d" i; Fmt.str "top/during%d" i ])
+         [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Alcotest.(check (list string))
+    "revived member missed nothing" []
+    (List.map (Fmt.str "%a" Invariant.pp_violation)
+       (Invariant.replica_divergence t ~members ~names))
+
+(* --- partition: gap rejection while behind, heal-time sync converges --- *)
+
+let sum_metric t op =
+  let metrics = Vobs.Hub.metrics Scenario.(t.obs) in
+  List.fold_left
+    (fun acc ((k : Vobs.Metrics.key), v) ->
+      if k.Vobs.Metrics.op = op then acc + v else acc)
+    0
+    (Vobs.Metrics.counters metrics)
+
+let test_partition_heal_sync () =
+  let t, rset = build_replicated ~seed:18 ~factor:2 () in
+  let net = Scenario.(t.net) in
+  let ws0 = Scenario.ws_addr 0 and fs1 = Scenario.fs_addr 1 in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"part-writer" (fun _self env ->
+         ok_exn "mkdir" (Runtime.create env ~directory:true "[rstore]top");
+         Vnet.Ethernet.partition net ws0 fs1;
+         (* The coordinator cannot reach member 1: these land on member
+            0 only, but stay in the committed log. *)
+         ok_exn "create" (Runtime.create env "[rstore]top/part1");
+         ok_exn "create" (Runtime.create env "[rstore]top/part2");
+         Vnet.Ethernet.heal net ws0 fs1;
+         (* Member 1 is reachable again but two writes behind: it must
+            refuse this one (sequence gap) rather than apply it out of
+            order; member 0 still answers the client. *)
+         ok_exn "create" (Runtime.create env "[rstore]top/post1")));
+  Scenario.run t;
+  let members = List.map snd (Replica.members rset) in
+  let names = [ "top"; "top/part1"; "top/part2"; "top/post1" ] in
+  Alcotest.(check bool) "member is behind before the sync" true
+    (Invariant.replica_divergence t ~members ~names <> []);
+  Alcotest.(check bool) "out-of-sync rejection recorded" true
+    (sum_metric t "replicate-out-of-sync" >= 1);
+  Replica.sync rset;
+  Scenario.run t;
+  Alcotest.(check (list string))
+    "heal-time sync reconverges the member" []
+    (List.map (Fmt.str "%a" Invariant.pp_violation)
+       (Invariant.replica_divergence t ~members ~names))
+
+(* --- a definitively failed write is aborted, not resurrected --- *)
+
+let test_no_resurrection () =
+  let t, rset = build_replicated ~seed:17 ~factor:1 () in
+  let d = Scenario.(t.domain) in
+  let service = Replica.service rset in
+  let tight =
+    {
+      Vio.Resilience.max_retries = 1;
+      base_backoff_ms = 5.0;
+      max_backoff_ms = 10.0;
+      deadline_ms = 200.0;
+    }
+  in
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"writer" (fun _self env ->
+         Runtime.set_resilience env ~policy:tight ~seed:31 ();
+         ok_exn "mkdir" (Runtime.create env ~directory:true "[rstore]top");
+         (* Kill the only member's process (host stays up): the fan-out
+            finds no live member, fails definitively, and must remove
+            its log entry — the client was told the write did not
+            happen, so no later replay may apply it. *)
+         ignore
+           (K.destroy_process d
+              (File_server.pid (snd (List.hd (Replica.members rset)))));
+         match Runtime.create env "[rstore]top/ghost" with
+         | Ok () -> Alcotest.fail "create with no live member succeeded"
+         | Error (_ : Verr.t) -> ()));
+  Scenario.run t;
+  Alcotest.(check int) "failed write not in the log" 1
+    (List.length (K.group_write_log d ~service));
+  Alcotest.(check bool) "nothing left pending" false
+    (K.group_write_pending d ~service);
+  (* Revive over the surviving disk; the next write reuses the aborted
+     sequence number, keeping the committed stream gap-free for the
+     in-order guard. *)
+  (match Replica.revive rset (Scenario.fs_addr 0) with
+  | Some (_ : File_server.t) -> ()
+  | None -> Alcotest.fail "revive returned no member");
+  ignore
+    (Scenario.spawn_client t ~ws:0 ~name:"writer2" (fun _self env ->
+         ok_exn "create" (Runtime.create env "[rstore]top/real")));
+  Scenario.run t;
+  Alcotest.(check (list int))
+    "gap-free committed seq stream" [ 1; 2 ]
+    (List.map (fun (_, seq, _) -> seq) (K.group_write_log d ~service))
+
 (* --- the divergence invariant can actually fire --- *)
 
 let test_divergence_detected () =
@@ -175,6 +374,16 @@ let suite =
           test_balancing_deterministic;
         Alcotest.test_case "write-all converges; duplicates suppressed" `Quick
           test_write_all_converges;
+        Alcotest.test_case "seq guard: in-order, gaps refused, cache bounded"
+          `Quick test_seq_guard_ordering;
+        Alcotest.test_case "write log: pending/commit/abort, capped" `Quick
+          test_log_lifecycle;
+        Alcotest.test_case "writes racing a revive catch-up converge" `Quick
+          test_revive_catchup_converges;
+        Alcotest.test_case "partitioned member refuses gaps; heal sync"
+          `Quick test_partition_heal_sync;
+        Alcotest.test_case "definite fan-out failure aborts, no resurrection"
+          `Quick test_no_resurrection;
         Alcotest.test_case "failover to survivor, tagged exactly once" `Quick
           test_failover_span;
         Alcotest.test_case "divergence invariant fires on skew" `Quick
