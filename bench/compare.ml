@@ -12,8 +12,17 @@
    - any "invariant_violations" list anywhere in the fresh run is
      non-empty (at-most-once, orphan instances, convergence, replica
      divergence);
+   - any "breaches" list anywhere in the fresh run is non-empty (the
+     SLO engine's multi-window burn-rate verdict: an experiment's
+     availability or latency objective was burned through);
    - a latency metric present in both runs regressed by more than the
      tolerance (default 10%).
+
+   Before gating, the runs' "_meta" headers are cross-checked: an
+   experiment whose seed differs between baseline and fresh gets a
+   loud warning (the numbers are from different draws and a regression
+   verdict on them is noise), but does not fail the gate — regenerating
+   the baseline is the fix either way.
 
    Only latency-shaped metrics gate: comparison rows whose unit is a
    time unit, and recorded fields whose name says latency (latency_*,
@@ -109,24 +118,57 @@ let rec collect path acc json =
 
 let latency_metrics json = List.rev (collect [] [] json)
 
-(* Every non-empty "invariant_violations" list in the tree. *)
-let rec violations path acc json =
+(* Every non-empty list stored under [key] anywhere in the tree —
+   "invariant_violations" and the SLO engine's "breaches" both gate
+   this way. *)
+let rec nonempty_lists ~key path acc json =
   match json with
   | Json.Obj fields ->
       List.fold_left
         (fun acc (k, v) ->
-          match (k, v) with
-          | "invariant_violations", Json.List (_ :: _ as vs) ->
+          match v with
+          | Json.List (_ :: _ as vs) when k = key ->
               (String.concat "/" (List.rev path), vs) :: acc
-          | _ -> violations (k :: path) acc v)
+          | _ -> nonempty_lists ~key (k :: path) acc v)
         acc fields
   | Json.List items ->
       List.fold_left
         (fun (i, acc) item ->
-          (i + 1, violations (element_key i item :: path) acc item))
+          (i + 1, nonempty_lists ~key (element_key i item :: path) acc item))
         (0, acc) items
       |> snd
   | _ -> acc
+
+(* --- run metadata --- *)
+
+(* Per-experiment seeds from a dump's "_meta" header (absent in dumps
+   written before the header existed, or by direct Tables users). *)
+let meta_seeds json =
+  match Json.member "_meta" json with
+  | Some meta -> (
+      match Json.member "experiments" meta with
+      | Some (Json.Obj experiments) ->
+          List.filter_map
+            (fun (name, entry) ->
+              match Json.member "seed" entry with
+              | Some (Json.Int seed) -> Some (name, seed)
+              | _ -> None)
+            experiments
+      | _ -> [])
+  | None -> []
+
+let warn_seed_mismatches baseline fresh =
+  let base_seeds = meta_seeds baseline and fresh_seeds = meta_seeds fresh in
+  List.iter
+    (fun (name, fresh_seed) ->
+      match List.assoc_opt name base_seeds with
+      | Some base_seed when base_seed <> fresh_seed ->
+          Fmt.pr
+            "warn: experiment %s ran with seed %d but the baseline used seed \
+             %d — latency comparisons for it are between different draws@."
+            name fresh_seed base_seed
+      | _ -> ())
+    fresh_seeds
 
 (* --- the gate --- *)
 
@@ -150,7 +192,8 @@ let () =
       Fmt.pr "FAIL: fresh run is incomplete@.";
       incr failures
   | None -> ());
-  (match List.rev (violations [] [] fresh) with
+  warn_seed_mismatches baseline fresh;
+  (match List.rev (nonempty_lists ~key:"invariant_violations" [] [] fresh) with
   | [] -> ()
   | vs ->
       List.iter
@@ -159,6 +202,15 @@ let () =
           Fmt.pr "FAIL: invariant violations at %s:@." path;
           List.iter (fun v -> Fmt.pr "  %s@." (Json.to_string v)) entries)
         vs);
+  (match List.rev (nonempty_lists ~key:"breaches" [] [] fresh) with
+  | [] -> ()
+  | bs ->
+      List.iter
+        (fun (path, entries) ->
+          incr failures;
+          Fmt.pr "FAIL: SLO breaches at %s:@." path;
+          List.iter (fun b -> Fmt.pr "  %s@." (Json.to_string b)) entries)
+        bs);
   let base_metrics = latency_metrics baseline
   and fresh_metrics = latency_metrics fresh in
   let compared = ref 0 and improved = ref 0 in

@@ -113,10 +113,15 @@ type factor_result = {
   unavailable : int;
   write_amp : float;
   violations : Invariant.violation list;
+  impacts : Vobs.Attribution.impact list;
 }
 
 let run_factor factor =
   let t = Scenario.build ~workstations:users ~file_servers:3 ~seed () in
+  (* Flight recorder on (bookkeeping only; timings are unchanged): the
+     attribution pass joins its client-retry events against the applied
+     fault windows. *)
+  Chaos_report.arm t;
   let domain = Scenario.(t.domain) in
   let members =
     List.init factor (fun i ->
@@ -248,6 +253,11 @@ let run_factor factor =
     List.length (List.filter (fun (_, _, ok) -> not ok) ops)
   in
   let windows = unavailability_windows ops in
+  let impacts =
+    Chaos_report.attribution t inj ~horizon_ms:duration_ms ~ops ~windows
+  in
+  ignore
+    (Chaos_report.flight_dump t ~file:"flight-e10.json" ~violations);
   let s = Series.summarize latency in
   {
     factor;
@@ -263,6 +273,7 @@ let run_factor factor =
     unavailable = sum_metric t "unavailable";
     write_amp;
     violations;
+    impacts;
   }
 
 let result_json r =
@@ -280,11 +291,13 @@ let result_json r =
       ("unavailable", Json.Int r.unavailable);
       ("write_amplification", Json.Float r.write_amp);
       ("invariant_violations", Invariant.to_json r.violations);
+      ("attribution", Vobs.Attribution.to_json r.impacts);
     ]
 
 let run () =
   Tables.print_title
     "E10: replication — availability and tail latency vs replication factor";
+  Tables.note_meta ~seed ~horizon_ms:duration_ms ();
   let results = List.map run_factor [ 1; 2; 3 ] in
   (* Determinism: the factor-3 run repeated must be bit-identical. *)
   let repeat = run_factor 3 in
@@ -332,7 +345,14 @@ let run () =
         (fun v -> Fmt.pr "  factor %d: %a@." r.factor Invariant.pp_violation v)
         r.violations)
     results;
-  Fmt.pr "factor-3 repeat bit-identical: %b@." deterministic;
+  List.iter
+    (fun r ->
+      Tables.print_section
+        (Fmt.str "Chaos attribution, factor %d (applied fault -> client impact)"
+           r.factor);
+      Fmt.pr "@[%a@]@." Vobs.Attribution.pp r.impacts)
+    results;
+  Fmt.pr "@.factor-3 repeat bit-identical: %b@." deterministic;
   Fmt.pr
     "@.write-all costs ~(N+1) transactions per write; in exchange the\n\
      guaranteed 2.5 s crash becomes invisible to clients once any replica\n\

@@ -43,6 +43,7 @@ let srr_ms ~config ~remote ~payload =
 
 let run () =
   Tables.print_title "E1: Send-Receive-Reply message transaction (paper §3.1)";
+  Tables.note_meta ~seed:42 ();
   Tables.print_comparison
     [
       {

@@ -97,6 +97,7 @@ let measure_all ~config =
 
 let run () =
   Tables.print_title "E4: Open latency by context and server location (paper §6)";
+  Tables.note_meta ~seed:42 ();
   let results = measure_all ~config:Vnet.Calibration.ethernet_3mbit in
   let get key = Hashtbl.find results key in
   let headline key = (get key).raw -. (get key).specific in

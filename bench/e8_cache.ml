@@ -235,6 +235,7 @@ let run_hit_ratio () =
 
 let run () =
   Tables.print_title "E8: name-resolution cache — hit/miss/stale latency and hit ratio";
+  Tables.note_meta ~seed:42 ();
   let get, stale_increments = run_latency () in
 
   Tables.print_section "Open latency on a deep remote name ([fs0]proj/src/deep.mss, 3 Mbit)";

@@ -41,6 +41,16 @@ let seed = 909
 let users = 3
 let duration_ms = 60_000.0
 
+(* E9 is where the flight recorder and the SLO engine run for real.
+   The target is set so the scripted chaos plan — whose outages the
+   retry policy bounds — stays inside budget, while a genuine
+   regression (say, every operation slowing several-fold) burns through
+   it and turns the bench gate red: availability 90% and 95% of ops
+   under 250 simulated ms, evaluated at the default 2x multi-window
+   burn rate. *)
+let slo_target =
+  { Vobs.Slo.availability = 0.90; latency_ms = 250.0; latency_quantile = 0.95 }
+
 (* The names that must converge post-heal: the standard prefix table's
    logical bindings. Static bindings ([fsN], [terminals]) stay stale
    after a crash by design (the paper's non-goal) and are excluded. *)
@@ -171,6 +181,9 @@ let run_soak () =
   let totals, t =
     Day.run ~users ~duration_ms ~resilience:Vio.Resilience.default
       ~configure:(fun t ->
+        (* Arm the flight recorder and the SLO engine before anything
+           runs: pure bookkeeping, timings are identical either way. *)
+        Chaos_report.arm ~slo:slo_target t;
         (* Every storage server carries the marker file, so an append
            lands wherever [storage] resolves at that moment. *)
         Array.iter
@@ -277,6 +290,7 @@ let loss_sweep () =
 
 let run () =
   Tables.print_title "E9: chaos — the day workload under a scripted fault schedule";
+  Tables.note_meta ~seed ~horizon_ms:duration_ms ();
   let totals, t, inj, ops, token_count, violations, ph_ops, ph_failures =
     run_soak ()
   in
@@ -354,6 +368,25 @@ let run () =
          ])
        sweep);
 
+  Tables.print_section "SLO (availability & latency, multi-window burn rate)";
+  let slo =
+    match Chaos_report.slo_summary t with
+    | Some s -> s
+    | None -> failwith "E9: SLO engine was not armed"
+  in
+  Fmt.pr "@[%a@]@." Vobs.Slo.pp_summary slo;
+
+  Tables.print_section "Chaos attribution (applied fault -> client impact)";
+  let impacts =
+    Chaos_report.attribution t inj ~horizon_ms:duration_ms ~ops ~windows
+  in
+  Fmt.pr "@[%a@]@." Vobs.Attribution.pp impacts;
+  let recorder = Vobs.Hub.events Scenario.(t.obs) in
+  Fmt.pr "flight recorder: %d event(s) held, %d dropped, %d span(s) evicted@."
+    (Vobs.Eventlog.count recorder)
+    (Vobs.Eventlog.dropped recorder)
+    (Vobs.Hub.spans_dropped Scenario.(t.obs));
+
   Tables.print_section "Invariants";
   Fmt.pr "post-heal probes: %d operations, %d failures@." ph_ops ph_failures;
   (match violations with
@@ -368,6 +401,12 @@ let run () =
     "@.crashed file servers came back as successors; logical bindings\n\
      re-resolved to them via GetPid, pinned home contexts failed over by\n\
      re-resolution, and the retry policy bounded every outage a client saw@.";
+
+  (* A run that ended badly leaves the evidence behind: CI uploads this
+     dump as an artifact when the gate goes red. *)
+  ignore
+    (Chaos_report.flight_dump t ~file:"flight-e9.json" ~violations
+       ~breaches:slo.Vobs.Slo.breach_list);
 
   (* The machine-readable artifact: CI replays the run and fails on any
      invariant violation; two same-seed runs must record this
@@ -423,4 +462,6 @@ let run () =
                     ])
                 sweep) );
          ("invariant_violations", Invariant.to_json violations);
+         ("slo", Vobs.Slo.summary_to_json slo);
+         ("attribution", Vobs.Attribution.to_json impacts);
        ])

@@ -99,6 +99,7 @@ let () =
         match failed with
         | Some _ -> failed
         | None -> (
+            Vworkload.Tables.begin_experiment name;
             match (List.assoc name registry) () with
             | () -> None
             | exception e ->

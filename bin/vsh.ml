@@ -457,12 +457,126 @@ let cmd_replicas sh args =
            "usage: replicas on [N] [rr|nearest] | replicas off | replicas \
             status")
 
+(* Aligned-column rendering for the metrics tables: first column
+   left-aligned, the rest right-aligned, widths fitted to content so
+   the output is stable and diffable across runs. *)
+let print_rows ~header rows =
+  let all = header :: rows in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init (List.length header) width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           if c = 0 then Fmt.str "%-*s" w cell else Fmt.str "%*s" w cell)
+         row)
+  in
+  pr "%s" (render header);
+  List.iter (fun row -> pr "%s" (render row)) rows
+
+(* Counters, gauges and histograms as stable tables: rows sorted by
+   (host, server, op) — the registry guarantees the order — histograms
+   carrying their quantile columns so a latency regression is visible
+   without the JSON dump. *)
 let cmd_metrics sh args =
   let m = Vobs.Hub.metrics sh.scenario.Scenario.obs in
+  let key (k : Vobs.Metrics.key) = Fmt.str "%s/%s/%s" k.host k.server k.op in
   (match args with
   | [ "json" ] -> pr "%s" (Vobs.Json.to_string (Vobs.Metrics.to_json m))
-  | _ -> Vobs.Metrics.pp Fmt.stdout m);
+  | _ ->
+      (match Vobs.Metrics.counters m with
+      | [] -> ()
+      | counters ->
+          print_rows ~header:[ "counter"; "value" ]
+            (List.map (fun (k, v) -> [ key k; string_of_int v ]) counters));
+      (match Vobs.Metrics.gauges m with
+      | [] -> ()
+      | gauges ->
+          pr "";
+          print_rows ~header:[ "gauge"; "value" ]
+            (List.map (fun (k, v) -> [ key k; Fmt.str "%.3f" v ]) gauges));
+      (match Vobs.Metrics.histograms m with
+      | [] -> ()
+      | histograms ->
+          pr "";
+          print_rows
+            ~header:[ "histogram"; "n"; "mean"; "p50"; "p95"; "p99"; "max" ]
+            (List.map
+               (fun (k, h) ->
+                 let module H = Vobs.Metrics.Histogram in
+                 [
+                   key k;
+                   string_of_int (H.count h);
+                   Fmt.str "%.3f" (H.mean h);
+                   Fmt.str "%.3f" (H.quantile h 0.5);
+                   Fmt.str "%.3f" (H.quantile h 0.95);
+                   Fmt.str "%.3f" (H.quantile h 0.99);
+                   Fmt.str "%.3f" (H.max_ h);
+                 ])
+               histograms)));
   Ok ()
+
+(* The flight recorder from the shell: newest events (oldest first, so
+   the narrative reads downward), dropped-count trailer included. *)
+let cmd_events sh args =
+  let log = Vobs.Hub.events sh.scenario.Scenario.obs in
+  match args with
+  | [] ->
+      pr "%a" (Vobs.Eventlog.pp ~limit:20) log;
+      Ok ()
+  | [ n ] -> (
+      match int_of_string_opt n with
+      | Some limit when limit > 0 ->
+          pr "%a" (Vobs.Eventlog.pp ~limit) log;
+          Ok ()
+      | _ -> Error (Vio.Verr.Protocol "usage: events [N]"))
+  | _ -> Error (Vio.Verr.Protocol "usage: events [N]")
+
+let cmd_slo sh _args =
+  match Vobs.Hub.slo sh.scenario.Scenario.obs with
+  | None ->
+      pr "no SLO engine attached";
+      Ok ()
+  | Some slo ->
+      pr "%a" Vobs.Slo.pp_summary (Vobs.Slo.summary slo);
+      Ok ()
+
+(* Toggle the recorder or dump the whole flight — events, spans, SLO
+   summary and metrics — as one JSON document. *)
+let cmd_record sh args =
+  let hub = sh.scenario.Scenario.obs in
+  let log = Vobs.Hub.events hub in
+  match args with
+  | [ "on" ] ->
+      Vobs.Eventlog.set_enabled log true;
+      pr "flight recorder on";
+      Ok ()
+  | [ "off" ] ->
+      Vobs.Eventlog.set_enabled log false;
+      pr "flight recorder off";
+      Ok ()
+  | [] | [ "status" ] ->
+      pr "flight recorder %s: %d event(s) held, %d dropped, %d span(s) evicted"
+        (if Vobs.Eventlog.enabled log then "on" else "off")
+        (Vobs.Eventlog.count log) (Vobs.Eventlog.dropped log)
+        (Vobs.Hub.spans_dropped hub);
+      Ok ()
+  | "dump" :: rest -> (
+      let file = match rest with [] -> "vsh-flight.json" | f :: _ -> f in
+      let json = Vobs.Export.flight_to_json ~reason:"manual" hub in
+      match
+        Out_channel.with_open_bin file (fun oc ->
+            output_string oc (Vobs.Json.to_string json);
+            output_char oc '\n')
+      with
+      | () ->
+          pr "flight dumped to %s" file;
+          Ok ()
+      | exception Sys_error msg -> Error (Vio.Verr.Protocol msg))
+  | _ -> Error (Vio.Verr.Protocol "usage: record [on|off|status] | record dump [FILE]")
 
 let commands :
     (string * string * (shell -> string list -> (unit, Vio.Verr.t) result)) list =
@@ -499,6 +613,9 @@ let commands :
     ("trace", "[ID] — span tree of the last (or given) traced request", cmd_trace);
     ("cache", "[on|off|stats] — the name-resolution cache", cmd_cache);
     ("metrics", "[json] — observability counters and histograms", cmd_metrics);
+    ("events", "[N] — newest flight-recorder events (default 20)", cmd_events);
+    ("slo", "— availability/latency objective summary", cmd_slo);
+    ("record", "[on|off|status] | dump [FILE] — the flight recorder", cmd_record);
     ("echo", "TEXT... — print", cmd_echo);
   ]
 
@@ -575,6 +692,11 @@ let demo_script =
     "netstat";
     "metrics";
     "time";
+    "echo -- the flight recorder and the SLO --";
+    "record status";
+    "events 12";
+    "slo";
+    "record dump";
     "echo -- seeded fault injection --";
     "fault plan 42 10000";
     "fault status";
@@ -583,6 +705,11 @@ let demo_script =
 
 let run_shell script =
   let t = Scenario.build ~workstations:2 ~file_servers:2 ~tracing:true () in
+  (* The interactive shell flies with the recorder on and an SLO engine
+     attached, so `events`, `slo` and `record dump` have data; both are
+     pure bookkeeping and leave simulated timings untouched. *)
+  Vobs.Eventlog.set_enabled (Vobs.Hub.events t.Scenario.obs) true;
+  Vobs.Hub.set_slo t.Scenario.obs (Some (Vobs.Slo.create ()));
   let exit_code = ref 0 in
   ignore
     (Scenario.spawn_client t ~ws:0 ~name:"vsh" (fun _self env ->

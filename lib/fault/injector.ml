@@ -19,6 +19,7 @@ type t = {
   on_restart : Ethernet.addr -> unit;
   on_heal : Ethernet.addr -> Ethernet.addr -> unit;
   mutable applied : (float * string) list;  (* newest first *)
+  mutable applied_actions : (float * Plan.action) list;  (* newest first *)
   mutable skipped : int;
 }
 
@@ -26,9 +27,22 @@ let timeline t = List.rev t.applied
 let skipped t = t.skipped
 let plan t = t.plan
 
+(* Every timeline entry — applied or skipped — also lands in the
+   scenario hub's flight recorder (one boolean test when the recorder
+   is off), so a dump shows the injected faults inline with the kernel
+   and network events they caused. *)
 let record inj label =
   let now = Vsim.Engine.now (Scenario.(inj.scenario.engine)) in
-  inj.applied <- (now, label) :: inj.applied
+  inj.applied <- (now, label) :: inj.applied;
+  Vobs.Hub.event
+    Scenario.(inj.scenario.obs)
+    ~at:now ~cat:Vobs.Eventlog.Fault ~host:"injector" label
+
+(* An applied (not skipped) action, kept structured for attribution. *)
+let applied inj (e : Plan.event) =
+  let now = Vsim.Engine.now (Scenario.(inj.scenario.engine)) in
+  inj.applied_actions <- (now, e.Plan.action) :: inj.applied_actions;
+  record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
 
 let metric inj kind =
   Vobs.Metrics.incr
@@ -48,7 +62,7 @@ let apply inj (e : Plan.event) =
       | Some h when Kernel.host_is_up h ->
           Kernel.crash_host h;
           metric inj "crash";
-          record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+          applied inj e
       | Some _ -> skip inj e "already down"
       | None -> skip inj e "unknown host")
   | Plan.Restart addr -> (
@@ -56,7 +70,7 @@ let apply inj (e : Plan.event) =
       | Some h when not (Kernel.host_is_up h) ->
           Kernel.restart_host h;
           metric inj "restart";
-          record inj (Fmt.str "%a" Plan.pp_action e.Plan.action);
+          applied inj e;
           (* Revive services: the host is up but empty; the hook reboots
              whatever should live there (e.g. File_server.restart_from),
              which re-registers services for logical re-resolution. *)
@@ -66,11 +80,11 @@ let apply inj (e : Plan.event) =
   | Plan.Partition (a, b) ->
       Ethernet.partition Scenario.(s.net) a b;
       metric inj "partition";
-      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+      applied inj e
   | Plan.Heal (a, b) ->
       Ethernet.heal Scenario.(s.net) a b;
       metric inj "heal";
-      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action);
+      applied inj e;
       (* Reconverge replicated state: a member partitioned from its
          write coordinator missed fan-outs; the hook replays the group
          write log (e.g. Replica.sync) now that frames flow again. *)
@@ -78,17 +92,25 @@ let apply inj (e : Plan.event) =
   | Plan.Loss p ->
       Ethernet.set_loss_probability Scenario.(s.net) p;
       metric inj "loss";
-      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+      applied inj e
   | Plan.Slow (addr, ms) ->
       Ethernet.set_extra_latency Scenario.(s.net) addr ms;
       metric inj "slow";
-      record inj (Fmt.str "%a" Plan.pp_action e.Plan.action)
+      applied inj e
 
 let install ?(on_restart = fun (_ : Ethernet.addr) -> ())
     ?(on_heal = fun (_ : Ethernet.addr) (_ : Ethernet.addr) -> ()) scenario plan
     =
   let inj =
-    { scenario; plan; on_restart; on_heal; applied = []; skipped = 0 }
+    {
+      scenario;
+      plan;
+      on_restart;
+      on_heal;
+      applied = [];
+      applied_actions = [];
+      skipped = 0;
+    }
   in
   List.iter
     (fun (e : Plan.event) ->
@@ -98,6 +120,55 @@ let install ?(on_restart = fun (_ : Ethernet.addr) -> ())
         (fun () -> apply inj e))
     plan.Plan.events;
   inj
+
+(* Render the applied actions down to attribution fault windows: each
+   applied fault runs until the applied action that recovers it — the
+   restart of the crashed host, the heal of the same (unordered)
+   partition pair, the next loss-rate change, the next latency change
+   on the same host — or until [horizon_ms] for a fault never
+   recovered. Skipped events injected nothing and so attribute
+   nothing. *)
+let attribution_faults inj ~horizon_ms =
+  let applied = List.rev inj.applied_actions in
+  let norm (a, b) = if a < b then (a, b) else (b, a) in
+  let kind_of = function
+    | Plan.Crash _ -> Some "crash"
+    | Plan.Partition _ -> Some "partition"
+    | Plan.Loss p when p > 0.0 -> Some "loss"
+    | Plan.Slow (_, ms) when ms > 0.0 -> Some "slow"
+    | Plan.Restart _ | Plan.Heal _ | Plan.Loss _ | Plan.Slow _ -> None
+  in
+  let recovers fault cand =
+    match (fault, cand) with
+    | Plan.Crash x, Plan.Restart y -> x = y
+    | Plan.Partition (a, b), Plan.Heal (c, d) -> norm (a, b) = norm (c, d)
+    | Plan.Loss _, Plan.Loss _ -> true
+    | Plan.Slow (x, _), Plan.Slow (y, _) -> x = y
+    | _ -> false
+  in
+  List.filter_map
+    (fun (at, action) ->
+      match kind_of action with
+      | None -> None
+      | Some kind ->
+          let until =
+            List.fold_left
+              (fun acc (t, a) ->
+                match acc with
+                | Some _ -> acc
+                | None when t > at && recovers action a -> Some t
+                | None -> None)
+              None applied
+            |> Option.value ~default:horizon_ms
+          in
+          Some
+            {
+              Vobs.Attribution.at;
+              until;
+              kind;
+              label = Fmt.str "%a" Plan.pp_action action;
+            })
+    applied
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>injector: %d applied, %d skipped (plan seed %d)@,%a@]"

@@ -33,4 +33,12 @@ val timeline : t -> (float * string) list
 
 val skipped : t -> int
 val plan : t -> Plan.t
+
+(** The applied faults as attribution windows: each runs until the
+    applied action that recovered it (restart, heal, next loss/latency
+    change), or [horizon_ms] if never recovered. Skipped events
+    attribute nothing. *)
+val attribution_faults :
+  t -> horizon_ms:float -> Vobs.Attribution.fault list
+
 val pp : Format.formatter -> t -> unit

@@ -163,6 +163,11 @@ and 'm domain = {
   domain_prng : Vsim.Prng.t;
   mutable trace : Vsim.Trace.t option;
   mutable domain_obs : Vobs.Hub.t option;
+  (* Extract the obs trace id riding inside a message, for stamping
+     flight-recorder events. The kernel is parametric in ['m] and never
+     inspects messages itself; the deployment (which knows the message
+     type) installs the accessor. Default: everything untraced. *)
+  mutable trace_of : 'm -> int;
   mutable getpid_cache_on : bool;
   ipc_transactions : Vsim.Stats.Counter.t;
 }
@@ -182,6 +187,22 @@ let trace d fmt =
 let set_trace d tr = d.trace <- Some tr
 let set_obs d hub = d.domain_obs <- Some hub
 let obs d = d.domain_obs
+let set_trace_of d f = d.trace_of <- f
+
+(* Flight-recorder events, mirroring [trace]: the label is only built
+   when an attached hub's recorder is enabled, so a disabled recorder
+   costs one test per site. Reading the clock for the time stamp never
+   advances it. *)
+let event_log host ~cat ?(trace = 0) fmt =
+  match host.domain.domain_obs with
+  | Some hub when Vobs.Eventlog.enabled (Vobs.Hub.events hub) ->
+      Format.kasprintf
+        (fun label ->
+          Vobs.Hub.event hub
+            ~at:(Engine.now host.domain.engine)
+            ~cat ~host:host.host_name ~trace label)
+        fmt
+  | Some _ | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 (* Count one kernel operation against (host, "kernel", op) if a hub is
    attached. Pure bookkeeping: never touches the simulation clock. *)
@@ -404,6 +425,8 @@ let arm_forward_recovery host ~txn ~dst_addr resend =
         | None -> false
       in
       if target_host_reachable && attempts < max_timeout_probes then begin
+        event_log host ~cat:Vobs.Eventlog.Kernel
+          "forward-recovery-probe txn %d (attempt %d)" txn attempts;
         resend ();
         Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
           (probe (attempts + 1))
@@ -420,6 +443,7 @@ let arm_retransmit host ~txn resend =
   let d = host.domain in
   let rec tick () =
     if Hashtbl.mem host.pendings txn && host.host_up then begin
+      event_log host ~cat:Vobs.Eventlog.Kernel "retransmit-probe txn %d" txn;
       resend ();
       Engine.schedule ~delay:Calibration.retransmit_interval_ms d.engine tick
     end
@@ -461,6 +485,8 @@ let send proc ?buffer target msg =
   Vsim.Stats.Counter.incr d.ipc_transactions;
   count_op host "send";
   trace d "Send %a -> %a" Pid.pp proc.pid Pid.pp target;
+  event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
+    "send %a -> %a" Pid.pp proc.pid Pid.pp target;
   match find_process d target with
   | Some target_proc when target_proc.proc_host == host ->
       charge proc Calibration.local_ipc_leg_cpu;
@@ -579,6 +605,8 @@ let forward proc ~from_ ~to_ msg =
       Hashtbl.remove host.serving (from_, proc.pid);
       count_op host "forward";
       trace d "Forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
+      event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
+        "forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
       match find_process d to_ with
       | None ->
           (* Target gone: fail the original sender's transaction. *)
@@ -959,6 +987,12 @@ let balanced_choice host ~service =
           (match sg.sg_policy with
           | Balancer.Round_robin -> sg.sg_cursor <- sg.sg_cursor + 1
           | Balancer.Nearest_host -> ());
+          (match choice with
+          | Some pid ->
+              event_log host ~cat:Vobs.Eventlog.Balancer
+                "pick service %d -> %a (%d reachable)" service Pid.pp pid
+                (List.length members)
+          | None -> ());
           choice)
 
 let get_pid proc ~service scope =
@@ -1274,6 +1308,7 @@ let create_domain ?(seed = 42) ~cost engine net =
       domain_prng = Vsim.Prng.create ~seed;
       trace = None;
       domain_obs = None;
+      trace_of = (fun _ -> 0);
       getpid_cache_on = false;
       ipc_transactions = Vsim.Stats.Counter.create "ipc-transactions";
     }

@@ -71,6 +71,13 @@ val set_obs : 'm domain -> Vobs.Hub.t -> unit
 
 val obs : 'm domain -> Vobs.Hub.t option
 
+(** Install the accessor extracting the obs trace id riding inside a
+    message (0 = untraced), used to stamp flight-recorder events. The
+    kernel never inspects messages itself; the deployment, which knows
+    the message type, provides the accessor. Default: everything
+    untraced. *)
+val set_trace_of : 'm domain -> ('m -> int) -> unit
+
 (** Completed + in-flight Send/group-Send transactions, for the
     messages-per-operation benchmarks. *)
 val ipc_transaction_count : 'm domain -> int

@@ -80,6 +80,24 @@ let net_metric ?(by = 1) t addr op =
         ~host:(Printf.sprintf "host%d" addr)
         ~server:"net" ~op
 
+(* Flight-recorder events for the wire: frames lost or dropped,
+   partitions cut and healed, loss-rate and slow-host changes. The
+   label is only built when an attached hub's recorder is enabled;
+   [host] is "host<addr>" for per-host events, "net" for wire-wide
+   ones. *)
+let net_event t host fmt =
+  match t.obs with
+  | Some hub when Vobs.Eventlog.enabled (Vobs.Hub.events hub) ->
+      Format.kasprintf
+        (fun label ->
+          Vobs.Hub.event hub
+            ~at:(Vsim.Engine.now t.engine)
+            ~cat:Vobs.Eventlog.Net ~host label)
+        fmt
+  | Some _ | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let host_label addr = Printf.sprintf "host%d" addr
+
 let config t = t.config
 
 let counters t = t.counters
@@ -143,8 +161,9 @@ let set_loss_probability t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Ethernet.set_loss_probability";
   t.loss_probability <- p;
   (* Audit trail: fault plans that flip the loss rate leave a record in
-     both the trace stream and the metrics gauge. *)
+     the trace stream, the flight recorder and the metrics gauge. *)
   trace_emit t "loss probability := %.3f" p;
+  net_event t "net" "loss probability := %.3f" p;
   match t.obs with
   | None -> ()
   | Some hub ->
@@ -159,7 +178,8 @@ let set_extra_latency t addr ms =
   | None -> invalid_arg "Ethernet.set_extra_latency: unknown host"
   | Some port ->
       port.extra_latency_ms <- ms;
-      trace_emit t "host%d extra receive latency := %.3fms" addr ms
+      trace_emit t "host%d extra receive latency := %.3fms" addr ms;
+      net_event t (host_label addr) "extra receive latency := %.3fms" ms
 
 let extra_latency t addr =
   match Hashtbl.find_opt t.hosts addr with
@@ -168,11 +188,17 @@ let extra_latency t addr =
 
 let partition t a b =
   let pair = if a < b then (a, b) else (b, a) in
-  if not (List.mem pair t.partitions) then t.partitions <- pair :: t.partitions
+  if not (List.mem pair t.partitions) then begin
+    t.partitions <- pair :: t.partitions;
+    net_event t "net" "partition host%d <-> host%d" (fst pair) (snd pair)
+  end
 
 let heal t a b =
   let pair = if a < b then (a, b) else (b, a) in
-  t.partitions <- List.filter (fun p -> p <> pair) t.partitions
+  if List.mem pair t.partitions then begin
+    t.partitions <- List.filter (fun p -> p <> pair) t.partitions;
+    net_event t "net" "heal host%d <-> host%d" (fst pair) (snd pair)
+  end
 
 let heal_all t = t.partitions <- []
 
@@ -240,7 +266,9 @@ let transmit t frame =
         in
         if lost then begin
           t.counters.frames_dropped <- t.counters.frames_dropped + 1;
-          net_metric t frame.src "frames-lost"
+          net_metric t frame.src "frames-lost";
+          net_event t (host_label frame.src) "frame lost -> %a (%dB)" pp_dest
+            frame.dst frame.payload_bytes
         end
         else
           List.iter
@@ -272,6 +300,8 @@ let transmit t frame =
                   else deliver ()
               | Some _ | None ->
                   t.counters.frames_dropped <- t.counters.frames_dropped + 1;
-                  net_metric t addr "frames-dropped")
+                  net_metric t addr "frames-dropped";
+                  net_event t (host_label addr)
+                    "frame dropped from host%d (down or partitioned)" frame.src)
             (intended_destinations t frame))
   end

@@ -1,0 +1,90 @@
+(* Chaos attribution: join fault windows against what degraded.
+
+   A fault is an applied injector action together with the time its
+   recovery landed (restart, heal, loss back to zero, slowdown lifted).
+   Ops are finished client operations; windows are measured
+   unavailability intervals. The join is interval overlap — an op (or
+   window) is attributed to every fault whose window it overlaps, since
+   overlapping faults genuinely compound — and everything is a pure
+   function of its inputs, so the table two same-seed runs print is
+   byte-identical.
+
+   This module knows nothing about plans or injectors: callers (the
+   fault layer, the chaos benchmarks) render their own types down to
+   these records. *)
+
+type fault = {
+  at : float;  (* sim ms the fault was applied *)
+  until : float;  (* sim ms its recovery was applied (or the horizon) *)
+  kind : string;  (* "crash", "partition", "loss", "slow" *)
+  label : string;  (* rendered action, e.g. "crash host 100" *)
+}
+
+type op = { started : float; finished : float; ok : bool; retries : int }
+
+type impact = {
+  fault : fault;
+  ops : int;  (* ops overlapping the fault window *)
+  failures : int;
+  retries : int;  (* retries spent by overlapping ops *)
+  unavailable_ms : float;  (* unavailability overlapping the window *)
+}
+
+let overlaps ~lo ~hi a b = a <= hi && b >= lo
+
+(* Length of [a, b] ∩ [lo, hi]. *)
+let overlap_ms ~lo ~hi a b = Float.max 0.0 (Float.min b hi -. Float.max a lo)
+
+let attribute ~faults ~ops ?(windows = []) () =
+  List.map
+    (fun f ->
+      let hit = overlaps ~lo:f.at ~hi:f.until in
+      let n, failures, retries =
+        List.fold_left
+          (fun (n, fl, r) o ->
+            if hit o.started o.finished then
+              (n + 1, (if o.ok then fl else fl + 1), r + o.retries)
+            else (n, fl, r))
+          (0, 0, 0) ops
+      in
+      let unavailable_ms =
+        List.fold_left
+          (fun acc (t0, t1) -> acc +. overlap_ms ~lo:f.at ~hi:f.until t0 t1)
+          0.0 windows
+      in
+      { fault = f; ops = n; failures; retries; unavailable_ms })
+    (List.sort (fun a b -> compare (a.at, a.label) (b.at, b.label)) faults)
+
+let fault_to_json f =
+  Json.Obj
+    [
+      ("at_ms", Json.Float f.at);
+      ("until_ms", Json.Float f.until);
+      ("kind", Json.String f.kind);
+      ("label", Json.String f.label);
+    ]
+
+let impact_to_json i =
+  Json.Obj
+    [
+      ("fault", fault_to_json i.fault);
+      ("ops", Json.Int i.ops);
+      ("failures", Json.Int i.failures);
+      ("retries", Json.Int i.retries);
+      ("unavailable_ms", Json.Float i.unavailable_ms);
+    ]
+
+let to_json impacts = Json.List (List.map impact_to_json impacts)
+
+let pp ppf impacts =
+  match impacts with
+  | [] -> Fmt.pf ppf "(no faults applied)@."
+  | _ ->
+      Fmt.pf ppf "%-34s %-17s %5s %5s %8s %12s@." "fault" "window [ms]" "ops"
+        "fail" "retries" "unavail [ms]";
+      List.iter
+        (fun i ->
+          Fmt.pf ppf "%-34s %8.0f..%-8.0f %5d %5d %8d %12.1f@." i.fault.label
+            i.fault.at i.fault.until i.ops i.failures i.retries
+            i.unavailable_ms)
+        impacts

@@ -57,3 +57,25 @@ let hub_to_json hub =
       ("spans", trace_to_json (Hub.all_spans hub));
       ("metrics", Metrics.to_json (Hub.metrics hub));
     ]
+
+(* The flight-recorder dump: everything an incident review needs in one
+   artifact — the event log, every surviving span, the metrics
+   registry, the SLO summary when an engine is attached, and the drop
+   counters that say how complete the recording is. [reason] states why
+   the dump was cut (e.g. "invariant-violation", "slo-breach",
+   "manual"). *)
+let flight_to_json ?(reason = "manual") hub =
+  let slo =
+    match Hub.slo hub with
+    | None -> Json.Null
+    | Some engine -> Slo.summary_to_json (Slo.summary engine)
+  in
+  Json.Obj
+    [
+      ("reason", Json.String reason);
+      ("spans_dropped", Json.Int (Hub.spans_dropped hub));
+      ("events", Eventlog.to_json (Hub.events hub));
+      ("spans", trace_to_json (Hub.all_spans hub));
+      ("slo", slo);
+      ("metrics", Metrics.to_json (Hub.metrics hub));
+    ]

@@ -12,3 +12,8 @@ val trace_to_json : Span.t list -> Json.t
 (** Whole-hub dump: last trace id, all stored spans, and the metrics
     registry. *)
 val hub_to_json : Hub.t -> Json.t
+
+(** The flight-recorder dump: event log, spans, metrics, SLO summary
+    (when attached) and drop counters, with [reason] stating why the
+    dump was cut (default ["manual"]). *)
+val flight_to_json : ?reason:string -> Hub.t -> Json.t

@@ -1,14 +1,22 @@
 (* The hub is the per-deployment observability handle: it owns trace and
-   span numbering, the bounded span store, and the metrics registry.
-   One hub is shared by every host in a simulated internetwork — the
-   point of distributed tracing is precisely that spans from different
-   hosts land in the same store, keyed by trace id.
+   span numbering, the bounded span store, the metrics registry, the
+   flight recorder, and (when attached) the SLO engine. One hub is
+   shared by every host in a simulated internetwork — the point of
+   distributed tracing is precisely that spans from different hosts land
+   in the same store, keyed by trace id.
 
    Tracing and metrics are independently switchable. With tracing off,
    [start_trace] hands out [Span.no_ctx] and [start_span] returns [None],
    so instrumented code pays one test per hop. Nothing here ever touches
    the simulation clock: callers pass [~now] in, which keeps simulated
-   timings bit-identical whether observability is on or off. *)
+   timings bit-identical whether observability is on or off.
+
+   Span eviction is tail-based: when the store overflows, spans
+   belonging to interesting traces — one that errored, retried, failed
+   over, hit a fault, or is still open — survive, and boring (clean,
+   finished) traces drop first, oldest first. Every evicted span counts
+   into [spans_dropped] and the ("obs", "hub", "spans-dropped") metric,
+   so a trimmed store is visible instead of silent. *)
 
 type t = {
   mutable tracing : bool;
@@ -17,11 +25,14 @@ type t = {
   span_limit : int;
   mutable spans : Span.t list;  (* newest first, trimmed at span_limit *)
   mutable span_count : int;
+  mutable spans_dropped : int;
   mutable last_trace : int;  (* 0 = no trace started yet *)
   metrics : Metrics.t;
+  events : Eventlog.t;
+  mutable slo : Slo.t option;
 }
 
-let create ?(tracing = false) ?(span_limit = 10_000) () =
+let create ?(tracing = false) ?(span_limit = 10_000) ?event_capacity () =
   {
     tracing;
     next_trace = 1;
@@ -29,13 +40,25 @@ let create ?(tracing = false) ?(span_limit = 10_000) () =
     span_limit;
     spans = [];
     span_count = 0;
+    spans_dropped = 0;
     last_trace = 0;
     metrics = Metrics.create ();
+    events = Eventlog.create ?capacity:event_capacity ();
+    slo = None;
   }
 
 let tracing t = t.tracing
 let set_tracing t flag = t.tracing <- flag
 let metrics t = t.metrics
+let events t = t.events
+let slo t = t.slo
+let set_slo t engine = t.slo <- engine
+let spans_dropped t = t.spans_dropped
+
+(* One-call convenience for instrumentation sites: a boolean test when
+   the recorder is off. *)
+let event t ~at ~cat ~host ?trace label =
+  Eventlog.record t.events ~at ~cat ~host ?trace label
 
 let start_trace t ~now =
   if not t.tracing then Span.no_ctx
@@ -46,15 +69,55 @@ let start_trace t ~now =
     { Span.trace = id; parent = 0; sent_at = now }
   end
 
+(* A span worth keeping under eviction pressure: its op failed or is
+   still in flight, or the client annotated it with retry/failover/fault
+   trouble. Trace-level interest is any interesting span in the trace —
+   a clean hop of a retried trace still explains the retry. *)
+let interesting_tag tag =
+  tag = "fault"
+  || (String.length tag >= 6 && String.sub tag 0 6 = "retry:")
+  || (String.length tag >= 9 && String.sub tag 0 9 = "failover:")
+
+let interesting_span s =
+  (match s.Span.outcome with "OK" | "forward" -> false | _ -> true)
+  || List.exists interesting_tag s.Span.tags
+
+(* Tail-based trim: drop down to span_limit/2 (amortising the O(n)
+   pass), boring traces first. Interesting-trace spans are kept up to
+   3/4 of the limit — under pathological all-interesting load they too
+   drop, oldest first, and each trim still frees at least a quarter of
+   the store so the amortisation holds. *)
+let trim t =
+  let interesting = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      if interesting_span s then Hashtbl.replace interesting s.Span.trace_id ())
+    t.spans;
+  let target = t.span_limit / 2 in
+  let interesting_limit = t.span_limit * 3 / 4 in
+  let kept = ref 0 in
+  let keep s =
+    let limit =
+      if Hashtbl.mem interesting s.Span.trace_id then interesting_limit
+      else target
+    in
+    if !kept < limit then begin
+      incr kept;
+      true
+    end
+    else false
+  in
+  t.spans <- List.filter keep t.spans;
+  let dropped = t.span_count - !kept in
+  t.span_count <- !kept;
+  t.spans_dropped <- t.spans_dropped + dropped;
+  Metrics.incr ~by:dropped t.metrics ~host:"obs" ~server:"hub"
+    ~op:"spans-dropped"
+
 let record t span =
   t.spans <- span :: t.spans;
   t.span_count <- t.span_count + 1;
-  if t.span_count > t.span_limit then begin
-    (* Drop the oldest half; amortises the O(n) trim. *)
-    let keep = t.span_limit / 2 in
-    t.spans <- List.filteri (fun i _ -> i < keep) t.spans;
-    t.span_count <- keep
-  end
+  if t.span_count > t.span_limit then trim t
 
 let start_span t ~ctx ~now ~op ~host ~server ~pid ~context ~index_from =
   if not (t.tracing && Span.is_traced ctx) then None

@@ -1,7 +1,8 @@
 (** The per-deployment observability handle: trace/span numbering, the
-    bounded span store, and the metrics registry. One hub is shared by
-    every host in a simulated internetwork, so spans from different
-    hosts land in one store keyed by trace id.
+    bounded span store, the metrics registry, the flight recorder, and
+    (when attached) the SLO engine. One hub is shared by every host in
+    a simulated internetwork, so spans from different hosts land in one
+    store keyed by trace id.
 
     Nothing here reads or advances the simulation clock — callers pass
     [~now] — so simulated timings are bit-identical with observability
@@ -9,13 +10,42 @@
 
 type t
 
-(** [create ()] makes a hub with tracing off (metrics enabled). The
-    span store keeps at most [span_limit] spans, dropping oldest. *)
-val create : ?tracing:bool -> ?span_limit:int -> unit -> t
+(** [create ()] makes a hub with tracing off (metrics enabled) and the
+    flight recorder present but disabled. The span store keeps at most
+    [span_limit] spans; eviction is tail-based — see {!spans_dropped}. *)
+val create : ?tracing:bool -> ?span_limit:int -> ?event_capacity:int -> unit -> t
 
 val tracing : t -> bool
 val set_tracing : t -> bool -> unit
 val metrics : t -> Metrics.t
+
+(** The hub's flight recorder (disabled until
+    [Eventlog.set_enabled]). *)
+val events : t -> Eventlog.t
+
+(** The attached SLO engine, if any; the runtime feeds every finished
+    client op to it. *)
+val slo : t -> Slo.t option
+
+val set_slo : t -> Slo.t option -> unit
+
+(** [event t ~at ~cat ~host ?trace label] records into the flight
+    recorder — one boolean test when it is disabled. *)
+val event :
+  t ->
+  at:float ->
+  cat:Eventlog.cat ->
+  host:string ->
+  ?trace:int ->
+  string ->
+  unit
+
+(** Spans evicted from the bounded store so far. Eviction is
+    tail-based: traces that errored, retried, failed over, hit a fault
+    or are still open survive; boring finished traces drop first,
+    oldest first. Also counted under the ("obs", "hub",
+    "spans-dropped") metric. *)
+val spans_dropped : t -> int
 
 (** [start_trace t ~now] allocates a fresh trace and returns the context
     to attach to the outgoing request. Returns {!Span.no_ctx} when

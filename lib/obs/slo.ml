@@ -1,0 +1,197 @@
+(* Windowed service-level objectives with multi-window burn-rate
+   alerting.
+
+   Client operations stream in via [observe]; each lands in a sim-time
+   bucket of [window_ms]. Two objectives are tracked against a target:
+   availability (fraction of ops that succeed) and latency (fraction of
+   ops under [latency_ms], which must be at least [latency_quantile]).
+
+   Evaluation follows the SRE burn-rate recipe: the error budget is
+   what the target leaves over (1 - availability for the availability
+   SLO, 1 - latency_quantile for latency), the burn rate of a window is
+   its bad-fraction divided by that budget, and a breach fires only
+   when BOTH a short window (one bucket) and a long window
+   ([long_windows] buckets ending at the same bucket) burn faster than
+   [burn_threshold]. The short window makes the alert fast to clear
+   after recovery; the long window keeps one unlucky bucket from
+   paging. Evaluation is a pure scan over the buckets — same
+   observations, same breaches — and nothing here reads the simulation
+   clock, so an attached SLO engine never perturbs a run. *)
+
+type target = {
+  availability : float;  (* e.g. 0.99: ≥99% of ops must succeed *)
+  latency_ms : float;  (* ops slower than this are "slow" *)
+  latency_quantile : float;  (* e.g. 0.95: ≥95% of ops must be fast *)
+}
+
+let default_target =
+  { availability = 0.99; latency_ms = 250.0; latency_quantile = 0.95 }
+
+type bucket = {
+  index : int;
+  mutable ops : int;
+  mutable errors : int;
+  mutable slow : int;
+  mutable lat_sum : float;
+}
+
+type t = {
+  target : target;
+  window_ms : float;
+  long_windows : int;
+  burn_threshold : float;
+  buckets : (int, bucket) Hashtbl.t;
+}
+
+let create ?(window_ms = 5_000.0) ?(long_windows = 6)
+    ?(burn_threshold = 2.0) ?(target = default_target) () =
+  if window_ms <= 0.0 then invalid_arg "Slo.create: window_ms <= 0";
+  if long_windows < 1 then invalid_arg "Slo.create: long_windows < 1";
+  if burn_threshold <= 0.0 then invalid_arg "Slo.create: burn_threshold <= 0";
+  if target.availability <= 0.0 || target.availability > 1.0 then
+    invalid_arg "Slo.create: availability not in (0, 1]";
+  if target.latency_quantile <= 0.0 || target.latency_quantile > 1.0 then
+    invalid_arg "Slo.create: latency_quantile not in (0, 1]";
+  { target; window_ms; long_windows; burn_threshold; buckets = Hashtbl.create 64 }
+
+let target t = t.target
+let window_ms t = t.window_ms
+
+let observe t ~now ~ok ~latency_ms =
+  let index = int_of_float (now /. t.window_ms) in
+  let b =
+    match Hashtbl.find_opt t.buckets index with
+    | Some b -> b
+    | None ->
+        let b = { index; ops = 0; errors = 0; slow = 0; lat_sum = 0.0 } in
+        Hashtbl.add t.buckets index b;
+        b
+  in
+  b.ops <- b.ops + 1;
+  if not ok then b.errors <- b.errors + 1;
+  if latency_ms > t.target.latency_ms then b.slow <- b.slow + 1;
+  b.lat_sum <- b.lat_sum +. latency_ms
+
+type breach = {
+  at : float;  (* end of the breaching short window, sim ms *)
+  dimension : string;  (* "availability" | "latency" *)
+  short_burn : float;
+  long_burn : float;
+}
+
+(* Burn rate of [bad] out of [ops] against a budget. A zero budget
+   (target = 1.0) makes any badness an immediate maximal burn; clamp to
+   a large finite value so JSON stays well-formed. *)
+let burn ~budget ~bad ~ops =
+  if ops = 0 then 0.0
+  else
+    let frac = float_of_int bad /. float_of_int ops in
+    if budget > 0.0 then frac /. budget
+    else if frac > 0.0 then 1e9
+    else 0.0
+
+let sorted_buckets t =
+  Hashtbl.fold (fun _ b acc -> b :: acc) t.buckets []
+  |> List.sort (fun a b -> compare a.index b.index)
+
+let breaches t =
+  let bs = sorted_buckets t in
+  let avail_budget = 1.0 -. t.target.availability in
+  let lat_budget = 1.0 -. t.target.latency_quantile in
+  List.concat_map
+    (fun b ->
+      (* Long window: the [long_windows] buckets ending at this one.
+         Empty buckets contribute nothing, which matches how the ops
+         stream defines them. *)
+      let lo = b.index - t.long_windows + 1 in
+      let ops, errors, slow =
+        List.fold_left
+          (fun (o, e, s) c ->
+            if c.index >= lo && c.index <= b.index then
+              (o + c.ops, e + c.errors, s + c.slow)
+            else (o, e, s))
+          (0, 0, 0) bs
+      in
+      let at = float_of_int (b.index + 1) *. t.window_ms in
+      let check dimension ~short_bad ~long_bad ~budget =
+        let short_burn = burn ~budget ~bad:short_bad ~ops:b.ops in
+        let long_burn = burn ~budget ~bad:long_bad ~ops in
+        if short_burn >= t.burn_threshold && long_burn >= t.burn_threshold
+        then Some { at; dimension; short_burn; long_burn }
+        else None
+      in
+      List.filter_map
+        (fun x -> x)
+        [
+          check "availability" ~short_bad:b.errors ~long_bad:errors
+            ~budget:avail_budget;
+          check "latency" ~short_bad:b.slow ~long_bad:slow ~budget:lat_budget;
+        ])
+    bs
+
+type summary = {
+  window_ms : float;
+  ops : int;
+  errors : int;
+  slow : int;
+  availability : float;  (* 1.0 when no ops observed *)
+  slow_fraction : float;
+  breach_list : breach list;
+}
+
+let summary t =
+  let bs = sorted_buckets t in
+  let ops, errors, slow =
+    List.fold_left
+      (fun (o, e, s) (b : bucket) -> (o + b.ops, e + b.errors, s + b.slow))
+      (0, 0, 0) bs
+  in
+  let frac bad =
+    if ops = 0 then 0.0 else float_of_int bad /. float_of_int ops
+  in
+  {
+    window_ms = t.window_ms;
+    ops;
+    errors;
+    slow;
+    availability = 1.0 -. frac errors;
+    slow_fraction = frac slow;
+    breach_list = breaches t;
+  }
+
+let breach_to_json b =
+  Json.Obj
+    [
+      ("at_ms", Json.Float b.at);
+      ("dimension", Json.String b.dimension);
+      ("short_burn", Json.Float b.short_burn);
+      ("long_burn", Json.Float b.long_burn);
+    ]
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("window_ms", Json.Float s.window_ms);
+      ("ops", Json.Int s.ops);
+      ("errors", Json.Int s.errors);
+      ("slow", Json.Int s.slow);
+      ("availability", Json.Float s.availability);
+      ("slow_fraction", Json.Float s.slow_fraction);
+      ("breaches", Json.List (List.map breach_to_json s.breach_list));
+    ]
+
+let pp_breach ppf b =
+  Fmt.pf ppf "t=%.0f %-12s burn short %.1fx long %.1fx" b.at b.dimension
+    b.short_burn b.long_burn
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>slo: %d ops, %d errors (availability %.4f), %d slow (%.4f)@,%a@]"
+    s.ops s.errors s.availability s.slow s.slow_fraction
+    (fun ppf -> function
+      | [] -> Fmt.pf ppf "no breaches"
+      | bs ->
+          Fmt.pf ppf "%d breach(es):@,%a" (List.length bs)
+            Fmt.(list ~sep:cut pp_breach)
+            bs)
+    s.breach_list

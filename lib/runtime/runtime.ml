@@ -159,10 +159,19 @@ let obs_done env ~op ~t0 root outcome =
   match obs_hub env with
   | None -> ()
   | Some hub ->
+      let now = Vsim.Engine.now (engine env) in
       Vobs.Metrics.observe (Vobs.Hub.metrics hub)
         ~host:(Kernel.self_host_name env.self)
-        ~server:"runtime" ~op
-        (Vsim.Engine.now (engine env) -. t0)
+        ~server:"runtime" ~op (now -. t0);
+      (* Every finished client operation feeds the SLO engine when one
+         is attached: availability from the outcome, latency from the
+         whole-operation wall time (retries included). *)
+      (match Vobs.Hub.slo hub with
+      | None -> ()
+      | Some slo ->
+          Vobs.Slo.observe slo ~now
+            ~ok:(outcome = Reply.to_string Reply.Ok)
+            ~latency_ms:(now -. t0))
 
 let outcome_of_result = function
   | Ok _ -> Reply.to_string Reply.Ok
@@ -172,6 +181,26 @@ let obs_tag root tag =
   match root with
   | None -> ()
   | Some ((_ : Vobs.Hub.t), span) -> Vobs.Span.add_tag span tag
+
+let root_trace = function
+  | None -> 0
+  | Some ((_ : Vobs.Hub.t), span) -> span.Vobs.Span.trace_id
+
+(* Flight-recorder events from the client runtime (retries, failovers,
+   exhausted budgets), stamped with the operation's root trace. The
+   label is only built when an attached hub's recorder is enabled. *)
+let obs_event env ?(trace = 0) fmt =
+  match obs_hub env with
+  | Some hub when Vobs.Eventlog.enabled (Vobs.Hub.events hub) ->
+      Format.kasprintf
+        (fun label ->
+          Vobs.Hub.event hub
+            ~at:(Vsim.Engine.now (engine env))
+            ~cat:Vobs.Eventlog.Client
+            ~host:(Kernel.self_host_name env.self)
+            ~trace label)
+        fmt
+  | Some _ | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 (* The resilience retry loop around one named operation. [run] is a
    whole routed attempt (including the stale-retry cascade); on a
@@ -212,6 +241,9 @@ let with_resilience env ~root ~t0 run =
                 obs_runtime_metric env "retry";
                 if attempt = 1 then obs_tag root "fault";
                 obs_tag root (Printf.sprintf "retry:%d" attempt);
+                obs_event env ~trace:(root_trace root)
+                  "retry attempt %d after %a (wait %.1fms)" attempt
+                  Vio.Verr.pp e wait;
                 Vsim.Proc.delay (engine env) wait;
                 (* A transport failure may mean the current context's
                    server died: re-resolve it before routing again. *)
@@ -222,7 +254,9 @@ let with_resilience env ~root ~t0 run =
                 (match err with
                 | Vio.Verr.Unavailable _ ->
                     env.rstats.unavailable <- env.rstats.unavailable + 1;
-                    obs_runtime_metric env "unavailable"
+                    obs_runtime_metric env "unavailable";
+                    obs_event env ~trace:(root_trace root)
+                      "unavailable after %d attempt(s)" attempt
                 | _ -> ());
                 Error err)
       in
@@ -299,7 +333,9 @@ let note_failover env ~root ~last_target ~failovers (r : route) =
   | Some p when not (Pid.equal p r.target) ->
       incr failovers;
       obs_runtime_metric env "failover";
-      obs_tag root (Printf.sprintf "failover:%d" !failovers)
+      obs_tag root (Printf.sprintf "failover:%d" !failovers);
+      obs_event env ~trace:(root_trace root) "failover %d -> pid %d" !failovers
+        (Pid.to_int r.target)
   | Some _ | None -> ());
   last_target := Some r.target
 

@@ -96,6 +96,13 @@ let build ?(config = Calibration.ethernet_3mbit) ?(workstations = 3)
   let obs = Vobs.Hub.create ~tracing () in
   Kernel.set_obs domain obs;
   Ethernet.set_obs net obs;
+  (* The kernel is parametric in the message type and cannot read the
+     trace context a request carries; teach it where Vmsg keeps it so
+     flight-recorder events are stamped with the active trace id. *)
+  Kernel.set_trace_of domain (fun (m : Vmsg.t) ->
+      match m.Vmsg.name with
+      | Some req -> req.Csname.trace.Vobs.Span.trace
+      | None -> 0);
   let fss =
     Array.init file_servers (fun i ->
         let host = Kernel.boot_host domain ~name:(Fmt.str "fs%d" i) (fs_addr i) in

@@ -20,15 +20,72 @@ let record json =
   in
   entries := !entries @ [ json ]
 
-let results_json () =
+(* Run metadata, prepended to the dump as "_meta" so a baseline is
+   self-describing: which tool and version wrote it, which experiments
+   ran, and each one's seed and sim horizon. The harness opens an entry
+   per experiment (begin_experiment); the experiment fills in what it
+   knows (note_meta) — an experiment that runs to quiescence has no
+   horizon, one that never draws randomness reports its scenario
+   seed. *)
+let tool = "vsystem-bench"
+let tool_version = "0.5"
+
+type meta_cell = { mutable m_seed : int option; mutable m_horizon : float option }
+
+let run_meta : (string * meta_cell) list ref = ref []
+let current_meta : meta_cell option ref = ref None
+
+let begin_experiment name =
+  let cell = { m_seed = None; m_horizon = None } in
+  run_meta := !run_meta @ [ (name, cell) ];
+  current_meta := Some cell
+
+let note_meta ?seed ?horizon_ms () =
+  match !current_meta with
+  | None -> ()
+  | Some cell ->
+      (match seed with Some v -> cell.m_seed <- Some v | None -> ());
+      (match horizon_ms with Some v -> cell.m_horizon <- Some v | None -> ())
+
+let meta_json () =
+  let experiments =
+    List.map
+      (fun (name, cell) ->
+        ( name,
+          Json.Obj
+            [
+              ( "seed",
+                match cell.m_seed with Some v -> Json.Int v | None -> Json.Null
+              );
+              ( "horizon_ms",
+                match cell.m_horizon with
+                | Some v -> Json.Float v
+                | None -> Json.Null );
+            ] ))
+      !run_meta
+  in
   Json.Obj
-    (List.map
-       (fun (title, entries) -> (title, Json.List !entries))
-       !json_store)
+    [
+      ("tool", Json.String tool);
+      ("version", Json.String tool_version);
+      ("experiments", Json.Obj experiments);
+    ]
+
+let results_json () =
+  let fields =
+    List.map (fun (title, entries) -> (title, Json.List !entries)) !json_store
+  in
+  (* Callers that never opened an experiment (unit tests exercising the
+     tables directly) keep the bare document shape. *)
+  match !run_meta with
+  | [] -> Json.Obj fields
+  | _ -> Json.Obj (("_meta", meta_json ()) :: fields)
 
 let reset_results () =
   json_store := [];
-  current_title := "(untitled)"
+  current_title := "(untitled)";
+  run_meta := [];
+  current_meta := None
 
 let print_title title =
   current_title := title;

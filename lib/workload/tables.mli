@@ -28,8 +28,25 @@ val count : int -> string
 (** Record an extra JSON entry under the current title. *)
 val record : Vobs.Json.t -> unit
 
+(** {1 Run metadata}
+
+    The harness opens a ["_meta"] entry per experiment it runs; the
+    experiment fills in what it knows. The dump then starts with a
+    self-describing ["_meta"] object (tool, version, per-experiment
+    seed and sim horizon) that {!results_json} prepends. *)
+
+(** [begin_experiment name] opens the metadata entry subsequent
+    {!note_meta} calls fill. Called by the harness before each
+    experiment. *)
+val begin_experiment : string -> unit
+
+(** [note_meta ?seed ?horizon_ms ()] records the current experiment's
+    seed and/or simulated horizon. A no-op outside a harness run. *)
+val note_meta : ?seed:int -> ?horizon_ms:float -> unit -> unit
+
 (** Everything recorded so far: an object mapping each title to its
-    entries, in print order. *)
+    entries, in print order, preceded by ["_meta"] when the harness
+    opened experiment entries. *)
 val results_json : unit -> Vobs.Json.t
 
 val reset_results : unit -> unit
