@@ -64,7 +64,9 @@ let contains ~sub s =
   n = 0 || go 0
 
 let is_latency_key k =
-  contains ~sub:"latency" k || k = "p50" || k = "p99" || k = "mean_op_ms"
+  contains ~sub:"latency" k
+  || contains ~sub:"resolution_ms" k
+  || k = "p50" || k = "p99" || k = "mean_op_ms"
 
 let number = function
   | Json.Int i -> Some (float_of_int i)

@@ -22,6 +22,7 @@ let registry =
     ("e8", E8_cache.run);
     ("e9", E9_chaos.run);
     ("e10", E10_replication.run);
+    ("e11", E11_domains.run);
     ("figs", Figures.run);
     ("f1", Figures.f1);
     ("f2", Figures.f2);
@@ -38,8 +39,8 @@ let registry =
 
 let default =
   [
-    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "figs";
-    "ablations"; "day"; "micro";
+    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
+    "figs"; "ablations"; "day"; "micro";
   ]
 
 (* Strip "--json FILE" from the argument list, returning the file.

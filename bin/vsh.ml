@@ -16,7 +16,20 @@ module K = Vkernel.Kernel
 module Scenario = Vworkload.Scenario
 module Runtime = Vruntime.Runtime
 module File_server = Vservices.File_server
+module Domain_server = Vdomains.Domain_server
+module Resolver = Vdomains.Resolver
 open Vnaming
+
+(* An interactive federated name tree: the chain of domain servers, the
+   per-host resolver wired into the run-time, and the TTLs it was
+   created with (the resolver does not expose them). *)
+type domains_state = {
+  chain : Domain_server.t array;
+  resolver : Resolver.t;
+  d_ttl_ms : float;
+  d_neg_ttl_ms : float;
+  d_stale_window_ms : float;
+}
 
 type shell = {
   env : Runtime.env;
@@ -24,6 +37,7 @@ type shell = {
   mutable failed : int;
   mutable injector : Vfault.Injector.t option;
   mutable replicas : Vservices.Replica.t option;
+  mutable domains : domains_state option;
 }
 
 let pr fmt = Fmt.pr (fmt ^^ "@.")
@@ -457,6 +471,152 @@ let cmd_replicas sh args =
            "usage: replicas on [N] [rr|nearest] | replicas off | replicas \
             status")
 
+(* Federated name domains from the shell: boot a chain of domain
+   servers under "[dom]" — each delegating one named sub-context to the
+   next, the last binding "leaf" into fs0's root — and wire a caching
+   resolver into the run-time, so every "[dom]..." name the shell
+   touches resolves iteratively, referral by referral. The same
+   machinery E11 benchmarks, made interactive. *)
+let domains_prefix = "dom"
+let domains_addr i = 50 + i
+
+let cmd_domains sh args =
+  let t = sh.scenario in
+  let fail_ds what = function
+    | Ok v -> v
+    | Error code -> failwith (Fmt.str "%s: %s" what (Reply.to_string code))
+  in
+  let with_tree f =
+    match sh.domains with
+    | Some st -> f st
+    | None -> Error (Vio.Verr.Protocol "no domain tree installed (domains on first)")
+  in
+  match args with
+  | "on" :: rest -> (
+      let depth = match rest with [] -> Some 3 | [ d ] -> int_of_string_opt d | _ -> None in
+      match (sh.domains, depth) with
+      | Some _, _ ->
+          Error (Vio.Verr.Protocol "a domain tree is already installed (domains off first)")
+      | None, Some depth when depth >= 1 ->
+          let chain =
+            Array.init depth (fun i ->
+                let name = Fmt.str "dom%d" i in
+                let host =
+                  match K.host_of_addr t.Scenario.domain (domains_addr i) with
+                  | Some host -> host
+                  | None -> K.boot_host t.Scenario.domain ~name (domains_addr i)
+                in
+                Domain_server.start host ~name ())
+          in
+          for i = 0 to depth - 2 do
+            fail_ds "delegate"
+              (Domain_server.delegate chain.(i)
+                 (Fmt.str "d%d" (i + 1))
+                 (Domain_server.spec chain.(i + 1) ()))
+          done;
+          fail_ds "bind"
+            (Domain_server.bind chain.(depth - 1) "leaf"
+               (File_server.spec (Scenario.file_server t 0)
+                  ~context:Context.Well_known.default));
+          let d_ttl_ms = Resolver.default_ttl_ms
+          and d_neg_ttl_ms = Resolver.default_neg_ttl_ms
+          and d_stale_window_ms = 10_000.0 in
+          let resolver =
+            Resolver.create ~ttl_ms:d_ttl_ms ~neg_ttl_ms:d_neg_ttl_ms
+              ~stale_window_ms:d_stale_window_ms ~prefix:domains_prefix
+              ~root:(Domain_server.spec chain.(0) ())
+              ()
+          in
+          Runtime.set_resolver sh.env resolver;
+          sh.domains <-
+            Some { chain; resolver; d_ttl_ms; d_neg_ttl_ms; d_stale_window_ms };
+          pr "domain tree up: %d server(s), [%s] names resolve iteratively \
+              (leaf -> fs0)"
+            depth domains_prefix;
+          Ok ()
+      | None, _ -> Error (Vio.Verr.Protocol "usage: domains on [DEPTH>=1]"))
+  | [ "off" ] ->
+      with_tree (fun _ ->
+          Runtime.clear_resolver sh.env;
+          sh.domains <- None;
+          pr "resolver unwired; [%s] names no longer resolve" domains_prefix;
+          Ok ())
+  | [ "tree" ] ->
+      with_tree (fun st ->
+          let server_of spec =
+            Array.to_seq st.chain
+            |> Seq.find (fun ds ->
+                   Vkernel.Pid.to_int (Domain_server.pid ds)
+                   = Vkernel.Pid.to_int spec.Context.server)
+          in
+          let rec print_node ds ctx indent =
+            List.iter
+              (fun (component, entry) ->
+                match entry with
+                | Domain_server.Subcontext id ->
+                    pr "%s%s/ (subcontext %d)" indent component id;
+                    print_node ds id (indent ^ "  ")
+                | Domain_server.Child spec -> (
+                    match server_of spec with
+                    | Some child ->
+                        pr "%s%s/ -> domain %s (pid %d)" indent component
+                          (Domain_server.name child)
+                          (Vkernel.Pid.to_int spec.Context.server);
+                        print_node child Domain_server.apex (indent ^ "  ")
+                    | None ->
+                        pr "%s%s/ -> foreign domain pid %d" indent component
+                          (Vkernel.Pid.to_int spec.Context.server))
+                | Domain_server.Bound spec ->
+                    pr "%s%s -> pid %d ctx %d (object server)" indent component
+                      (Vkernel.Pid.to_int spec.Context.server)
+                      spec.Context.context)
+              (Domain_server.entries ds ~ctx ())
+          in
+          pr "[%s] root = domain %s (pid %d)" domains_prefix
+            (Domain_server.name st.chain.(0))
+            (Vkernel.Pid.to_int (Domain_server.pid st.chain.(0)));
+          print_node st.chain.(0) Domain_server.apex "  ";
+          Ok ())
+  | [ "resolve"; name ] ->
+      with_tree (fun st ->
+          match Resolver.resolve st.resolver (Runtime.self sh.env) name with
+          | Error e -> Error e
+          | Ok o ->
+              pr "%s -> pid %d ctx %d at index %d (%d query(ies)%s)" name
+                (Vkernel.Pid.to_int o.Resolver.spec.Context.server)
+                o.Resolver.spec.Context.context o.Resolver.index
+                o.Resolver.queries
+                (if o.Resolver.served_stale then ", served stale"
+                 else if o.Resolver.queries = 0 then ", from cache"
+                 else "");
+              Ok ())
+  | [ "ttl" ] ->
+      with_tree (fun st ->
+          pr "resolver TTLs: positive %.0f ms, negative %.0f ms, stale window \
+              %.0f ms"
+            st.d_ttl_ms st.d_neg_ttl_ms st.d_stale_window_ms;
+          let s = Resolver.stats st.resolver in
+          pr "  walks %d  cache answers %d  negative answers %d  stale serves \
+              %d  queries %d  referrals %d  loops %d  failures %d"
+            s.Resolver.walks s.Resolver.cache_answers s.Resolver.neg_answers
+            s.Resolver.stale_serves s.Resolver.queries s.Resolver.referrals
+            s.Resolver.loops s.Resolver.failures;
+          let now = Vsim.Engine.now t.Scenario.engine in
+          List.iter
+            (fun (key, value, expires) ->
+              pr "  %-28s %a%s" key Name_cache.pp_value value
+                (match expires with
+                | None -> "  (no ttl)"
+                | Some at when at >= now -> Fmt.str "  expires in %.0f ms" (at -. now)
+                | Some at -> Fmt.str "  expired %.0f ms ago" (now -. at)))
+            (Name_cache.dump (Resolver.cache st.resolver));
+          Ok ())
+  | _ ->
+      Error
+        (Vio.Verr.Protocol
+           "usage: domains on [DEPTH] | domains off | domains tree | domains \
+            resolve NAME | domains ttl")
+
 (* Aligned-column rendering for the metrics tables: first column
    left-aligned, the rest right-aligned, widths fitted to content so
    the output is stable and diffable across runs. *)
@@ -610,6 +770,7 @@ let commands :
     ("netstat", "— wire and transaction counters", cmd_netstat);
     ("fault", "plan|inject SEED [MS] | status — seeded fault injection", cmd_fault);
     ("replicas", "on [N] [rr|nearest] | off | status — replicated [rstore]", cmd_replicas);
+    ("domains", "on [DEPTH] | off | tree | resolve NAME | ttl — federated name domains", cmd_domains);
     ("trace", "[ID] — span tree of the last (or given) traced request", cmd_trace);
     ("cache", "[on|off|stats] — the name-resolution cache", cmd_cache);
     ("metrics", "[json] — observability counters and histograms", cmd_metrics);
@@ -664,6 +825,15 @@ let demo_script =
     "cat [fs1]borrowed/naming.mss";
     "cache stats";
     "cache off";
+    "echo -- federated name domains --";
+    "domains on 3";
+    "domains tree";
+    "write [fs0]tmp/fed.txt reached through the domain tree";
+    "cat [dom]d1/d2/leaf/tmp/fed.txt";
+    "domains resolve [dom]d1/d2/leaf/tmp/fed.txt";
+    "cat [dom]d1/d2/leaf/tmp/fed.txt";
+    "domains ttl";
+    "domains off";
     "echo -- diverse objects, one interface --";
     "print naming.ps A4 output of the naming paper";
     "tell console executive started";
@@ -714,7 +884,14 @@ let run_shell script =
   ignore
     (Scenario.spawn_client t ~ws:0 ~name:"vsh" (fun _self env ->
          let sh =
-           { env; scenario = t; failed = 0; injector = None; replicas = None }
+           {
+             env;
+             scenario = t;
+             failed = 0;
+             injector = None;
+             replicas = None;
+             domains = None;
+           }
          in
          List.iter (execute sh) script;
          if sh.failed > 0 then begin

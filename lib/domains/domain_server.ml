@@ -1,0 +1,338 @@
+(* A name-domain server: one node of the hierarchical federated name
+   tree.
+
+   A domain server is a CSNH server whose only objects are naming
+   entries: each context is a table mapping component names to local
+   sub-contexts, to child domain servers (delegations), or to leaf
+   bindings into object servers (the domain/object boundary). Under the
+   ordinary protocol it behaves exactly like any §5.4 server — crossing
+   into a child delegation or a leaf binding becomes request forwarding,
+   so a client without a resolver walks the whole tree transparently,
+   one Forward per level.
+
+   The iterative mode is what a caching {!Resolver} speaks: a
+   MapContext request carrying the [P_resolve_step] marker asks the
+   server to interpret as far as it can and then *answer* instead of
+   forwarding. Crossing into a child domain yields a [P_referral] reply
+   whose delegation record rides the standard {!Vmsg.binding} stamp —
+   (how far interpretation reached, which (server, context) continues
+   it) — the same zero-wire-byte path caching clients already learn
+   bindings from. Crossing into a leaf binding, or ending on this
+   server, yields a terminal [P_context_spec] reply, also stamped. The
+   resolver follows referrals root-to-leaf itself, caching each one
+   with a TTL.
+
+   The delegation tables are configuration, durable across a crash the
+   way a file server's disk is: [restart_from] boots a fresh process
+   (new pid) over the surviving tables. Parents holding delegation
+   records to the old incarnation re-stitch via [set_entry] — the
+   revive hook's job, mirroring how logical prefix bindings re-resolve
+   restarted object servers. *)
+
+module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Calibration = Vnet.Calibration
+open Vnaming
+
+type Vmsg.payload += P_resolve_step | P_referral
+
+type entry =
+  | Subcontext of Context.id  (** a context on this same server *)
+  | Child of Context.spec  (** delegation to a child domain server *)
+  | Bound of Context.spec  (** leaf binding into an object server *)
+
+type t = {
+  ds_name : string;
+  contexts : (Context.id, (string, entry) Hashtbl.t) Hashtbl.t;
+  mutable next_ctx : Context.id;
+  stats : Csnh.server_stats;
+  mutable pid : Pid.t option;
+}
+
+let apex = Context.Well_known.default
+
+let name t = t.ds_name
+
+let pid t =
+  match t.pid with
+  | Some p -> p
+  | None -> failwith (Fmt.str "domain server %s not started" t.ds_name)
+
+let spec t ?(context = apex) () = Context.spec ~server:(pid t) ~context
+let stats t = t.stats
+let table t ctx = Hashtbl.find_opt t.contexts ctx
+
+(* --- building the tree (configuration, not protocol) --- *)
+
+let add_subcontext t ?(ctx = apex) component =
+  match table t ctx with
+  | None -> Error Reply.Bad_context
+  | Some tbl ->
+      if Hashtbl.mem tbl component then Error Reply.Duplicate_name
+      else begin
+        let id = t.next_ctx in
+        t.next_ctx <- id + 1;
+        Hashtbl.replace t.contexts id (Hashtbl.create 8);
+        Hashtbl.replace tbl component (Subcontext id);
+        Ok id
+      end
+
+(* Add or replace — replacement is how a parent re-stitches a
+   delegation to a revived child's new pid. *)
+let set_entry t ?(ctx = apex) component entry =
+  match table t ctx with
+  | None -> Error Reply.Bad_context
+  | Some tbl ->
+      Hashtbl.replace tbl component entry;
+      Ok ()
+
+let delegate t ?ctx component child = set_entry t ?ctx component (Child child)
+let bind t ?ctx component target = set_entry t ?ctx component (Bound target)
+
+let remove_entry t ?(ctx = apex) component =
+  match table t ctx with
+  | None -> Error Reply.Bad_context
+  | Some tbl ->
+      if Hashtbl.mem tbl component then begin
+        Hashtbl.remove tbl component;
+        Ok ()
+      end
+      else Error Reply.Not_found
+
+let entries t ?(ctx = apex) () =
+  match table t ctx with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- the CSNH view --- *)
+
+let valid_context t ctx = Hashtbl.mem t.contexts ctx
+
+let lookup t ctx component =
+  match table t ctx with
+  | None -> Csnh.Stop
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl component with
+      | Some (Subcontext id) -> Csnh.Descend id
+      | Some (Child spec) | Some (Bound spec) -> Csnh.Cross spec
+      | None -> Csnh.Stop)
+
+let describe_entry t component = function
+  | Subcontext id ->
+      Descriptor.make ~obj_type:Descriptor.Directory
+        ~size:(match table t id with Some tbl -> Hashtbl.length tbl | None -> 0)
+        ~owner:t.ds_name component
+  | Child _ | Bound _ ->
+      Descriptor.make ~obj_type:Descriptor.Directory ~size:0 ~owner:t.ds_name
+        component
+
+(* Requests whose interpretation ended on this server under the
+   ordinary (recursive) protocol. *)
+let handle_csname t (msg : Vmsg.t) ctx remaining =
+  let open Vmsg in
+  if msg.code = Op.map_context then
+    match remaining with
+    | [] ->
+        ok
+          ~payload:
+            (P_context_spec (Context.spec ~server:(pid t) ~context:ctx))
+          ()
+    | _ :: _ -> reply Reply.Not_found
+  else if msg.code = Op.query_name then
+    match remaining with
+    | [] ->
+        ok
+          ~payload:
+            (P_descriptor
+               (Descriptor.make ~obj_type:Descriptor.Directory
+                  ~size:
+                    (match table t ctx with
+                    | Some tbl -> Hashtbl.length tbl
+                    | None -> 0)
+                  ~owner:t.ds_name
+                  (Fmt.str "domain:%s" t.ds_name)))
+          ()
+    | [ component ] -> (
+        match table t ctx with
+        | None -> reply Reply.Bad_context
+        | Some tbl -> (
+            match Hashtbl.find_opt tbl component with
+            | Some e -> ok ~payload:(P_descriptor (describe_entry t component e)) ()
+            | None -> reply Reply.Not_found))
+    | _ :: _ -> reply Reply.Not_found
+  else if msg.code = Op.add_context_name then
+    match (remaining, msg.payload) with
+    | [ component ], P_context_spec target -> (
+        match table t ctx with
+        | None -> reply Reply.Bad_context
+        | Some tbl ->
+            if Hashtbl.mem tbl component then reply Reply.Duplicate_name
+            else begin
+              Hashtbl.replace tbl component (Bound target);
+              ok ()
+            end)
+    | _ -> reply Reply.Bad_operation
+  else if msg.code = Op.delete_context_name then
+    match remaining with
+    | [ component ] -> (
+        match table t ctx with
+        | None -> reply Reply.Bad_context
+        | Some tbl -> (
+            match Hashtbl.find_opt tbl component with
+            | Some (Child _ | Bound _) ->
+                Hashtbl.remove tbl component;
+                ok ()
+            | Some (Subcontext _) -> reply Reply.No_permission
+            | None -> reply Reply.Not_found))
+    | _ -> reply Reply.Not_found
+  else reply Reply.Bad_operation
+
+(* --- the iterative step ---
+
+   Interpret as far as this server can, then answer: a referral (the
+   walk crossed into a child domain), a terminal binding (it crossed
+   the domain/object boundary, or ended on a context here), or the
+   failure code. Costs are charged exactly like the generic loop's, so
+   an iterative walk of the tree prices each level identically to a
+   recursive hop. *)
+let handle_step t self ~sender (req : Csname.req) =
+  let domain = Kernel.domain_of_self self in
+  let engine = Kernel.engine_of_domain domain in
+  let now () = Vsim.Engine.now engine in
+  let charge ms = if ms > 0.0 then Vsim.Proc.delay engine ms in
+  let hub = Kernel.obs domain in
+  let metric op =
+    match hub with
+    | None -> ()
+    | Some h ->
+        Vobs.Metrics.incr (Vobs.Hub.metrics h)
+          ~host:(Kernel.self_host_name self)
+          ~server:(Kernel.self_name self) ~op
+  in
+  Vsim.Stats.Counter.incr t.stats.requests;
+  metric "ResolveStep";
+  let t0 = now () in
+  let span =
+    match hub with
+    | None -> None
+    | Some h ->
+        Vobs.Hub.start_span h ~ctx:req.Csname.trace ~now:t0 ~op:"ResolveStep"
+          ~host:(Kernel.self_host_name self)
+          ~server:(Kernel.self_name self)
+          ~pid:(Pid.to_int (Kernel.self_pid self))
+          ~context:req.Csname.context ~index_from:req.Csname.index
+  in
+  let finish ?index_to outcome =
+    match (hub, span) with
+    | Some h, Some s -> Vobs.Hub.finish h s ~now:(now ()) ?index_to ~outcome ()
+    | _ -> ()
+  in
+  charge Calibration.csname_common_cpu;
+  (* Record which entry kind caused a Cross, to tell a referral from a
+     terminal leaf binding. *)
+  let crossed_child = ref false in
+  let lookup ctx component =
+    metric "lookup";
+    charge Calibration.component_lookup_cpu;
+    let r = lookup t ctx component in
+    (match (r, table t ctx) with
+    | Csnh.Cross _, Some tbl -> (
+        match Hashtbl.find_opt tbl component with
+        | Some (Child _) -> crossed_child := true
+        | Some _ | None -> crossed_child := false)
+    | _ -> ());
+    r
+  in
+  let reply_with m = ignore (Kernel.reply self ~to_:sender m) in
+  match Csnh.walk ~valid_context:(valid_context t) ~lookup req with
+  | Csnh.Fail code ->
+      finish (Reply.to_string code);
+      reply_with (Vmsg.reply code)
+  | Csnh.Forward (spec, req') ->
+      let upto = req'.Csname.index in
+      if !crossed_child then begin
+        metric "referral";
+        finish ~index_to:upto "referral";
+        reply_with
+          (Vmsg.with_binding
+             (Vmsg.ok ~payload:P_referral ())
+             { Vmsg.upto; spec })
+      end
+      else begin
+        metric "terminal";
+        finish ~index_to:upto "terminal";
+        reply_with
+          (Vmsg.with_binding
+             (Vmsg.ok ~payload:(Vmsg.P_context_spec spec) ())
+             { Vmsg.upto; spec })
+      end
+  | Csnh.Local (ctx, []) ->
+      let s = Context.spec ~server:(Kernel.self_pid self) ~context:ctx in
+      let upto = String.length req.Csname.name in
+      metric "terminal";
+      finish ~index_to:upto "terminal";
+      reply_with
+        (Vmsg.with_binding
+           (Vmsg.ok ~payload:(Vmsg.P_context_spec s) ())
+           { Vmsg.upto; spec = s })
+  | Csnh.Local (_, _ :: _) ->
+      (* Components remain but none of them names a domain entry. *)
+      finish (Reply.to_string Reply.Not_found);
+      reply_with (Vmsg.reply Reply.Not_found)
+
+let is_resolve_step (msg : Vmsg.t) =
+  (not msg.Vmsg.is_reply)
+  && msg.Vmsg.code = Vmsg.Op.map_context
+  && (match msg.Vmsg.payload with P_resolve_step -> true | _ -> false)
+
+(* --- the serving process --- *)
+
+let spawn_server host t =
+  let handlers =
+    {
+      Csnh.valid_context = valid_context t;
+      lookup = lookup t;
+      handle_csname =
+        (fun ~sender:_ msg _req ctx remaining -> handle_csname t msg ctx remaining);
+      handle_other = (fun ~sender:_ _ -> None);
+    }
+  in
+  let server_pid =
+    Kernel.spawn host ~name:t.ds_name (fun self ->
+        let rec loop () =
+          let msg, sender = Kernel.receive self in
+          (if is_resolve_step msg then
+             match msg.Vmsg.name with
+             | Some req -> handle_step t self ~sender req
+             | None ->
+                 ignore (Kernel.reply self ~to_:sender (Vmsg.reply Reply.Illegal_name))
+           else Csnh.handle_request self handlers t.stats ~sender msg);
+          loop ()
+        in
+        loop ())
+  in
+  t.pid <- Some server_pid
+
+let start host ~name () =
+  let t =
+    {
+      ds_name = name;
+      contexts = Hashtbl.create 8;
+      next_ctx = Context.Well_known.first_ordinary;
+      stats = Csnh.make_stats name;
+      pid = None;
+    }
+  in
+  Hashtbl.replace t.contexts apex (Hashtbl.create 8);
+  spawn_server host t;
+  t
+
+(* Boot a fresh process over the surviving delegation tables of a
+   crashed incarnation: new pid, same configuration. Parents holding
+   delegation records to the old pid re-stitch via [set_entry]. *)
+let restart_from old host () =
+  let t = { old with pid = None } in
+  spawn_server host t;
+  t

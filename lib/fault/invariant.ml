@@ -17,8 +17,10 @@
    report all of them in one artifact. *)
 
 module Kernel = Vkernel.Kernel
+module Pid = Vkernel.Pid
 module Runtime = Vruntime.Runtime
 module File_server = Vservices.File_server
+module Resolver = Vdomains.Resolver
 module Scenario = Vworkload.Scenario
 module Vmsg = Vnaming.Vmsg
 
@@ -159,6 +161,85 @@ let replica_divergence (t : Scenario.t) ~members ~names =
    each name and runs the simulation until the probes finish: each must
    resolve to a live server process. Call it after the fault plan has
    fully healed (a generated plan always has, by its horizon). *)
+(* [tree_convergence t ~root ~prefix ~names] is the domain-tree
+   analogue of [convergence]: after every fault has healed, a COLD
+   resolver (empty cache, stale-serving disabled) on every workstation
+   must walk the federated tree from [root] and resolve each name to a
+   live server, with no stale answers, and every workstation must get
+   the same (server, context) answer — a revived mid-tree domain whose
+   parent failed to re-stitch its delegation record, or a partitioned
+   view of the tree, shows up here as a disagreement or a dead-server
+   resolution. *)
+let tree_convergence (t : Scenario.t) ~root ~prefix ~names =
+  let violations = ref [] in
+  let fail ws name reason =
+    violations :=
+      {
+        invariant = "tree-convergence";
+        detail = Fmt.str "ws%d: %S %s" ws name reason;
+      }
+      :: !violations
+  in
+  let answers : (string, (int * string) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let record name ws answer =
+    let l =
+      match Hashtbl.find_opt answers name with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace answers name l;
+          l
+    in
+    l := (ws, answer) :: !l
+  in
+  Array.iteri
+    (fun ws (_ : Scenario.workstation) ->
+      ignore
+        (Scenario.spawn_client t ~ws ~name:(Fmt.str "tree-probe%d" ws)
+           (fun self (_ : Runtime.env) ->
+             let resolver = Resolver.create ~prefix ~root () in
+             List.iter
+               (fun name ->
+                 match Resolver.resolve resolver self name with
+                 | Error e -> fail ws name (Fmt.str "failed: %a" Vio.Verr.pp e)
+                 | Ok o ->
+                     if o.Resolver.served_stale then
+                       fail ws name "served stale post-heal"
+                     else begin
+                       let spec = o.Resolver.spec in
+                       let server = spec.Vnaming.Context.server in
+                       if
+                         not
+                           (Kernel.alive (Kernel.domain_of_self self) server)
+                       then fail ws name "resolved to a dead server"
+                       else
+                         record name ws
+                           (Fmt.str "pid %d ctx %a" (Pid.to_int server)
+                              Vnaming.Context.pp_id
+                              spec.Vnaming.Context.context)
+                     end)
+               names)))
+    Scenario.(t.workstations);
+  Scenario.run t;
+  (* Cross-workstation agreement over the successful answers. *)
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt answers name with
+      | None -> ()
+      | Some l -> (
+          match List.sort compare !l with
+          | [] -> ()
+          | (_, first) :: _ as sorted ->
+              List.iter
+                (fun (ws, a) ->
+                  if a <> first then
+                    fail ws name (Fmt.str "resolved to %s, expected %s" a first))
+                sorted))
+    names;
+  List.rev !violations
+
 let convergence (t : Scenario.t) ~names =
   let violations = ref [] in
   let fail ws name reason =

@@ -24,6 +24,20 @@ val no_orphan_instances : Vservices.File_server.t list -> violation list
     healed. *)
 val convergence : Vworkload.Scenario.t -> names:string list -> violation list
 
+(** The domain-tree analogue of {!convergence}: after every fault has
+    healed, a cold resolver (empty cache, stale-serving disabled) on
+    every workstation must walk the federated tree from [root] and
+    resolve each name to a live server with no stale answers, and all
+    workstations must agree on the (server, context) each name maps
+    to. An un-restitched delegation to a dead incarnation, or a
+    partitioned view of the tree, surfaces here. *)
+val tree_convergence :
+  Vworkload.Scenario.t ->
+  root:Vnaming.Context.spec ->
+  prefix:string ->
+  names:string list ->
+  violation list
+
 (** Probe every replica member directly with a MapContext for each name
     and require identical answers — same reply code and, on success,
     same (inode-derived) context id; member pids are ignored. Call after

@@ -44,6 +44,11 @@ type env = {
      when [name_cache_enabled]. *)
   mutable name_cache_enabled : bool;
   mutable name_cache : Name_cache.t;
+  (* The per-host caching resolver role ({!Vdomains.Resolver}); when
+     set, '[prefix]'-absolute names it [handles] are resolved by an
+     iterative walk of the federated domain tree instead of the prefix
+     server, with TTL/negative/stale caching. Off ([None]) by default. *)
+  mutable resolver : Vdomains.Resolver.t option;
   (* The resilience policy ([Vio.Resilience]); off ([None]) by default.
      The PRNG drives backoff jitter only, so a seeded run replays the
      exact retry schedule. *)
@@ -72,6 +77,10 @@ let enable_prefix_cache env flag = enable_name_cache env flag
 
 let name_cache env = env.name_cache
 let name_cache_stats env = Name_cache.stats env.name_cache
+
+let set_resolver env r = env.resolver <- Some r
+let clear_resolver env = env.resolver <- None
+let resolver env = env.resolver
 let cache_hit_count env = (name_cache_stats env).Name_cache.hits
 let cache_stale_count env = (name_cache_stats env).Name_cache.stale
 
@@ -100,6 +109,7 @@ let make self ~current =
           rebinding = false;
           name_cache_enabled = false;
           name_cache = Name_cache.create ();
+          resolver = None;
           resilience = None;
           retry_prng = Vsim.Prng.create ~seed:1;
           rstats = { retries = 0; retried_ok = 0; unavailable = 0 };
@@ -273,31 +283,62 @@ let skip_separators name i =
   in
   loop i
 
+(* The prefix-server leg of routing: deepest cached prefix when the
+   cache is on, the workstation's prefix server otherwise. *)
+let route_prefixed env name req =
+  let cached =
+    if env.name_cache_enabled then Name_cache.find env.name_cache name
+    else None
+  in
+  match cached with
+  | Some (key, spec) ->
+      (* Deepest cached prefix: start interpretation just past it, in
+         the cached context, directly at the implementing server. *)
+      obs_runtime_metric env "cache-hit";
+      {
+        target = spec.Context.server;
+        req =
+          {
+            req with
+            Csname.index = skip_separators name (String.length key);
+            context = spec.Context.context;
+          };
+        cached_prefix = Some key;
+      }
+  | None ->
+      if env.name_cache_enabled then obs_runtime_metric env "cache-miss";
+      { target = env.prefix_server; req; cached_prefix = None }
+
 let route env name =
   let req = Csname.make_req name in
   if Csname.starts_with_prefix req then begin
-    let cached =
-      if env.name_cache_enabled then Name_cache.find env.name_cache name
-      else None
-    in
-    match cached with
-    | Some (key, spec) ->
-        (* Deepest cached prefix: start interpretation just past it, in
-           the cached context, directly at the implementing server. *)
-        obs_runtime_metric env "cache-hit";
-        {
-          target = spec.Context.server;
-          req =
+    match env.resolver with
+    | Some r when Vdomains.Resolver.handles r name -> (
+        (* The resolver role: an iterative walk of the domain tree
+           (cached, TTL'd), landing the request directly where
+           interpretation continues. On any resolver failure, fall back
+           to the prefix-server route so the operation still gets its
+           authoritative answer. *)
+        match Vdomains.Resolver.resolve r env.self name with
+        | Ok o ->
+            let open Vdomains.Resolver in
+            obs_runtime_metric env
+              (if o.queries = 0 then "resolver-hit" else "resolver-walk");
+            if o.served_stale then obs_runtime_metric env "resolver-stale";
             {
-              req with
-              Csname.index = skip_separators name (String.length key);
-              context = spec.Context.context;
-            };
-          cached_prefix = Some key;
-        }
-    | None ->
-        if env.name_cache_enabled then obs_runtime_metric env "cache-miss";
-        { target = env.prefix_server; req; cached_prefix = None }
+              target = o.spec.Context.server;
+              req =
+                {
+                  req with
+                  Csname.index = o.index;
+                  context = o.spec.Context.context;
+                };
+              cached_prefix = o.cache_key;
+            }
+        | Error _ ->
+            obs_runtime_metric env "resolver-fallback";
+            route_prefixed env name req)
+    | Some _ | None -> route_prefixed env name req
   end
   else
     {
@@ -344,17 +385,24 @@ let note_failover env ~root ~last_target ~failovers (r : route) =
    with the current context, so a string-keyed binding for it would be
    wrong the moment the program changed context. *)
 let learn_from_reply env name (binding : Vmsg.binding option) =
-  if
-    env.name_cache_enabled
-    && String.length name > 0
-    && name.[0] = Csname.prefix_open
-  then
+  if String.length name > 0 && name.[0] = Csname.prefix_open then
     match binding with
     | Some { Vmsg.upto; spec } when upto > 0 && upto <= String.length name ->
-        (match Name_cache.learn env.name_cache (String.sub name 0 upto) spec with
-        | Some _evicted -> obs_runtime_metric env "cache-evict"
-        | None -> ());
-        obs_runtime_metric env "cache-learn"
+        let key = String.sub name 0 upto in
+        (* A resolver learns the stamp too (under its TTL): a forward
+           chain's landing point short-cuts the next walk. *)
+        (match env.resolver with
+        | Some r when Vdomains.Resolver.handles r name ->
+            Vdomains.Resolver.learn r
+              ~now:(Vsim.Engine.now (engine env))
+              key spec
+        | Some _ | None -> ());
+        if env.name_cache_enabled then begin
+          (match Name_cache.learn env.name_cache key spec with
+          | Some _evicted -> obs_runtime_metric env "cache-evict"
+          | None -> ());
+          obs_runtime_metric env "cache-learn"
+        end
     | _ -> ()
 
 (* Run [attempt] along routes for [name], generalizing the stale-retry
@@ -367,7 +415,12 @@ let learn_from_reply env name (binding : Vmsg.binding option) =
    retrying through it can succeed. If every attempt fails, the first
    error is returned, as before. *)
 let with_stale_retry env name ~first attempt =
-  let rec go r ~fresh_retried ~first_err =
+  let resolver_handled =
+    match env.resolver with
+    | Some r -> Vdomains.Resolver.handles r name
+    | None -> false
+  in
+  let rec go r ~fresh_retried ~resolver_retried ~first_err =
     match attempt r with
     | Ok _ as ok -> ok
     | Error e -> (
@@ -383,16 +436,35 @@ let with_stale_retry env name ~first attempt =
         in
         match r.cached_prefix with
         | Some key when stale_signal ->
+            (* On-use invalidation reaches whichever cache supplied the
+               binding: the key lives in the resolver's cache for
+               resolver-routed names, in the client name cache
+               otherwise. *)
             ignore (Name_cache.invalidate env.name_cache key);
+            (match env.resolver with
+            | Some res when resolver_handled ->
+                ignore (Vdomains.Resolver.invalidate res key)
+            | Some _ | None -> ());
             obs_runtime_metric env "cache-stale";
-            go (route env name) ~fresh_retried ~first_err
+            if resolver_handled && resolver_retried then
+              (* A fresh walk already re-derived this binding and it
+                 still failed: the tree's answer is wrong (a dead leaf
+                 server), not stale. Unlike the name cache there is no
+                 shallower level to fall back to, so drop to the
+                 uncached prefix-server route of last resort. *)
+              go (route_uncached env name) ~fresh_retried:true
+                ~resolver_retried ~first_err
+            else
+              go (route env name) ~fresh_retried ~resolver_retried:true
+                ~first_err
         | _ ->
             let ipc = match e with Vio.Verr.Ipc _ -> true | _ -> false in
             if ipc && env.name_cache_enabled && not fresh_retried then
-              go (route_uncached env name) ~fresh_retried:true ~first_err
+              go (route_uncached env name) ~fresh_retried:true
+                ~resolver_retried ~first_err
             else Error (Option.value first_err ~default:e))
   in
-  go first ~fresh_retried:false ~first_err:None
+  go first ~fresh_retried:false ~resolver_retried:false ~first_err:None
 
 (* Send a CSname request along the route; on a failure that suggests a
    stale cached binding, invalidate, fall back and retry. *)

@@ -157,6 +157,28 @@ val name_cache : env -> Vnaming.Name_cache.t
     change), from when the cache held only whole '[prefix]' bindings. *)
 val enable_prefix_cache : env -> bool -> unit
 
+(** {1 The caching resolver role (federated name domains)}
+
+    With a {!Vdomains.Resolver} installed, '[prefix]'-absolute names
+    the resolver {!Vdomains.Resolver.handles} are routed by an
+    iterative walk of the federated domain tree — root to leaf,
+    following delegation referrals, with TTL / negative / stale-serving
+    caching — instead of through the prefix server. All other names
+    route exactly as before; with no resolver set, behaviour and PRNG
+    draws are bit-identical to the seed. On-use consistency extends to
+    the resolver: a binding it supplied that demonstrably failed is
+    invalidated and re-derived by a fresh walk (once; then the uncached
+    prefix-server route of last resort). Bindings servers stamp into
+    successful replies feed the resolver's cache under its TTL.
+
+    Routing counters land under (workstation, "runtime",
+    "resolver-hit" | "resolver-walk" | "resolver-stale" |
+    "resolver-fallback"). *)
+
+val set_resolver : env -> Vdomains.Resolver.t -> unit
+val clear_resolver : env -> unit
+val resolver : env -> Vdomains.Resolver.t option
+
 (** Convenience accessors over {!name_cache_stats}; prefer the
     [Vobs.Metrics] counters for new code. *)
 val cache_hit_count : env -> int

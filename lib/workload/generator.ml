@@ -47,21 +47,60 @@ let relative path =
 (* An operation mix for the comparison workload. *)
 type op = Open_read of string | Query of string | Delete of string
 
+(* Zipf name popularity: rank i (0-based) drawn with probability
+   proportional to (i+1)^-s. The cumulative distribution is
+   precomputed once; each sample is then one PRNG float draw and a
+   binary search — the same single-draw budget as a uniform pick. *)
+let zipf_cumulative ?(s = 1.0) n =
+  if n < 1 then invalid_arg "Generator.zipf_cumulative: n < 1";
+  let w = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) (-.s)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. x;
+      cum.(i) <- !acc /. total)
+    w;
+  (* Close the distribution exactly, against rounding. *)
+  cum.(n - 1) <- 1.0;
+  cum
+
+let zipf_pick prng cum =
+  let u = Vsim.Prng.float prng in
+  (* The smallest rank whose cumulative weight exceeds the draw. *)
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if u < cum.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 (* [locality] is the probability an operation targets the small hot set
-   (the first [hot_set] paths) instead of drawing uniformly. At the
-   default 0.0 no extra PRNG draw is made, so streams generated before
-   the knob existed are reproduced bit-for-bit. *)
-let operation_stream ?(locality = 0.0) ?(hot_set = 8) prng paths ~n
-    ~delete_fraction =
+   (the first [hot_set] paths) instead of drawing uniformly. [zipf], when
+   positive, is the exponent of a Zipf popularity distribution over the
+   paths (rank = position in [paths]) replacing the uniform draw. At the
+   defaults (0.0) no extra PRNG draw is made and the uniform path is
+   taken, so streams generated before either knob existed are reproduced
+   bit-for-bit. *)
+let operation_stream ?(locality = 0.0) ?(hot_set = 8) ?(zipf = 0.0) prng paths
+    ~n ~delete_fraction =
   let paths = Array.of_list paths in
   if Array.length paths = 0 then []
   else
     let hot = min hot_set (Array.length paths) in
+    let zipf_cum =
+      if zipf > 0.0 then Some (zipf_cumulative ~s:zipf (Array.length paths))
+      else None
+    in
     List.init n (fun _ ->
         let path =
           if locality > 0.0 && hot > 0 && Vsim.Prng.float prng < locality then
             paths.(Vsim.Prng.int prng hot)
-          else paths.(Vsim.Prng.int prng (Array.length paths))
+          else
+            match zipf_cum with
+            | Some cum -> paths.(zipf_pick prng cum)
+            | None -> paths.(Vsim.Prng.int prng (Array.length paths))
         in
         let roll = Vsim.Prng.float prng in
         if roll < delete_fraction then Delete path

@@ -19,15 +19,27 @@ val relative : string -> string
 
 type op = Open_read of string | Query of string | Delete of string
 
+(** The cumulative Zipf distribution over [n] ranks with exponent [s]
+    (default 1.0): rank i (0-based) has weight proportional to
+    [(i+1)^-s]. Raises [Invalid_argument] when [n < 1]. *)
+val zipf_cumulative : ?s:float -> int -> float array
+
+(** Draw a rank from a precomputed {!zipf_cumulative} — exactly one
+    PRNG float draw per sample. *)
+val zipf_pick : Vsim.Prng.t -> float array -> int
+
 (** [n] operations drawn over the given paths with the given fraction of
     deletes (the rest split between queries and opens). [locality] is
     the probability an operation targets the hot set (the first
-    [hot_set] paths, default 8) instead of drawing uniformly; at the
-    default 0.0 no extra PRNG draw is made, so pre-existing streams are
-    reproduced bit-for-bit. *)
+    [hot_set] paths, default 8) instead of drawing uniformly. [zipf],
+    when positive, is the exponent of a Zipf popularity distribution
+    over the paths (rank = list position) replacing the uniform draw.
+    At the defaults (0.0) neither knob makes an extra PRNG draw, so
+    pre-existing streams are reproduced bit-for-bit. *)
 val operation_stream :
   ?locality:float ->
   ?hot_set:int ->
+  ?zipf:float ->
   Vsim.Prng.t ->
   string list ->
   n:int ->

@@ -1,0 +1,349 @@
+(* Tests for the federated name domains: the TTL-aware Name_cache
+   extensions (expiry, negative entries, stale candidates), and the
+   caching resolver role — iterative delegation walks, negative
+   caching, the stale-serving window, and the delegation-cycle
+   guard. *)
+
+module K = Vkernel.Kernel
+module Pid = Vkernel.Pid
+module Scenario = Vworkload.Scenario
+module Runtime = Vruntime.Runtime
+module File_server = Vservices.File_server
+module Domain_server = Vdomains.Domain_server
+module Resolver = Vdomains.Resolver
+open Vnaming
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %a" what Vio.Verr.pp e
+
+let fail_ds what = function
+  | Ok v -> v
+  | Error code -> Alcotest.failf "%s failed: %a" what Reply.pp code
+
+(* Build a scenario, run [body] as a client on ws0, require completion. *)
+let run_client ?(build = fun () -> Scenario.build ()) body =
+  let t = build () in
+  let completed = ref false in
+  ignore
+    (Scenario.spawn_client t ~ws:0 (fun self env ->
+         body t self env;
+         completed := true));
+  Scenario.run t;
+  Alcotest.(check bool) "client completed" true !completed;
+  t
+
+let spec n =
+  Context.spec
+    ~server:(Pid.make ~logical_host:1 ~local_pid:n)
+    ~context:Context.Well_known.default
+
+(* Domain-server hosts live clear of the scenario's address plan
+   (workstations 1+, file servers 100+, utility hosts 200+). *)
+let dom_addr i = 50 + i
+
+(* dom0 (the root) delegates "d1" to dom1, ..., the last binds "leaf"
+   into [leaf_target] — the e11 chain, sized for tests. *)
+let build_chain t ~depth ~leaf_target =
+  let servers =
+    Array.init depth (fun i ->
+        let name = Fmt.str "dom%d" i in
+        let host = K.boot_host Scenario.(t.domain) ~name (dom_addr i) in
+        Domain_server.start host ~name ())
+  in
+  for i = 0 to depth - 2 do
+    fail_ds "delegate"
+      (Domain_server.delegate servers.(i)
+         (Fmt.str "d%d" (i + 1))
+         (Domain_server.spec servers.(i + 1) ()))
+  done;
+  fail_ds "bind" (Domain_server.bind servers.(depth - 1) "leaf" leaf_target);
+  servers
+
+let fs_root t =
+  File_server.spec (Scenario.file_server t 0) ~context:Context.Well_known.default
+
+(* --- the TTL-aware cache: expiry --- *)
+
+let test_ttl_expiry () =
+  let c = Name_cache.create () in
+  ignore
+    (Name_cache.learn_at c ~now:0.0 ~ttl_ms:100.0 "[dom]a"
+       (Name_cache.Bound (spec 1)));
+  (* Within the TTL: fresh. *)
+  (match Name_cache.find_at c ~now:50.0 "[dom]a/x" with
+  | Some { Name_cache.hkey = "[dom]a"; hvalue = Bound _; hfresh = true; _ } ->
+      ()
+  | _ -> Alcotest.fail "expected a fresh bound hit");
+  (* Past the TTL: an expired binding is returned marked stale — the
+     stale-serving candidate — and stays cached. *)
+  (match Name_cache.find_at c ~now:200.0 "[dom]a/x" with
+  | Some { Name_cache.hvalue = Bound _; hfresh = false; hexpires_at = Some e; _ }
+    ->
+      Alcotest.(check (float 0.0)) "expiry stamp" 100.0 e
+  | _ -> Alcotest.fail "expected a stale bound hit");
+  Alcotest.(check int) "stale hit counted" 1
+    (Name_cache.stats c).Name_cache.stale_hits;
+  Alcotest.(check bool) "stale binding kept" true (Name_cache.mem c "[dom]a");
+  (* An expired referral is dropped on sight. *)
+  ignore
+    (Name_cache.learn_at c ~now:0.0 ~ttl_ms:100.0 "[dom]b"
+       (Name_cache.Delegation (spec 2)));
+  Alcotest.(check bool) "expired referral not returned" true
+    (Name_cache.find_at c ~now:500.0 "[dom]b/x" = None);
+  Alcotest.(check bool) "and evicted" false (Name_cache.mem c "[dom]b");
+  (* An entry without a TTL never expires. *)
+  ignore (Name_cache.learn_at c ~now:0.0 "[dom]c" (Name_cache.Bound (spec 3)));
+  match Name_cache.find_at c ~now:1e9 "[dom]c/x" with
+  | Some { Name_cache.hfresh = true; hexpires_at = None; _ } -> ()
+  | _ -> Alcotest.fail "TTL-less entry must stay fresh"
+
+(* --- negative entries: insertion, expiry, eviction --- *)
+
+let test_negative_insert_and_evict () =
+  let c = Name_cache.create ~capacity:2 () in
+  ignore
+    (Name_cache.learn_at c ~now:0.0 ~ttl_ms:100.0 "[dom]missing/f"
+       (Name_cache.Negative Reply.Not_found));
+  Alcotest.(check int) "negative counted in neg_size" 1
+    (Name_cache.stats c).Name_cache.neg_size;
+  (* Fresh: answers (and counts) as a negative hit. *)
+  (match Name_cache.find_at c ~now:50.0 "[dom]missing/f" with
+  | Some { Name_cache.hvalue = Negative Reply.Not_found; hfresh = true; _ } ->
+      ()
+  | _ -> Alcotest.fail "expected a fresh negative hit");
+  Alcotest.(check int) "neg hit counted" 1
+    (Name_cache.stats c).Name_cache.neg_hits;
+  (* Expired: dropped on sight, neg_size falls. *)
+  Alcotest.(check bool) "expired negative not returned" true
+    (Name_cache.find_at c ~now:300.0 "[dom]missing/f" = None);
+  Alcotest.(check int) "neg_size after expiry drop" 0
+    (Name_cache.stats c).Name_cache.neg_size;
+  (* Capacity eviction keeps the negative count honest. *)
+  ignore
+    (Name_cache.learn_at c ~now:0.0 ~ttl_ms:100.0 "[a]"
+       (Name_cache.Negative Reply.Bad_context));
+  ignore (Name_cache.learn_at c ~now:0.0 "[b]" (Name_cache.Bound (spec 1)));
+  Alcotest.(check (option string)) "negative is the LRU victim" (Some "[a]")
+    (Name_cache.learn_at c ~now:0.0 "[c]" (Name_cache.Bound (spec 2)));
+  Alcotest.(check int) "neg_size after eviction" 0
+    (Name_cache.stats c).Name_cache.neg_size;
+  (* Explicit invalidation decrements it too. *)
+  ignore
+    (Name_cache.learn_at c ~now:0.0 ~ttl_ms:100.0 "[d]"
+       (Name_cache.Negative Reply.Not_found));
+  Alcotest.(check bool) "invalidate finds it" true (Name_cache.invalidate c "[d]");
+  Alcotest.(check int) "neg_size after invalidate" 0
+    (Name_cache.stats c).Name_cache.neg_size
+
+(* --- construction validation --- *)
+
+let test_creation_validation () =
+  (match Name_cache.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected");
+  (match Name_cache.create ~capacity:(-3) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative capacity must be rejected");
+  let root = spec 1 in
+  (match Resolver.create ~ttl_ms:0.0 ~prefix:"dom" ~root () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ttl_ms 0 must be rejected");
+  (match Resolver.create ~neg_ttl_ms:(-1.0) ~prefix:"dom" ~root () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative neg_ttl_ms must be rejected");
+  (match Resolver.create ~stale_window_ms:(-1.0) ~prefix:"dom" ~root () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative stale window must be rejected");
+  match Resolver.create ~max_steps:0 ~prefix:"dom" ~root () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_steps 0 must be rejected"
+
+(* --- the iterative walk: one referral per level, terminal cached --- *)
+
+let test_iterative_walk_and_cache () =
+  ignore
+    (run_client (fun t self env ->
+         ok_exn "write"
+           (Runtime.write_file env "[fs0]tmp/dom.txt"
+              (Bytes.of_string "via the tree"));
+         let leaf = fs_root t in
+         let chain = build_chain t ~depth:3 ~leaf_target:leaf in
+         let r =
+           Resolver.create ~prefix:"dom"
+             ~root:(Domain_server.spec chain.(0) ())
+             ()
+         in
+         let name = "[dom]d1/d2/leaf/tmp/dom.txt" in
+         Alcotest.(check bool) "handles its prefix" true (Resolver.handles r name);
+         Alcotest.(check bool) "not other prefixes" false
+           (Resolver.handles r "[fs0]tmp/dom.txt");
+         let o = ok_exn "cold resolve" (Resolver.resolve r self name) in
+         Alcotest.(check int) "one query per level" 3 o.Resolver.queries;
+         Alcotest.(check bool) "not stale" false o.Resolver.served_stale;
+         Alcotest.(check bool) "lands on the object server" true
+           (o.Resolver.spec = leaf);
+         Alcotest.(check string) "rest interpreted by the file server"
+           "tmp/dom.txt"
+           (String.sub name o.Resolver.index
+              (String.length name - o.Resolver.index));
+         let s = Resolver.stats r in
+         Alcotest.(check int) "referrals followed" 2 s.Resolver.referrals;
+         Alcotest.(check int) "queries counted" 3 s.Resolver.queries;
+         (* Warm: the cached terminal binding answers with zero
+            queries. *)
+         let o2 = ok_exn "warm resolve" (Resolver.resolve r self name) in
+         Alcotest.(check int) "zero queries warm" 0 o2.Resolver.queries;
+         Alcotest.(check int) "cache answer counted" 1
+           (Resolver.stats r).Resolver.cache_answers;
+         (* Wired into the run-time, the name reads end to end. *)
+         Runtime.set_resolver env r;
+         let b = ok_exn "read through the tree" (Runtime.read_file env name) in
+         Alcotest.(check string) "same bytes" "via the tree"
+           (Bytes.to_string b)))
+
+(* --- negative caching: misses collapse to one query per TTL --- *)
+
+let test_negative_caching_collapses_misses () =
+  ignore
+    (run_client (fun t self env ->
+         let chain = build_chain t ~depth:2 ~leaf_target:(fs_root t) in
+         let r =
+           Resolver.create ~prefix:"dom"
+             ~root:(Domain_server.spec chain.(0) ())
+             ()
+         in
+         let missing = "[dom]d1/nope/f.txt" in
+         (match Resolver.resolve r self missing with
+         | Error (Vio.Verr.Denied Reply.Not_found) -> ()
+         | Ok _ -> Alcotest.fail "absent name must not resolve"
+         | Error e -> Alcotest.failf "expected Not_found, got %a" Vio.Verr.pp e);
+         let q1 = (Resolver.stats r).Resolver.queries in
+         for _ = 1 to 5 do
+           match Resolver.resolve r self missing with
+           | Error (Vio.Verr.Denied Reply.Not_found) -> ()
+           | _ -> Alcotest.fail "repeat miss must fail from the cache"
+         done;
+         let s = Resolver.stats r in
+         Alcotest.(check int) "no authoritative re-query while fresh" q1
+           s.Resolver.queries;
+         Alcotest.(check int) "answered from the negative entry" 5
+           s.Resolver.neg_answers;
+         (* Past the negative TTL the next miss re-queries — resuming
+            at the still-fresh cached delegation, one query. *)
+         Vsim.Proc.delay (Runtime.engine env)
+           (Resolver.default_neg_ttl_ms +. 100.0);
+         (match Resolver.resolve r self missing with
+         | Error (Vio.Verr.Denied Reply.Not_found) -> ()
+         | _ -> Alcotest.fail "expired negative must re-query");
+         Alcotest.(check int) "exactly one fresh query" (q1 + 1)
+           (Resolver.stats r).Resolver.queries))
+
+(* --- the stale-serving window --- *)
+
+let test_stale_serving_window () =
+  ignore
+    (run_client (fun t self env ->
+         let chain = build_chain t ~depth:1 ~leaf_target:(fs_root t) in
+         let root = Domain_server.spec chain.(0) () in
+         let stale =
+           Resolver.create ~ttl_ms:200.0 ~stale_window_ms:10_000.0 ~prefix:"dom"
+             ~root ()
+         in
+         let windowless =
+           Resolver.create ~ttl_ms:200.0 ~prefix:"dom" ~root ()
+         in
+         let name = "[dom]leaf/tmp/s.txt" in
+         ignore (ok_exn "warm stale-capable" (Resolver.resolve stale self name));
+         ignore (ok_exn "warm windowless" (Resolver.resolve windowless self name));
+         (* Let both cached bindings expire, then take the tree down. *)
+         Vsim.Proc.delay (Runtime.engine env) 500.0;
+         K.crash_host
+           (Option.get (K.host_of_addr t.Scenario.domain (dom_addr 0)));
+         (* The refresh fails; inside the window the expired binding is
+            served anyway, tagged. *)
+         let o = ok_exn "stale serve" (Resolver.resolve stale self name) in
+         Alcotest.(check bool) "tagged stale" true o.Resolver.served_stale;
+         Alcotest.(check int) "stale serve counted" 1
+           (Resolver.stats stale).Resolver.stale_serves;
+         (* Without a window, the same situation is the refresh's
+            error. *)
+         (match Resolver.resolve windowless self name with
+         | Error (Vio.Verr.Ipc _) -> ()
+         | Ok _ -> Alcotest.fail "windowless resolver must not serve stale"
+         | Error e ->
+             Alcotest.failf "expected an IPC error, got %a" Vio.Verr.pp e);
+         (* Past the window, stale-serving stops: bounded, not
+            forever. *)
+         Vsim.Proc.delay (Runtime.engine env) 11_000.0;
+         match Resolver.resolve stale self name with
+         | Error (Vio.Verr.Ipc _) -> ()
+         | Ok _ -> Alcotest.fail "the window must bound stale-serving"
+         | Error e ->
+             Alcotest.failf "expected an IPC error, got %a" Vio.Verr.pp e))
+
+(* --- the delegation-cycle guard ---
+
+   A misconfigured (or hostile) domain server whose referrals never
+   consume name components: it answers every step with a referral back
+   to itself at the same index. The walk must detect the repeat
+   (server, index) step and fail, not spin. *)
+
+let test_delegation_cycle_guard () =
+  ignore
+    (run_client (fun t self _env ->
+         let host = K.boot_host Scenario.(t.domain) ~name:"evil" 60 in
+         let evil =
+           K.spawn host ~name:"evil-domain" (fun srv ->
+               let rec loop () =
+                 let msg, sender = K.receive srv in
+                 let upto =
+                   match msg.Vmsg.name with
+                   | Some req -> req.Csname.index
+                   | None -> 0
+                 in
+                 let sspec =
+                   Context.spec ~server:(K.self_pid srv)
+                     ~context:Context.Well_known.default
+                 in
+                 ignore
+                   (K.reply srv ~to_:sender
+                      (Vmsg.with_binding
+                         (Vmsg.ok ~payload:Domain_server.P_referral ())
+                         { Vmsg.upto; spec = sspec }));
+                 loop ()
+               in
+               loop ())
+         in
+         let root = Context.spec ~server:evil ~context:Context.Well_known.default in
+         let r = Resolver.create ~prefix:"dom" ~root () in
+         (match Resolver.resolve r self "[dom]a/b" with
+         | Error (Vio.Verr.Protocol m) ->
+             Alcotest.(check string) "cycle surfaced" "resolver: delegation cycle"
+               m
+         | Ok _ -> Alcotest.fail "a delegation cycle must not resolve"
+         | Error e ->
+             Alcotest.failf "expected a protocol error, got %a" Vio.Verr.pp e);
+         let s = Resolver.stats r in
+         Alcotest.(check int) "loop detected once" 1 s.Resolver.loops;
+         Alcotest.(check int) "after one query" 1 s.Resolver.queries;
+         Alcotest.(check int) "and one referral" 1 s.Resolver.referrals))
+
+let suite =
+  [
+    ( "domains",
+      [
+        Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+        Alcotest.test_case "negative insert and evict" `Quick
+          test_negative_insert_and_evict;
+        Alcotest.test_case "creation validation" `Quick test_creation_validation;
+        Alcotest.test_case "iterative walk and cache" `Quick
+          test_iterative_walk_and_cache;
+        Alcotest.test_case "negative caching collapses misses" `Quick
+          test_negative_caching_collapses_misses;
+        Alcotest.test_case "stale-serving window" `Quick
+          test_stale_serving_window;
+        Alcotest.test_case "delegation cycle guard" `Quick
+          test_delegation_cycle_guard;
+      ] );
+  ]

@@ -20,4 +20,5 @@ let () =
          Test_cache.suite;
          Test_fault.suite;
          Test_replication.suite;
+         Test_domains.suite;
        ])
