@@ -24,13 +24,19 @@
    verdict on them is noise), but does not fail the gate — regenerating
    the baseline is the fix either way.
 
-   Only latency-shaped metrics gate: comparison rows whose unit is a
-   time unit, and recorded fields whose name says latency (latency_*,
-   p50/p99, mean_op_ms). Counters (operations, retries, frame counts)
-   legitimately move when behaviour changes and are reported, not
-   gated — regenerating the committed baseline is the way to bless an
-   intended change. Exit 2 means the gate itself could not run (bad
-   usage, unreadable or unparseable input). *)
+   Two metric shapes gate, with opposite directions: latency-shaped
+   metrics (comparison rows whose unit is a time unit, and recorded
+   fields whose name says latency — latency_*, p50/p99, mean_op_ms)
+   fail when they grow past the tolerance, and rate-shaped metrics
+   (comparison rows whose unit is a throughput — "events/s", "ops/s" —
+   or a speedup ratio "x") fail when they *shrink* past it. Counters
+   (operations, retries, frame counts) legitimately move when
+   behaviour changes and are reported, not gated — regenerating the
+   committed baseline is the way to bless an intended change. The
+   "_meta" header's wall_s/events_executed accounting never gates
+   (wall_s is non-deterministic by nature). Exit 2 means the gate
+   itself could not run (bad usage, unreadable or unparseable
+   input). *)
 
 module Json = Vobs.Json
 
@@ -75,6 +81,15 @@ let number = function
 
 let time_unit u = contains ~sub:"ms" u || contains ~sub:"us" u
 
+(* Throughputs and speedup ratios: for these, *down* is the regression.
+   Matching on the unit (not the label) keeps the contract with
+   experiments the same as for latencies: the unit declares the
+   direction. *)
+let rate_unit u = contains ~sub:"/s" u || u = "x"
+
+(* Which way a gated metric is allowed to move. *)
+type direction = Lower_is_better | Higher_is_better
+
 (* List elements are identified by a "label" or "factor" field when
    they have one, else by position. *)
 let element_key i = function
@@ -88,8 +103,8 @@ let element_key i = function
 let rec collect path acc json =
   match json with
   | Json.Obj fields ->
-      (* A comparison row gates on its "measured" field when the unit is
-         a time unit. *)
+      (* A comparison row gates on its "measured" field: time units are
+         lower-is-better, rate units higher-is-better. *)
       let acc =
         match
           ( Json.member "label" json,
@@ -97,9 +112,14 @@ let rec collect path acc json =
             Json.member "unit" json )
         with
         | Some (Json.String _), Some m, Some (Json.String u)
-          when time_unit u -> (
+          when time_unit u || rate_unit u -> (
+            let direction =
+              if time_unit u then Lower_is_better else Higher_is_better
+            in
             match number m with
-            | Some v -> (String.concat "/" (List.rev path) ^ "/measured", v) :: acc
+            | Some v ->
+                (String.concat "/" (List.rev path) ^ "/measured", (v, direction))
+                :: acc
             | None -> acc)
         | _ -> acc
       in
@@ -107,7 +127,8 @@ let rec collect path acc json =
         (fun acc (k, v) ->
           match number v with
           | Some f when is_latency_key k ->
-              (String.concat "/" (List.rev (k :: path)), f) :: acc
+              (String.concat "/" (List.rev (k :: path)), (f, Lower_is_better))
+              :: acc
           | _ -> collect (k :: path) acc v)
         acc fields
   | Json.List items ->
@@ -118,7 +139,7 @@ let rec collect path acc json =
       |> snd
   | _ -> acc
 
-let latency_metrics json = List.rev (collect [] [] json)
+let gated_metrics json = List.rev (collect [] [] json)
 
 (* Every non-empty list stored under [key] anywhere in the tree —
    "invariant_violations" and the SLO engine's "breaches" both gate
@@ -213,22 +234,29 @@ let () =
           Fmt.pr "FAIL: SLO breaches at %s:@." path;
           List.iter (fun b -> Fmt.pr "  %s@." (Json.to_string b)) entries)
         bs);
-  let base_metrics = latency_metrics baseline
-  and fresh_metrics = latency_metrics fresh in
+  let base_metrics = gated_metrics baseline
+  and fresh_metrics = gated_metrics fresh in
   let compared = ref 0 and improved = ref 0 in
   List.iter
-    (fun (path, base) ->
+    (fun (path, (base, direction)) ->
       match List.assoc_opt path fresh_metrics with
       | None -> Fmt.pr "warn: %s missing from fresh run@." path
-      | Some now when base > 0.0 ->
+      | Some (now, _) when base > 0.0 ->
           incr compared;
           let delta = (now -. base) /. base *. 100.0 in
-          if delta > tolerance then begin
+          (* A latency regresses by growing, a throughput by shrinking;
+             express both as "how far in the bad direction". *)
+          let worse =
+            match direction with
+            | Lower_is_better -> delta
+            | Higher_is_better -> -.delta
+          in
+          if worse > tolerance then begin
             incr failures;
             Fmt.pr "FAIL: %s regressed %+.1f%% (%.3f -> %.3f)@." path delta
               base now
           end
-          else if delta < -.tolerance then begin
+          else if worse < -.tolerance then begin
             incr improved;
             Fmt.pr "note: %s improved %+.1f%% (%.3f -> %.3f)@." path delta base
               now
@@ -240,7 +268,7 @@ let () =
       if not (List.mem_assoc path base_metrics) then
         Fmt.pr "note: new metric %s (not in baseline)@." path)
     fresh_metrics;
-  Fmt.pr "%d latency metric(s) compared against %s (tolerance %.0f%%): %d \
-          regression-or-violation failure(s), %d improved@."
+  Fmt.pr "%d latency/throughput metric(s) compared against %s (tolerance \
+          %.0f%%): %d regression-or-violation failure(s), %d improved@."
     !compared baseline_file tolerance !failures !improved;
   if !failures > 0 then exit 1

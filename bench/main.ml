@@ -23,6 +23,7 @@ let registry =
     ("e9", E9_chaos.run);
     ("e10", E10_replication.run);
     ("e11", E11_domains.run);
+    ("e12", E12_engine.run);
     ("figs", Figures.run);
     ("f1", Figures.f1);
     ("f2", Figures.f2);
@@ -40,7 +41,7 @@ let registry =
 let default =
   [
     "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-    "figs"; "ablations"; "day"; "micro";
+    "e12"; "figs"; "ablations"; "day"; "micro";
   ]
 
 (* Strip "--json FILE" from the argument list, returning the file.
@@ -101,8 +102,23 @@ let () =
         | Some _ -> failed
         | None -> (
             Vworkload.Tables.begin_experiment name;
+            let wall0 = Unix.gettimeofday () in
+            let events0 = Vsim.Engine.global_executed () in
             match (List.assoc name registry) () with
-            | () -> None
+            | () ->
+                (* The experiment's meta entry is still current, so the
+                   harness can stamp throughput accounting into it after
+                   the fact: wall-clock and engine events attributable
+                   to this experiment (every engine in the process
+                   counts into the global tally). *)
+                let wall_s = Unix.gettimeofday () -. wall0 in
+                let events_executed = Vsim.Engine.global_executed () - events0 in
+                Vworkload.Tables.note_meta ~events_executed ~wall_s ();
+                Fmt.pr "[%s: %d events, %.2fs wall, %.0f events/s]@." name
+                  events_executed wall_s
+                  (if wall_s > 0.0 then float_of_int events_executed /. wall_s
+                   else 0.0);
+                None
             | exception e ->
                 Fmt.epr "experiment %s raised: %s@." name (Printexc.to_string e);
                 Some name))

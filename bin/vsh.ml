@@ -316,6 +316,25 @@ let cmd_cache sh args =
       Ok ()
   | _ -> Error (Vio.Verr.Protocol "usage: cache [on|off|stats]")
 
+(* Scheduler introspection: how much event-queue work this run has done
+   so far. The events/s figure reads the process CPU clock (the one
+   non-simulated number vsh prints); everything else is deterministic. *)
+let cmd_engine sh args =
+  let eng = sh.scenario.Scenario.engine in
+  match args with
+  | [] | [ "stats" ] ->
+      pr "engine: %s backend"
+        (match Vsim.Engine.backend eng with
+        | Vsim.Engine.Wheel_queue -> "timer-wheel"
+        | Vsim.Engine.Heap_queue -> "binary-heap");
+      pr "  events executed %d  pending %d  timers cancelled %d"
+        (Vsim.Engine.executed eng)
+        (Vsim.Engine.pending eng)
+        (Vsim.Engine.cancelled_timers eng);
+      pr "  %.0f events/s over this run" (Vsim.Engine.events_per_sec eng);
+      Ok ()
+  | _ -> Error (Vio.Verr.Protocol "usage: engine [stats]")
+
 (* Fault injection from the shell: generate a seeded plan against the
    installation's address layout, shift it to start "now" (plan times
    are relative to generation time zero), and install it with a revive
@@ -768,6 +787,7 @@ let commands :
     ("crash", "FS-INDEX — crash a file server host", cmd_crash);
     ("restart", "FS-INDEX — restart host + fresh server", cmd_restart);
     ("netstat", "— wire and transaction counters", cmd_netstat);
+    ("engine", "[stats] — event-queue scheduler statistics", cmd_engine);
     ("fault", "plan|inject SEED [MS] | status — seeded fault injection", cmd_fault);
     ("replicas", "on [N] [rr|nearest] | off | status — replicated [rstore]", cmd_replicas);
     ("domains", "on [DEPTH] | off | tree | resolve NAME | ttl — federated name domains", cmd_domains);
@@ -860,6 +880,7 @@ let demo_script =
     "write [storage]tmp/after.txt written after restart";
     "cat [storage]tmp/after.txt";
     "netstat";
+    "engine stats";
     "metrics";
     "time";
     "echo -- the flight recorder and the SLO --";

@@ -184,8 +184,11 @@ let reply_code m =
     | Some c -> Some c
     | None -> Some Reply.Server_error
 
-(* Did this reply succeed? Requests are never "successful replies". *)
-let succeeded m = reply_code m = Some Reply.Ok
+(* Did this reply succeed? Requests are never "successful replies".
+   Checked on every reply a server or resolver handles, so compare
+   codes directly rather than materialising option values. *)
+let ok_code = Reply.to_int Reply.Ok
+let succeeded m = m.is_reply && m.code = ok_code
 
 (* [with_name m req] rewrites the standard CSname fields, leaving the
    rest of the (possibly not understood) message intact — the rewrite a

@@ -73,11 +73,18 @@ type 'm process = {
 and 'm pending = {
   p_fire : ('m * Pid.t, exn) result -> unit;
   p_buffer : bytes option;
+  (* Handles on the transaction's retransmission and timeout timers, so
+     completion cancels them in O(1) instead of leaving no-op events to
+     percolate through the queue (the common case: every successful
+     remote SRR arms both and needs neither). *)
+  mutable p_retransmit : Engine.timer option;
+  mutable p_timeout : Engine.timer option;
 }
 
 and 'm move_op = {
   mv_fire : (bytes, exn) result -> unit;
   mv_buf : Buffer.t;
+  mutable mv_timer : Engine.timer option;
 }
 
 and 'm host = {
@@ -184,6 +191,14 @@ let trace d fmt =
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
   | Some tr -> Vsim.Trace.emit tr ~category:"ipc" fmt
 
+(* Allocation guards for the IPC hot path: applying [trace]/[event_log]
+   to a format string builds continuation closures even when the sink is
+   off, so the hottest call sites test these one-word predicates first
+   and skip the application (and any eager arguments like
+   [d.trace_of msg]) entirely. *)
+let tracing d = d.trace <> None
+let obs_on host = host.domain.domain_obs <> None
+
 let set_trace d tr = d.trace <- Some tr
 let set_obs d hub = d.domain_obs <- Some hub
 let obs d = d.domain_obs
@@ -226,18 +241,18 @@ let fresh_mv d =
 let message_payload_bytes d m = 32 + d.cost.payload_bytes m
 let control_payload_bytes = 16
 
-let find_host_of_pid d pid =
-  match Hashtbl.find_opt d.logical_hosts (Pid.logical_host pid) with
-  | Some host when host.host_up -> Some host
-  | Some _ | None -> None
-
+(* Exception-style lookups: [Hashtbl.find_opt] allocates an option per
+   probe, and pid resolution runs on every Send/Reply/Forward; matching
+   on [exception Not_found] keeps the miss path allocation-free. *)
 let find_process d pid =
-  match find_host_of_pid d pid with
-  | None -> None
-  | Some host -> (
-      match Hashtbl.find_opt host.processes (Pid.local_pid pid) with
-      | Some proc when proc.proc_alive -> Some proc
-      | Some _ | None -> None)
+  match Hashtbl.find d.logical_hosts (Pid.logical_host pid) with
+  | host when host.host_up -> (
+      match Hashtbl.find host.processes (Pid.local_pid pid) with
+      | proc when proc.proc_alive -> Some proc
+      | _ -> None
+      | exception Not_found -> None)
+  | _ -> None
+  | exception Not_found -> None
 
 let alive d pid = find_process d pid <> None
 
@@ -348,14 +363,48 @@ let deliver proc delivery =
 let register_serving host ~sender ~receiver ~txn =
   Hashtbl.replace host.serving (sender, receiver) txn
 
+let cancel_pending_timers host pending =
+  let eng = host.domain.engine in
+  (match pending.p_retransmit with
+  | Some tm -> Engine.cancel eng tm
+  | None -> ());
+  (match pending.p_timeout with Some tm -> Engine.cancel eng tm | None -> ());
+  pending.p_retransmit <- None;
+  pending.p_timeout <- None
+
 (* Resume a blocked sender with its reply (or error). Safe to call from
-   event context; no-op if the transaction already completed. *)
+   event context; no-op if the transaction already completed. Cancels
+   the transaction's probe timers, so a satisfied SRR leaves no residue
+   in the event queue. *)
 let fill_pending host ~txn result =
   match Hashtbl.find_opt host.pendings txn with
   | None -> () (* timed out, crashed, or duplicate reply: drop *)
   | Some pending ->
       Hashtbl.remove host.pendings txn;
+      cancel_pending_timers host pending;
       pending.p_fire result
+
+(* Retire a transaction without firing it: the cleanup for abnormal
+   exits (the blocked fiber was aborted by destroy/crash) where the
+   pending record may still be armed. *)
+let drop_pending host ~txn =
+  match Hashtbl.find_opt host.pendings txn with
+  | None -> ()
+  | Some pending ->
+      Hashtbl.remove host.pendings txn;
+      cancel_pending_timers host pending
+
+(* Take a move operation out of flight, cancelling its timeout. *)
+let take_move host ~mv =
+  match Hashtbl.find_opt host.moves mv with
+  | None -> None
+  | Some op ->
+      Hashtbl.remove host.moves mv;
+      (match op.mv_timer with
+      | Some tm -> Engine.cancel host.domain.engine tm
+      | None -> ());
+      op.mv_timer <- None;
+      Some op
 
 let transmit host ~dst ~payload_bytes packet =
   Ethernet.transmit host.domain.net
@@ -385,7 +434,7 @@ let dispatch_remote_request src_host ~dst_addr ~txn ~sender ~target msg =
    whose forwarded target silently disappeared. *)
 let max_timeout_probes = 60
 
-let arm_timeout host ~txn ~dst_addr =
+let arm_timeout host ~txn pending ~dst_addr =
   let d = host.domain in
   let rec probe attempts () =
     if Hashtbl.mem host.pendings txn then begin
@@ -396,12 +445,15 @@ let arm_timeout host ~txn ~dst_addr =
         | None -> false
       in
       if target_host_reachable && attempts < max_timeout_probes then
-        Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
-          (probe (attempts + 1))
+        pending.p_timeout <-
+          Some
+            (Engine.timer ~delay:Calibration.ipc_timeout_ms d.engine
+               (probe (attempts + 1)))
       else fill_pending host ~txn (Error (Ipc_error Timeout))
     end
   in
-  Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine (probe 1)
+  pending.p_timeout <-
+    Some (Engine.timer ~delay:Calibration.ipc_timeout_ms d.engine (probe 1))
 
 (* Recovery for a locally-submitted transaction that a server forwarded
    to a remote host. The local send path arms no retransmission — local
@@ -414,7 +466,7 @@ let arm_timeout host ~txn ~dst_addr =
    with Timeout once the target host is unreachable or the probe budget
    is spent. Fault-free forwarded transactions complete well before the
    first probe fires, so loss-free runs see no extra frames. *)
-let arm_forward_recovery host ~txn ~dst_addr resend =
+let arm_forward_recovery host ~txn pending ~dst_addr resend =
   let d = host.domain in
   let rec probe attempts () =
     if Hashtbl.mem host.pendings txn && host.host_up then begin
@@ -425,30 +477,38 @@ let arm_forward_recovery host ~txn ~dst_addr resend =
         | None -> false
       in
       if target_host_reachable && attempts < max_timeout_probes then begin
-        event_log host ~cat:Vobs.Eventlog.Kernel
-          "forward-recovery-probe txn %d (attempt %d)" txn attempts;
+        if obs_on host then
+          event_log host ~cat:Vobs.Eventlog.Kernel
+            "forward-recovery-probe txn %d (attempt %d)" txn attempts;
         resend ();
-        Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
-          (probe (attempts + 1))
+        pending.p_timeout <-
+          Some
+            (Engine.timer ~delay:Calibration.ipc_timeout_ms d.engine
+               (probe (attempts + 1)))
       end
       else fill_pending host ~txn (Error (Ipc_error Timeout))
     end
   in
-  Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine (probe 1)
+  pending.p_timeout <-
+    Some (Engine.timer ~delay:Calibration.ipc_timeout_ms d.engine (probe 1))
 
 (* Periodically resend a request packet while its transaction is still
    pending; the receiving kernel suppresses duplicates. Rides under the
    timeout above, which bounds the total wait. *)
-let arm_retransmit host ~txn resend =
+let arm_retransmit host ~txn pending resend =
   let d = host.domain in
   let rec tick () =
     if Hashtbl.mem host.pendings txn && host.host_up then begin
-      event_log host ~cat:Vobs.Eventlog.Kernel "retransmit-probe txn %d" txn;
+      if obs_on host then
+        event_log host ~cat:Vobs.Eventlog.Kernel "retransmit-probe txn %d" txn;
       resend ();
-      Engine.schedule ~delay:Calibration.retransmit_interval_ms d.engine tick
+      pending.p_retransmit <-
+        Some
+          (Engine.timer ~delay:Calibration.retransmit_interval_ms d.engine tick)
     end
   in
-  Engine.schedule ~delay:Calibration.retransmit_interval_ms d.engine tick
+  pending.p_retransmit <-
+    Some (Engine.timer ~delay:Calibration.retransmit_interval_ms d.engine tick)
 
 (* --- the IPC primitives --- *)
 
@@ -459,19 +519,32 @@ let send_remote proc ?buffer ~dst_addr ~target msg =
   let d = host.domain in
   charge proc Calibration.small_packet_send_cpu;
   let txn = fresh_txn d in
+  (* One packet and one payload-size computation serve the initial
+     transmission and every retransmission. *)
+  let packet = Request { txn; sender = proc.pid; target; msg } in
+  let bytes = message_payload_bytes d msg in
+  let send_it () =
+    transmit host ~dst:(Ethernet.Unicast dst_addr) ~payload_bytes:bytes packet
+  in
   let result =
     try
       Ok
         (block proc (fun fire ->
-             Hashtbl.replace host.pendings txn { p_fire = fire; p_buffer = buffer };
-             dispatch_remote_request host ~dst_addr ~txn ~sender:proc.pid ~target msg;
-             arm_retransmit host ~txn (fun () ->
-                 dispatch_remote_request host ~dst_addr ~txn ~sender:proc.pid
-                   ~target msg);
-             arm_timeout host ~txn ~dst_addr))
+             let pending =
+               {
+                 p_fire = fire;
+                 p_buffer = buffer;
+                 p_retransmit = None;
+                 p_timeout = None;
+               }
+             in
+             Hashtbl.replace host.pendings txn pending;
+             send_it ();
+             arm_retransmit host ~txn pending send_it;
+             arm_timeout host ~txn pending ~dst_addr))
     with Ipc_error e -> Error e
   in
-  Hashtbl.remove host.pendings txn;
+  drop_pending host ~txn;
   result
 
 (* [send proc target msg] implements the Send primitive: blocks the
@@ -484,9 +557,10 @@ let send proc ?buffer target msg =
   let d = host.domain in
   Vsim.Stats.Counter.incr d.ipc_transactions;
   count_op host "send";
-  trace d "Send %a -> %a" Pid.pp proc.pid Pid.pp target;
-  event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
-    "send %a -> %a" Pid.pp proc.pid Pid.pp target;
+  if tracing d then trace d "Send %a -> %a" Pid.pp proc.pid Pid.pp target;
+  if obs_on host then
+    event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
+      "send %a -> %a" Pid.pp proc.pid Pid.pp target;
   match find_process d target with
   | Some target_proc when target_proc.proc_host == host ->
       charge proc Calibration.local_ipc_leg_cpu;
@@ -498,11 +572,16 @@ let send proc ?buffer target msg =
             Ok
               (block proc (fun fire ->
                    Hashtbl.replace host.pendings txn
-                     { p_fire = fire; p_buffer = buffer };
+                     {
+                       p_fire = fire;
+                       p_buffer = buffer;
+                       p_retransmit = None;
+                       p_timeout = None;
+                     };
                    dispatch_local_request host ~txn ~sender:proc.pid ~target_proc msg))
           with Ipc_error e -> Error e
         in
-        Hashtbl.remove host.pendings txn;
+        drop_pending host ~txn;
         result
       end
   | Some target_proc ->
@@ -532,7 +611,9 @@ let receive proc =
             proc.recv_waiter <- Some fire)
   in
   count_op proc.proc_host "receive";
-  trace proc.proc_host.domain "Receive %a <- %a" Pid.pp proc.pid Pid.pp d.d_sender;
+  if tracing proc.proc_host.domain then
+    trace proc.proc_host.domain "Receive %a <- %a" Pid.pp proc.pid Pid.pp
+      d.d_sender;
   (d.d_msg, d.d_sender)
 
 (* Blocks until a message from a sender satisfying [from] arrives.
@@ -570,7 +651,7 @@ let reply proc ~to_ msg =
   | Some txn -> (
       Hashtbl.remove host.serving (to_, proc.pid);
       count_op host "reply";
-      trace d "Reply %a -> %a" Pid.pp proc.pid Pid.pp to_;
+      if tracing d then trace d "Reply %a -> %a" Pid.pp proc.pid Pid.pp to_;
       match find_process d to_ with
       | None -> Ok () (* sender died while blocked; nothing to resume *)
       | Some sender_proc when sender_proc.proc_host == host ->
@@ -604,9 +685,11 @@ let forward proc ~from_ ~to_ msg =
   | Some txn -> (
       Hashtbl.remove host.serving (from_, proc.pid);
       count_op host "forward";
-      trace d "Forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
-      event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
-        "forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
+      if tracing d then
+        trace d "Forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
+      if obs_on host then
+        event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
+          "forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
       match find_process d to_ with
       | None ->
           (* Target gone: fail the original sender's transaction. *)
@@ -633,8 +716,9 @@ let forward proc ~from_ ~to_ msg =
              now that the transaction has left the host, give it the
              slow recovery chain. Remote-origin senders already
              retransmit and time out from their own host. *)
-          if Hashtbl.mem host.pendings txn then
-            arm_forward_recovery host ~txn ~dst_addr resend;
+          (match Hashtbl.find_opt host.pendings txn with
+          | Some pending -> arm_forward_recovery host ~txn pending ~dst_addr resend
+          | None -> ());
           Ok ())
 
 (* --- MoveTo / MoveFrom --- *)
@@ -698,20 +782,22 @@ let move_from proc ~sender ~len =
           try
             Ok
               (block proc (fun fire ->
-                   Hashtbl.replace host.moves mv
-                     { mv_fire = fire; mv_buf = Buffer.create len };
+                   let op =
+                     { mv_fire = fire; mv_buf = Buffer.create len; mv_timer = None }
+                   in
+                   Hashtbl.replace host.moves mv op;
                    transmit host ~dst:(Ethernet.Unicast remote.addr)
                      ~payload_bytes:control_payload_bytes
                      (Move_request { txn; mv; mover_addr = host.addr; len });
-                   Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
-                     (fun () ->
-                       match Hashtbl.find_opt host.moves mv with
-                       | None -> ()
-                       | Some op ->
-                           Hashtbl.remove host.moves mv;
-                           op.mv_fire (Error (Ipc_error Timeout)))))
+                   op.mv_timer <-
+                     Some
+                       (Engine.timer ~delay:Calibration.ipc_timeout_ms d.engine
+                          (fun () ->
+                            match take_move host ~mv with
+                            | None -> ()
+                            | Some op -> op.mv_fire (Error (Ipc_error Timeout))))))
           with Ipc_error e ->
-            Hashtbl.remove host.moves mv;
+            ignore (take_move host ~mv : 'm move_op option);
             Error e))
 
 (* [move_to proc ~sender data] writes [data] into the blocked sender's
@@ -773,19 +859,21 @@ let move_to proc ~sender data =
              push 0;
              let (_ : bytes) =
                block proc (fun fire ->
-                   Hashtbl.replace host.moves mv
-                     { mv_fire = fire; mv_buf = Buffer.create 0 };
-                   Engine.schedule ~delay:Calibration.ipc_timeout_ms d.engine
-                     (fun () ->
-                       match Hashtbl.find_opt host.moves mv with
-                       | None -> ()
-                       | Some op ->
-                           Hashtbl.remove host.moves mv;
-                           op.mv_fire (Error (Ipc_error Timeout))))
+                   let op =
+                     { mv_fire = fire; mv_buf = Buffer.create 0; mv_timer = None }
+                   in
+                   Hashtbl.replace host.moves mv op;
+                   op.mv_timer <-
+                     Some
+                       (Engine.timer ~delay:Calibration.ipc_timeout_ms d.engine
+                          (fun () ->
+                            match take_move host ~mv with
+                            | None -> ()
+                            | Some op -> op.mv_fire (Error (Ipc_error Timeout)))))
              in
              Ok ()
            with Ipc_error e ->
-             Hashtbl.remove host.moves mv;
+             ignore (take_move host ~mv : 'm move_op option);
              Error e))
 
 (* --- service naming: SetPid / GetPid (§4.2) --- *)
@@ -1019,9 +1107,13 @@ let get_pid proc ~service scope =
       let txn = fresh_txn d in
       let answer =
         block proc (fun fire ->
+            let deadline = ref None in
             let settle pid_opt =
               if Hashtbl.mem host.getpid_waits txn then begin
                 Hashtbl.remove host.getpid_waits txn;
+                (match !deadline with
+                | Some tm -> Engine.cancel d.engine tm
+                | None -> ());
                 fire (Ok pid_opt)
               end
             in
@@ -1029,8 +1121,10 @@ let get_pid proc ~service scope =
             transmit host ~dst:Ethernet.Broadcast
               ~payload_bytes:control_payload_bytes
               (Getpid_query { txn; requester_addr = host.addr; service });
-            Engine.schedule ~delay:Calibration.getpid_timeout_ms d.engine
-              (fun () -> settle None))
+            deadline :=
+              Some
+                (Engine.timer ~delay:Calibration.getpid_timeout_ms d.engine
+                   (fun () -> settle None)))
       in
       (if d.getpid_cache_on then
          match answer with
@@ -1094,14 +1188,22 @@ let send_group proc ~group msg =
   let d = host.domain in
   Vsim.Stats.Counter.incr d.ipc_transactions;
   count_op host "group-send";
-  trace d "GroupSend %a -> group%d" Pid.pp proc.pid group;
+  if tracing d then trace d "GroupSend %a -> group%d" Pid.pp proc.pid group;
   charge proc Calibration.small_packet_send_cpu;
   let txn = fresh_txn d in
   let result =
     try
       Ok
         (block proc (fun fire ->
-             Hashtbl.replace host.pendings txn { p_fire = fire; p_buffer = None };
+             let pending =
+               {
+                 p_fire = fire;
+                 p_buffer = None;
+                 p_retransmit = None;
+                 p_timeout = None;
+               }
+             in
+             Hashtbl.replace host.pendings txn pending;
              (* local members *)
              List.iter
                (fun member_pid ->
@@ -1117,11 +1219,14 @@ let send_group proc ~group msg =
              transmit host ~dst:(Ethernet.Multicast group)
                ~payload_bytes:(message_payload_bytes d msg)
                (Group_request { txn; sender = proc.pid; group; msg });
-             Engine.schedule ~delay:Calibration.getpid_timeout_ms d.engine (fun () ->
-                 fill_pending host ~txn (Error (Ipc_error No_reply)))))
+             pending.p_timeout <-
+               Some
+                 (Engine.timer ~delay:Calibration.getpid_timeout_ms d.engine
+                    (fun () ->
+                      fill_pending host ~txn (Error (Ipc_error No_reply))))))
     with Ipc_error e -> Error e
   in
-  Hashtbl.remove host.pendings txn;
+  drop_pending host ~txn;
   result
 
 (* [forward_group proc ~from_ ~group msg] forwards the transaction of
@@ -1138,7 +1243,9 @@ let forward_group proc ~from_ ~group msg =
   | Some txn ->
       Hashtbl.remove host.serving (from_, proc.pid);
       count_op host "forward-group";
-      trace d "ForwardGroup %a: %a -> group%d" Pid.pp proc.pid Pid.pp from_ group;
+      if tracing d then
+        trace d "ForwardGroup %a: %a -> group%d" Pid.pp proc.pid Pid.pp from_
+          group;
       charge proc Calibration.small_packet_send_cpu;
       (* Members on this host are delivered directly (no wire loopback). *)
       List.iter
@@ -1243,7 +1350,7 @@ let handle_packet host (frame : 'm packet Ethernet.frame) =
       | Some op ->
           Buffer.add_bytes op.mv_buf data;
           if last then begin
-            Hashtbl.remove host.moves mv;
+            ignore (take_move host ~mv : 'm move_op option);
             Engine.schedule ~delay:Calibration.bulk_packet_recv_cpu d.engine
               (fun () ->
                 if host.host_up then op.mv_fire (Ok (Buffer.to_bytes op.mv_buf)))
@@ -1269,11 +1376,10 @@ let handle_packet host (frame : 'm packet Ethernet.frame) =
               (Move_ack { mv; outcome = Error Bad_buffer }))
   | Move_ack { mv; outcome } ->
       Engine.schedule ~delay:Calibration.small_packet_recv_cpu d.engine (fun () ->
-          match Hashtbl.find_opt host.moves mv with
+          match take_move host ~mv with
           | None -> ()
-          | Some op ->
-              Hashtbl.remove host.moves mv;
-              (match outcome with
+          | Some op -> (
+              match outcome with
               | Ok () -> op.mv_fire (Ok Bytes.empty)
               | Error e -> op.mv_fire (Error (Ipc_error e))))
   | Group_request { txn; sender; group; msg } ->
@@ -1291,7 +1397,13 @@ let handle_packet host (frame : 'm packet Ethernet.frame) =
 
 (* --- domain and host lifecycle --- *)
 
-let create_domain ?(seed = 42) ~cost engine net =
+(* [hosts_hint] presizes the domain-wide host tables (only — per-host
+   tables keep their defaults, since a hashtable's initial bucket count
+   shapes its fold order and the experiments' replay depends on it).
+   Every domain-level fold sorts its result before use, so the hint is
+   pure capacity; large soaks (e12's 10k hosts) pass it to avoid
+   rehash-storms at boot. *)
+let create_domain ?(seed = 42) ?(hosts_hint = 16) ~cost engine net =
   let d =
     {
       engine;
@@ -1301,9 +1413,9 @@ let create_domain ?(seed = 42) ~cost engine net =
       next_mv = 1;
       next_logical_host = 1;
       next_group = 1;
-      logical_hosts = Hashtbl.create 16;
+      logical_hosts = Hashtbl.create hosts_hint;
       retired_logical_hosts = Hashtbl.create 16;
-      all_hosts = Hashtbl.create 16;
+      all_hosts = Hashtbl.create hosts_hint;
       service_groups = Hashtbl.create 8;
       domain_prng = Vsim.Prng.create ~seed;
       trace = None;
@@ -1380,7 +1492,16 @@ let crash_host host =
     Hashtbl.reset host.processes;
     Hashtbl.reset host.services;
     Hashtbl.reset host.serving;
+    (* Disarm the dead transactions' probe timers so the crash leaves no
+       machinery ticking for a table that no longer exists. *)
+    Hashtbl.iter (fun _ p -> cancel_pending_timers host p) host.pendings;
     Hashtbl.reset host.pendings;
+    Hashtbl.iter
+      (fun _ op ->
+        match op.mv_timer with
+        | Some tm -> Engine.cancel d.engine tm
+        | None -> ())
+      host.moves;
     Hashtbl.reset host.moves;
     Hashtbl.reset host.getpid_waits;
     Hashtbl.reset host.getpid_cache;

@@ -43,8 +43,12 @@ type 'm self
 
 type 'm packet
 
+(** [hosts_hint] presizes the domain-wide host tables for large soaks
+    (per-host tables are unaffected); purely a capacity hint, never
+    behaviour. *)
 val create_domain :
   ?seed:int ->
+  ?hosts_hint:int ->
   cost:'m cost_model ->
   Vsim.Engine.t ->
   'm packet Vnet.Ethernet.t ->

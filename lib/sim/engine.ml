@@ -3,72 +3,172 @@
    reproduction (kernels, network, servers) bottoms out in [schedule].
 
    Determinism: events at equal times run in scheduling order (sequence
-   numbers break ties), and nothing in the engine consults wall-clock
-   time or ambient randomness, so a run is a pure function of the
-   initial scenario and PRNG seed. *)
+   numbers break ties), and nothing that affects the simulation
+   consults wall-clock time or ambient randomness, so a run is a pure
+   function of the initial scenario and PRNG seed. (The engine does
+   read the process clock around [run], but only to report events/sec;
+   no simulated behaviour depends on it.)
 
-type event = { time : float; seq : int; action : unit -> unit }
+   Two interchangeable queue backends implement the same (time, seq)
+   total order: the hierarchical timer wheel (default — O(1) push and
+   cancel, tuned for the kernel's cancel-heavy retransmission timers)
+   and the original binary heap, kept as the oracle the wheel is
+   property-tested against and as the baseline the engine-throughput
+   bench (e12) measures speedup over. *)
 
-let compare_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
+type backend = Wheel_queue | Heap_queue
+
+(* A cancellable handle on a scheduled event. *)
+type timer = (unit -> unit) Wheel.node
 
 type t = {
   mutable now : float;
   mutable next_seq : int;
   mutable executed : int;
   mutable running : bool;
-  queue : event Heap.t;
+  backend : backend;
+  wheel : (unit -> unit) Wheel.t;
+  heap : (unit -> unit) Wheel.node Heap.t;
+  (* The heap backend tracks liveness itself; the wheel keeps its own. *)
+  mutable heap_live : int;
+  mutable heap_cancelled : int;
+  (* Last-run throughput, for `vsh engine stats` and the bench harness:
+     events executed by the most recent [run] and the CPU seconds it
+     took. *)
+  mutable run_start_events : int;
+  mutable run_start_cpu : float;
+  mutable last_run_events : int;
+  mutable last_run_cpu_s : float;
 }
+
+(* Events executed across every engine in the process — lets the bench
+   harness report per-experiment event counts without threading each
+   experiment's private engine out. *)
+let global_executed_events = ref 0
+let global_executed () = !global_executed_events
 
 exception Time_went_backwards of { now : float; requested : float }
 
-let create () =
+let create ?(backend = Wheel_queue) () =
   {
     now = 0.0;
     next_seq = 0;
     executed = 0;
     running = false;
-    queue = Heap.create ~compare:compare_event;
+    backend;
+    wheel = Wheel.create ();
+    heap = Heap.create ~compare:Wheel.compare_node;
+    heap_live = 0;
+    heap_cancelled = 0;
+    run_start_events = 0;
+    run_start_cpu = 0.0;
+    last_run_events = 0;
+    last_run_cpu_s = 0.0;
   }
 
+let backend t = t.backend
 let now t = t.now
 
-let pending t = Heap.length t.queue
+let pending t =
+  match t.backend with
+  | Wheel_queue -> Wheel.length t.wheel
+  | Heap_queue -> t.heap_live
 
 let executed t = t.executed
 
-let schedule_at t time action =
+let cancelled_timers t =
+  match t.backend with
+  | Wheel_queue -> Wheel.cancelled t.wheel
+  | Heap_queue -> t.heap_cancelled
+
+let timer_at t time action =
   if time < t.now then raise (Time_went_backwards { now = t.now; requested = time });
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.queue { time; seq; action }
+  match t.backend with
+  | Wheel_queue -> Wheel.push t.wheel ~time ~seq action
+  | Heap_queue ->
+      let node = Wheel.make ~time ~seq action in
+      Heap.push t.heap node;
+      t.heap_live <- t.heap_live + 1;
+      node
+
+let timer ?(delay = 0.0) t action =
+  if delay < 0.0 then invalid_arg "Engine.timer: negative delay";
+  timer_at t (t.now +. delay) action
+
+let cancel t handle =
+  match t.backend with
+  | Wheel_queue -> ignore (Wheel.cancel t.wheel handle : bool)
+  | Heap_queue ->
+      if Wheel.consume handle then begin
+        t.heap_live <- t.heap_live - 1;
+        t.heap_cancelled <- t.heap_cancelled + 1
+      end
+
+let schedule_at t time action = ignore (timer_at t time action : timer)
 
 let schedule ?(delay = 0.0) t action =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t (t.now +. delay) action
 
+(* Next live event, dead ones (cancelled timers) skipped. The heap
+   drops its dead nodes here, one pop each; the wheel drops them in
+   bulk as its cursor moves. *)
+let rec peek_node t =
+  match t.backend with
+  | Wheel_queue -> Wheel.peek t.wheel
+  | Heap_queue -> (
+      match Heap.peek t.heap with
+      | None -> None
+      | Some node when Wheel.live node -> Some node
+      | Some _ ->
+          ignore (Heap.pop t.heap : timer option);
+          peek_node t)
+
+let pop_node t =
+  match t.backend with
+  | Wheel_queue -> Wheel.pop t.wheel
+  | Heap_queue -> (
+      match peek_node t with
+      | None -> None
+      | Some node ->
+          ignore (Heap.pop t.heap : timer option);
+          ignore (Wheel.consume node : bool);
+          t.heap_live <- t.heap_live - 1;
+          Some node)
+
 let step t =
-  match Heap.pop t.queue with
+  match pop_node t with
   | None -> false
-  | Some ev ->
-      t.now <- ev.time;
+  | Some node ->
+      t.now <- Wheel.time node;
       t.executed <- t.executed + 1;
-      ev.action ();
+      incr global_executed_events;
+      (Wheel.value node) ();
       true
 
 let run ?until ?max_events t =
   if t.running then invalid_arg "Engine.run: already running";
   t.running <- true;
+  t.run_start_events <- t.executed;
+  t.run_start_cpu <- Sys.time ();
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue () =
     !budget > 0
     &&
-    match Heap.peek t.queue with
+    match peek_node t with
     | None -> false
-    | Some ev -> ( match until with None -> true | Some limit -> ev.time <= limit)
+    | Some node -> (
+        match until with
+        | None -> true
+        | Some limit -> Wheel.time node <= limit)
   in
-  let finally () = t.running <- false in
+  let finally () =
+    t.running <- false;
+    t.last_run_events <- t.executed - t.run_start_events;
+    t.last_run_cpu_s <- Sys.time () -. t.run_start_cpu
+  in
   (try
      while continue () do
        decr budget;
@@ -81,6 +181,19 @@ let run ?until ?max_events t =
   (* If we stopped on a time horizon, advance the clock to it so that a
      subsequent [run ~until:later] resumes from the horizon. *)
   match until with
-  | Some limit when t.now < limit && not (Heap.is_empty t.queue) -> ()
+  | Some limit when t.now < limit && pending t > 0 -> ()
   | Some limit when t.now < limit -> t.now <- limit
   | _ -> ()
+
+let last_run_events t = t.last_run_events
+let last_run_cpu_s t = t.last_run_cpu_s
+
+let events_per_sec t =
+  if t.running then begin
+    let dt = Sys.time () -. t.run_start_cpu in
+    if dt <= 0.0 then 0.0
+    else float_of_int (t.executed - t.run_start_events) /. dt
+  end
+  else if t.last_run_cpu_s > 0.0 then
+    float_of_int t.last_run_events /. t.last_run_cpu_s
+  else 0.0

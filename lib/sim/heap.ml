@@ -62,10 +62,20 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      (* The vacated slot must not keep the popped element (and whatever
+         its closures capture) reachable; duplicating a live element is
+         the cheapest way to clear it that works for every element type
+         (no dummy value exists for an arbitrary ['a]). *)
+      t.data.(t.size) <- t.data.(0);
       sift_down t 0
-    end;
+    end
+    else t.data <- [||];
     Some top
   end
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
 
 (* Drain the heap into an ordered list; used by tests. *)
 let pop_all t =

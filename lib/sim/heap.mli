@@ -21,8 +21,12 @@ val push : 'a t -> 'a -> unit
 (** Smallest element, without removing it. *)
 val peek : 'a t -> 'a option
 
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element. Popped elements are not
+    kept reachable by the backing array. *)
 val pop : 'a t -> 'a option
+
+(** Drop every element and release the backing array. *)
+val clear : 'a t -> unit
 
 (** Drain the heap in ascending order. *)
 val pop_all : 'a t -> 'a list

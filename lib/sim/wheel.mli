@@ -1,0 +1,68 @@
+(** Hierarchical timer wheel with O(1) cancellation.
+
+    The engine's default event queue: five levels of 32 slots bucket
+    events by tick distance from a cursor, an overflow list catches
+    events beyond the top level's span, and a small binary heap orders
+    the currently-due bucket by the exact (time, seq) key — so the
+    execution order is identical to a single binary heap over the same
+    keys, while push and cancel are O(1) and an idle stretch costs one
+    hop per occupied boundary rather than one pop per event.
+
+    Cancelled nodes are dropped lazily (when the cursor would otherwise
+    move them), so a timer armed 500 ms out and cancelled 2 ms later
+    never pays a heap percolation. *)
+
+type 'a t
+
+(** A scheduled entry: an immutable (time, seq, value) plus a liveness
+    mark. The node is the cancellation handle. *)
+type 'a node
+
+(** [create ~tick_ms ()] is an empty wheel whose buckets are
+    [tick_ms] wide (default 0.25 ms). Ordering is exact regardless of
+    the tick width; the width only tunes bucketing efficiency. *)
+val create : ?tick_ms:float -> unit -> 'a t
+
+(** Live (scheduled, not cancelled, not fired) nodes. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Total nodes cancelled over the wheel's lifetime. *)
+val cancelled : 'a t -> int
+
+(** [push t ~time ~seq v] schedules [v] and returns its handle. [seq]
+    must make (time, seq) unique; ties in [time] execute in [seq]
+    order. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> 'a node
+
+(** O(1) cancel: [true] if the node was live (it will never be
+    returned by [pop]); [false] if it already fired or was already
+    cancelled. *)
+val cancel : 'a t -> 'a node -> bool
+
+(** Earliest live node, without consuming it. May advance the internal
+    cursor; ordering of later pushes is unaffected. *)
+val peek : 'a t -> 'a node option
+
+(** Remove and return the earliest live node, marking it fired (a
+    later [cancel] of it is a no-op). *)
+val pop : 'a t -> 'a node option
+
+(** {1 Nodes}
+
+    [make]/[consume] exist so an alternative queue (the binary-heap
+    test oracle) can store the same nodes and share cancellation
+    semantics. *)
+
+val time : 'a node -> float
+val seq : 'a node -> int
+val value : 'a node -> 'a
+val live : 'a node -> bool
+val compare_node : 'a node -> 'a node -> int
+
+(** A live node not yet in any wheel. *)
+val make : time:float -> seq:int -> 'a -> 'a node
+
+(** Mark a node dead; [true] if it was live. *)
+val consume : 'a node -> bool

@@ -76,6 +76,39 @@ let zipf_pick prng cum =
   done;
   !lo
 
+(* --- cohort clients --- *)
+
+(* A cohort stands in for [size] statistically identical open-loop
+   clients, each submitting operations as a Poisson process with mean
+   inter-arrival [mean_gap_ms]. The superposition of [size] independent
+   Poisson streams at rate 1/gap is one Poisson stream at rate
+   size/gap, so one cohort process driven by one PRNG stream produces
+   an arrival sequence distributionally identical to [size] separate
+   client processes — without [size] fibers, queues, or PRNG states.
+   This is what lets a soak simulate a million clients with thousands
+   of processes (e12). *)
+type cohort = {
+  c_prng : Vsim.Prng.t;
+  c_size : int;
+  c_mean_gap_ms : float;
+  mutable c_issued : int;
+}
+
+let cohort ~size ~mean_gap_ms prng =
+  if size < 1 then invalid_arg "Generator.cohort: size < 1";
+  if mean_gap_ms <= 0.0 then invalid_arg "Generator.cohort: mean_gap_ms <= 0";
+  { c_prng = prng; c_size = size; c_mean_gap_ms = mean_gap_ms; c_issued = 0 }
+
+let cohort_size c = c.c_size
+let cohort_issued c = c.c_issued
+
+(* Next inter-arrival gap of the aggregated stream: exponential with
+   the per-client mean divided by the cohort size. *)
+let cohort_next_gap c =
+  c.c_issued <- c.c_issued + 1;
+  Vsim.Prng.exponential c.c_prng
+    ~mean:(c.c_mean_gap_ms /. float_of_int c.c_size)
+
 (* [locality] is the probability an operation targets the small hot set
    (the first [hot_set] paths) instead of drawing uniformly. [zipf], when
    positive, is the exponent of a Zipf popularity distribution over the

@@ -28,6 +28,26 @@ val zipf_cumulative : ?s:float -> int -> float array
     PRNG float draw per sample. *)
 val zipf_pick : Vsim.Prng.t -> float array -> int
 
+(** {1 Cohort clients}
+
+    A cohort aggregates [size] statistically identical open-loop
+    clients into one process: the superposition of [size] Poisson
+    arrival streams with mean gap [mean_gap_ms] is one Poisson stream
+    with mean gap [mean_gap_ms/size], so one PRNG stream and one fiber
+    reproduce the arrival process of [size] separate clients. Used by
+    the e12 soak to simulate 1M clients without 1M processes. *)
+
+type cohort
+
+val cohort : size:int -> mean_gap_ms:float -> Vsim.Prng.t -> cohort
+val cohort_size : cohort -> int
+
+(** Operations issued so far (one per {!cohort_next_gap} draw). *)
+val cohort_issued : cohort -> int
+
+(** Draw the next inter-arrival gap (ms) of the aggregated stream. *)
+val cohort_next_gap : cohort -> float
+
 (** [n] operations drawn over the given paths with the given fraction of
     deletes (the rest split between queries and opens). [locality] is
     the probability an operation targets the hot set (the first

@@ -30,22 +30,37 @@ let record json =
 let tool = "vsystem-bench"
 let tool_version = "0.5"
 
-type meta_cell = { mutable m_seed : int option; mutable m_horizon : float option }
+type meta_cell = {
+  mutable m_seed : int option;
+  mutable m_horizon : float option;
+  (* Engine throughput accounting, filled by the harness after the
+     experiment returns: simulator events executed and host wall-clock
+     seconds. [m_wall_s] is the one non-deterministic field of a dump;
+     regression gating must ignore it (bench/compare.ml does). *)
+  mutable m_events : int option;
+  mutable m_wall_s : float option;
+}
 
 let run_meta : (string * meta_cell) list ref = ref []
 let current_meta : meta_cell option ref = ref None
 
 let begin_experiment name =
-  let cell = { m_seed = None; m_horizon = None } in
+  let cell =
+    { m_seed = None; m_horizon = None; m_events = None; m_wall_s = None }
+  in
   run_meta := !run_meta @ [ (name, cell) ];
   current_meta := Some cell
 
-let note_meta ?seed ?horizon_ms () =
+let note_meta ?seed ?horizon_ms ?events_executed ?wall_s () =
   match !current_meta with
   | None -> ()
   | Some cell ->
       (match seed with Some v -> cell.m_seed <- Some v | None -> ());
-      (match horizon_ms with Some v -> cell.m_horizon <- Some v | None -> ())
+      (match horizon_ms with Some v -> cell.m_horizon <- Some v | None -> ());
+      (match events_executed with
+      | Some v -> cell.m_events <- Some v
+      | None -> ());
+      (match wall_s with Some v -> cell.m_wall_s <- Some v | None -> ())
 
 let meta_json () =
   let experiments =
@@ -59,6 +74,14 @@ let meta_json () =
               );
               ( "horizon_ms",
                 match cell.m_horizon with
+                | Some v -> Json.Float v
+                | None -> Json.Null );
+              ( "events_executed",
+                match cell.m_events with
+                | Some v -> Json.Int v
+                | None -> Json.Null );
+              ( "wall_s",
+                match cell.m_wall_s with
                 | Some v -> Json.Float v
                 | None -> Json.Null );
             ] ))

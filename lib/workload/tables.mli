@@ -40,9 +40,18 @@ val record : Vobs.Json.t -> unit
     experiment. *)
 val begin_experiment : string -> unit
 
-(** [note_meta ?seed ?horizon_ms ()] records the current experiment's
-    seed and/or simulated horizon. A no-op outside a harness run. *)
-val note_meta : ?seed:int -> ?horizon_ms:float -> unit -> unit
+(** [note_meta ?seed ?horizon_ms ?events_executed ?wall_s ()] records
+    the current experiment's seed, simulated horizon, simulator events
+    executed, and/or host wall-clock seconds. [wall_s] is the one
+    non-deterministic field of a dump — regression gating ignores it.
+    A no-op outside a harness run. *)
+val note_meta :
+  ?seed:int ->
+  ?horizon_ms:float ->
+  ?events_executed:int ->
+  ?wall_s:float ->
+  unit ->
+  unit
 
 (** Everything recorded so far: an object mapping each title to its
     entries, in print order, preceded by ["_meta"] when the harness

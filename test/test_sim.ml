@@ -92,6 +92,147 @@ let test_engine_max_events () =
   Vsim.Engine.run ~max_events:3 eng;
   Alcotest.(check int) "stopped after budget" 3 !hits
 
+(* --- Timer wheel vs binary heap --- *)
+
+(* Run one randomized schedule on a backend and return the execution
+   log. The script is driven entirely by engine callbacks from one PRNG
+   stream, so two backends produce the same log iff they execute events
+   in the same (time, seq) order — ties, same-timestamp re-scheduling,
+   in-event cancellation and overflow-range delays included. *)
+let exercise backend ~seed ~events =
+  let eng = Vsim.Engine.create ~backend () in
+  let prng = Vsim.Prng.create ~seed in
+  let log = ref [] in
+  let next_id = ref 0 in
+  let timers = ref [] in
+  let scheduled = ref 0 in
+  let rec spawn_event () =
+    if !scheduled < events then begin
+      incr scheduled;
+      let id = !next_id in
+      incr next_id;
+      let delay =
+        match Vsim.Prng.int prng 6 with
+        | 0 -> 0.0 (* same-timestamp re-scheduling *)
+        | 1 -> Vsim.Prng.float prng *. 0.2 (* sub-tick *)
+        | 2 -> float_of_int (Vsim.Prng.int prng 50) (* integer-valued: ties *)
+        | 3 -> Vsim.Prng.float prng *. 1000.0
+        | 4 -> Vsim.Prng.float prng *. 200_000.0
+        | _ -> 6.0e6 +. (Vsim.Prng.float prng *. 8.0e6) (* top level + overflow *)
+      in
+      let h =
+        Vsim.Engine.timer ~delay eng (fun () ->
+            log := id :: !log;
+            (match !timers with
+            | [] -> ()
+            | ts ->
+                (* Cancel a random armed timer — possibly one that
+                   already fired, which must be a no-op. *)
+                if Vsim.Prng.int prng 3 = 0 then begin
+                  let _, t = List.nth ts (Vsim.Prng.int prng (List.length ts)) in
+                  Vsim.Engine.cancel eng t
+                end);
+            for _ = 1 to Vsim.Prng.int prng 3 do
+              spawn_event ()
+            done)
+      in
+      timers := (id, h) :: !timers;
+      if List.length !timers > 40 then
+        timers := List.filteri (fun i _ -> i < 40) !timers
+    end
+  in
+  for _ = 1 to 10 do
+    spawn_event ()
+  done;
+  Vsim.Engine.run eng;
+  (List.rev !log, Vsim.Engine.executed eng, Vsim.Engine.cancelled_timers eng)
+
+let test_wheel_matches_heap_fixed () =
+  let w = exercise Vsim.Engine.Wheel_queue ~seed:1202 ~events:2000 in
+  let h = exercise Vsim.Engine.Heap_queue ~seed:1202 ~events:2000 in
+  let log (l, _, _) = l and counts (_, e, c) = (e, c) in
+  Alcotest.(check (list int)) "same execution order" (log h) (log w);
+  Alcotest.(check (pair int int)) "same executed/cancelled counts" (counts h)
+    (counts w)
+
+let prop_wheel_matches_heap =
+  QCheck.Test.make
+    ~name:"wheel and heap backends execute identical orders" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      exercise Vsim.Engine.Wheel_queue ~seed ~events:400
+      = exercise Vsim.Engine.Heap_queue ~seed ~events:400)
+
+let test_timer_cancel_before_fire () =
+  let eng = Vsim.Engine.create () in
+  let fired = ref false in
+  let h = Vsim.Engine.timer ~delay:10.0 eng (fun () -> fired := true) in
+  Vsim.Engine.schedule ~delay:5.0 eng (fun () -> Vsim.Engine.cancel eng h);
+  Vsim.Engine.run eng;
+  Alcotest.(check bool) "cancelled action never ran" false !fired;
+  Alcotest.(check int) "counted as cancelled" 1
+    (Vsim.Engine.cancelled_timers eng);
+  Alcotest.(check int) "nothing pending" 0 (Vsim.Engine.pending eng);
+  check_float "clock stopped at the cancel" 5.0 (Vsim.Engine.now eng)
+
+let test_timer_cancel_after_fire () =
+  let eng = Vsim.Engine.create () in
+  let fired = ref 0 in
+  let h = Vsim.Engine.timer ~delay:1.0 eng (fun () -> incr fired) in
+  Vsim.Engine.schedule ~delay:5.0 eng (fun () -> Vsim.Engine.cancel eng h);
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "fired exactly once" 1 !fired;
+  Alcotest.(check int) "fired timer is not a cancellation" 0
+    (Vsim.Engine.cancelled_timers eng)
+
+let test_timer_cancel_same_timestamp () =
+  let eng = Vsim.Engine.create () in
+  let fired = ref [] in
+  (* Three events at t=10: the first cancels the third (still pending:
+     must not run) and the second (about to be... no — scheduled after
+     it, still pending: must not run either). Scheduling order is
+     execution order at equal times. *)
+  let h2 = ref None and h3 = ref None in
+  Vsim.Engine.schedule ~delay:10.0 eng (fun () ->
+      fired := 1 :: !fired;
+      Option.iter (Vsim.Engine.cancel eng) !h3);
+  h2 := Some (Vsim.Engine.timer ~delay:10.0 eng (fun () -> fired := 2 :: !fired));
+  h3 := Some (Vsim.Engine.timer ~delay:10.0 eng (fun () -> fired := 3 :: !fired));
+  Vsim.Engine.run eng;
+  Alcotest.(check (list int)) "cancelled same-time event skipped" [ 1; 2 ]
+    (List.rev !fired);
+  (* And cancelling an already-fired same-timestamp event is a no-op. *)
+  let eng = Vsim.Engine.create () in
+  let fired = ref [] in
+  let h1 = Vsim.Engine.timer ~delay:10.0 eng (fun () -> fired := 1 :: !fired) in
+  Vsim.Engine.schedule ~delay:10.0 eng (fun () ->
+      fired := 2 :: !fired;
+      Vsim.Engine.cancel eng h1);
+  Vsim.Engine.run eng;
+  Alcotest.(check (list int)) "fired event unaffected" [ 1; 2 ]
+    (List.rev !fired);
+  Alcotest.(check int) "no-op cancel not counted" 0
+    (Vsim.Engine.cancelled_timers eng)
+
+let test_wheel_overflow_order () =
+  (* Spans every wheel level and the overflow list (ticks are 0.25 ms:
+     level 4's span ends at 2^25 ticks = 8 388 608 ms). *)
+  let eng = Vsim.Engine.create () in
+  let log = ref [] in
+  let at t tag = Vsim.Engine.schedule_at eng t (fun () -> log := tag :: !log) in
+  at 1.2e7 "ovf2";
+  at 0.1 "now";
+  at 9.0e6 "ovf1";
+  at 1.0e6 "l4";
+  at 30_000.0 "l3";
+  at 900.0 "l2";
+  at 30.0 "l1";
+  at 2.0 "l0";
+  Vsim.Engine.run eng;
+  Alcotest.(check (list string)) "all levels in time order"
+    [ "now"; "l0"; "l1"; "l2"; "l3"; "l4"; "ovf1"; "ovf2" ]
+    (List.rev !log)
+
 (* --- Proc --- *)
 
 let test_proc_delay () =
@@ -312,6 +453,19 @@ let suite =
         Alcotest.test_case "until horizon" `Quick test_engine_until_horizon;
         Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
         Alcotest.test_case "max events" `Quick test_engine_max_events;
+      ] );
+    ( "sim.wheel",
+      [
+        Alcotest.test_case "matches heap (fixed seed)" `Quick
+          test_wheel_matches_heap_fixed;
+        Alcotest.test_case "cancel before fire" `Quick
+          test_timer_cancel_before_fire;
+        Alcotest.test_case "cancel after fire" `Quick
+          test_timer_cancel_after_fire;
+        Alcotest.test_case "cancel at same timestamp" `Quick
+          test_timer_cancel_same_timestamp;
+        Alcotest.test_case "overflow ordering" `Quick test_wheel_overflow_order;
+        qcheck prop_wheel_matches_heap;
       ] );
     ( "sim.proc",
       [
