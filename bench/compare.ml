@@ -16,7 +16,19 @@
      SLO engine's multi-window burn-rate verdict: an experiment's
      availability or latency objective was burned through);
    - a latency metric present in both runs regressed by more than the
-     tolerance (default 10%).
+     tolerance (default 10%);
+   - an availability metric (a numeric field named "availability" or
+     "*_availability") dropped by more than one percentage point, or a
+     shed-ratio metric ("shed_ratio" / "*_shed_ratio" — E13's
+     no-overload calm_shed_ratio gates a protected-but-idle service
+     shedding anything) rose by more than one point: both gate on
+     absolute points, since a relative tolerance on a number close to
+     1.0 (or exactly 0.0) gates nothing;
+   - a metric present in the baseline is missing from the fresh run —
+     a removed metric must not silently stop gating. Listing the
+     experiment's short name in the fresh dump's "_meta"."removed"
+     array (Tables.note_removed) downgrades this to a warning;
+     regenerating the baseline is the permanent fix.
 
    Before gating, the runs' "_meta" headers are cross-checked: an
    experiment whose seed differs between baseline and fresh gets a
@@ -69,10 +81,20 @@ let contains ~sub s =
   let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
+let ends_with ~suffix s =
+  let n = String.length suffix and len = String.length s in
+  len >= n && String.sub s (len - n) n = suffix
+
 let is_latency_key k =
   contains ~sub:"latency" k
   || contains ~sub:"resolution_ms" k
   || k = "p50" || k = "p99" || k = "mean_op_ms"
+
+(* Robustness metrics gate on absolute percentage points (see header):
+   availability must not drop, a shed ratio must not rise. *)
+let is_availability_key k = k = "availability" || ends_with ~suffix:"_availability" k
+let is_shed_ratio_key k = k = "shed_ratio" || ends_with ~suffix:"_shed_ratio" k
+let points_tolerance = 0.01
 
 let number = function
   | Json.Int i -> Some (float_of_int i)
@@ -87,8 +109,14 @@ let time_unit u = contains ~sub:"ms" u || contains ~sub:"us" u
    direction. *)
 let rate_unit u = contains ~sub:"/s" u || u = "x"
 
-(* Which way a gated metric is allowed to move. *)
-type direction = Lower_is_better | Higher_is_better
+(* Which way a gated metric is allowed to move, and whether the
+   tolerance is relative (latencies, throughputs) or absolute points
+   (availability, shed ratios). *)
+type kind =
+  | Latency (* relative; growing is the regression *)
+  | Rate (* relative; shrinking is the regression *)
+  | Availability (* absolute points; dropping is the regression *)
+  | Shed_ratio (* absolute points; rising is the regression *)
 
 (* List elements are identified by a "label" or "factor" field when
    they have one, else by position. *)
@@ -113,22 +141,23 @@ let rec collect path acc json =
         with
         | Some (Json.String _), Some m, Some (Json.String u)
           when time_unit u || rate_unit u -> (
-            let direction =
-              if time_unit u then Lower_is_better else Higher_is_better
-            in
+            let kind = if time_unit u then Latency else Rate in
             match number m with
             | Some v ->
-                (String.concat "/" (List.rev path) ^ "/measured", (v, direction))
+                (String.concat "/" (List.rev path) ^ "/measured", (v, kind))
                 :: acc
             | None -> acc)
         | _ -> acc
       in
       List.fold_left
         (fun acc (k, v) ->
+          let keyed kind f =
+            (String.concat "/" (List.rev (k :: path)), (f, kind)) :: acc
+          in
           match number v with
-          | Some f when is_latency_key k ->
-              (String.concat "/" (List.rev (k :: path)), (f, Lower_is_better))
-              :: acc
+          | Some f when is_latency_key k -> keyed Latency f
+          | Some f when is_availability_key k -> keyed Availability f
+          | Some f when is_shed_ratio_key k -> keyed Shed_ratio f
           | _ -> collect (k :: path) acc v)
         acc fields
   | Json.List items ->
@@ -179,6 +208,30 @@ let meta_seeds json =
             experiments
       | _ -> [])
   | None -> []
+
+(* An experiment is marked removed when its short name appears in the
+   fresh dump's "_meta"."removed" array. Baseline metric paths start
+   with the experiment's full title ("E13: overload — ..."), so the
+   mark matches as a case-insensitive prefix of that first segment. *)
+let experiment_removed fresh title_segment =
+  let removed =
+    match Json.member "_meta" fresh with
+    | Some meta -> (
+        match Json.member "removed" meta with
+        | Some (Json.List names) ->
+            List.filter_map
+              (function Json.String n -> Some n | _ -> None)
+              names
+        | _ -> [])
+    | None -> []
+  in
+  let segment = String.lowercase_ascii title_segment in
+  List.exists
+    (fun name ->
+      let name = String.lowercase_ascii name in
+      let n = String.length name in
+      String.length segment >= n && String.sub segment 0 n = name)
+    removed
 
 let warn_seed_mismatches baseline fresh =
   let base_seeds = meta_seeds baseline and fresh_seeds = meta_seeds fresh in
@@ -238,30 +291,66 @@ let () =
   and fresh_metrics = gated_metrics fresh in
   let compared = ref 0 and improved = ref 0 in
   List.iter
-    (fun (path, (base, direction)) ->
+    (fun (path, (base, kind)) ->
       match List.assoc_opt path fresh_metrics with
-      | None -> Fmt.pr "warn: %s missing from fresh run@." path
-      | Some (now, _) when base > 0.0 ->
-          incr compared;
-          let delta = (now -. base) /. base *. 100.0 in
-          (* A latency regresses by growing, a throughput by shrinking;
-             express both as "how far in the bad direction". *)
-          let worse =
-            match direction with
-            | Lower_is_better -> delta
-            | Higher_is_better -> -.delta
+      | None ->
+          let experiment =
+            match String.index_opt path '/' with
+            | Some i -> String.sub path 0 i
+            | None -> path
           in
-          if worse > tolerance then begin
+          if experiment_removed fresh experiment then
+            Fmt.pr
+              "warn: %s missing from fresh run (experiment marked removed in \
+               _meta)@."
+              path
+          else begin
             incr failures;
-            Fmt.pr "FAIL: %s regressed %+.1f%% (%.3f -> %.3f)@." path delta
-              base now
+            Fmt.pr
+              "FAIL: %s is in the baseline but missing from the fresh run — \
+               the metric silently stopped gating; mark the experiment in \
+               _meta.removed or regenerate the baseline@."
+              path
           end
-          else if worse < -.tolerance then begin
-            incr improved;
-            Fmt.pr "note: %s improved %+.1f%% (%.3f -> %.3f)@." path delta base
-              now
-          end
-      | Some _ -> incr compared)
+      | Some (now, _) -> (
+          match kind with
+          | Availability | Shed_ratio ->
+              (* Absolute points: a relative tolerance on a value near
+                 1.0 (or exactly 0.0) would gate nothing. *)
+              incr compared;
+              let worse =
+                match kind with
+                | Availability -> base -. now
+                | _ -> now -. base
+              in
+              if worse > points_tolerance then begin
+                incr failures;
+                Fmt.pr "FAIL: %s regressed %.3f points (%.3f -> %.3f)@." path
+                  worse base now
+              end
+              else if worse < -.points_tolerance then begin
+                incr improved;
+                Fmt.pr "note: %s improved %.3f points (%.3f -> %.3f)@." path
+                  (-.worse) base now
+              end
+          | (Latency | Rate) when base > 0.0 ->
+              incr compared;
+              let delta = (now -. base) /. base *. 100.0 in
+              (* A latency regresses by growing, a throughput by
+                 shrinking; express both as "how far in the bad
+                 direction". *)
+              let worse = match kind with Latency -> delta | _ -> -.delta in
+              if worse > tolerance then begin
+                incr failures;
+                Fmt.pr "FAIL: %s regressed %+.1f%% (%.3f -> %.3f)@." path delta
+                  base now
+              end
+              else if worse < -.tolerance then begin
+                incr improved;
+                Fmt.pr "note: %s improved %+.1f%% (%.3f -> %.3f)@." path delta
+                  base now
+              end
+          | Latency | Rate -> incr compared))
     base_metrics;
   List.iter
     (fun (path, _) ->

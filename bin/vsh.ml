@@ -38,6 +38,7 @@ type shell = {
   mutable injector : Vfault.Injector.t option;
   mutable replicas : Vservices.Replica.t option;
   mutable domains : domains_state option;
+  mutable admission_on : bool;
 }
 
 let pr fmt = Fmt.pr (fmt ^^ "@.")
@@ -656,6 +657,90 @@ let print_rows ~header rows =
   pr "%s" (render header);
   List.iter (fun row -> pr "%s" (render row)) rows
 
+(* Overload protection from the shell: install the calibrated admission
+   policies on every server of the installation — file servers shed
+   against a disk-page budget, prefix and domain servers against a
+   name-lookup budget — and read back the admitted/shed/queue-depth
+   counters. The kernel's admit/shed counters also land in `metrics`
+   under (host, kernel, admit|shed); `admission status` additionally
+   samples per-server queue depths as gauges so they show there too. *)
+let admission_targets sh =
+  let t = sh.scenario in
+  let fs =
+    Array.to_list t.Scenario.file_servers
+    |> List.map (fun f -> (File_server.name f, `Fs f))
+  in
+  let ws =
+    Array.to_list t.Scenario.workstations
+    |> List.map (fun w ->
+           (w.Scenario.ws_name ^ "-prefix", `Prefix w.Scenario.ws_prefix))
+  in
+  let ds =
+    match sh.domains with
+    | None -> []
+    | Some st ->
+        Array.to_list st.chain
+        |> List.map (fun d -> (Domain_server.name d, `Domain d))
+  in
+  fs @ ws @ ds
+
+let target_pid = function
+  | `Fs f -> File_server.pid f
+  | `Prefix p -> Prefix_server.pid p
+  | `Domain d -> Domain_server.pid d
+
+let cmd_admission sh args =
+  let t = sh.scenario in
+  let d = t.Scenario.domain in
+  let module Admission = Vservices.Admission in
+  match args with
+  | [ "on" ] ->
+      List.iter
+        (fun (_, tgt) ->
+          match tgt with
+          | `Fs f -> File_server.enable_admission f d ()
+          | `Prefix p -> Admission.protect_prefix_server d p ()
+          | `Domain ds -> Domain_server.enable_admission ds d ())
+        (admission_targets sh);
+      sh.admission_on <- true;
+      pr "admission control on: file, prefix and domain servers protected";
+      Ok ()
+  | [ "off" ] ->
+      List.iter
+        (fun (_, tgt) ->
+          match tgt with
+          | `Fs f -> File_server.disable_admission f d
+          | `Prefix p -> Admission.uninstall d (Prefix_server.pid p)
+          | `Domain ds -> Domain_server.disable_admission ds d)
+        (admission_targets sh);
+      sh.admission_on <- false;
+      pr "admission control off";
+      Ok ()
+  | [] | [ "status" ] ->
+      pr "admission control %s" (if sh.admission_on then "on" else "off");
+      if sh.admission_on then begin
+        let m = Vobs.Hub.metrics t.Scenario.obs in
+        print_rows
+          ~header:[ "server"; "pid"; "queue"; "admitted"; "shed" ]
+          (List.map
+             (fun (label, tgt) ->
+               let pid = target_pid tgt in
+               let depth = Admission.queue_depth d pid in
+               let admitted, shed = Admission.counters d pid in
+               Vobs.Metrics.set_gauge m ~host:label ~server:"admission"
+                 ~op:"queue-depth" (float_of_int depth);
+               [
+                 label;
+                 string_of_int (Vkernel.Pid.to_int pid);
+                 string_of_int depth;
+                 string_of_int admitted;
+                 string_of_int shed;
+               ])
+             (admission_targets sh))
+      end;
+      Ok ()
+  | _ -> Error (Vio.Verr.Protocol "usage: admission on | off | status")
+
 (* Counters, gauges and histograms as stable tables: rows sorted by
    (host, server, op) — the registry guarantees the order — histograms
    carrying their quantile columns so a latency regression is visible
@@ -793,6 +878,7 @@ let commands :
     ("domains", "on [DEPTH] | off | tree | resolve NAME | ttl — federated name domains", cmd_domains);
     ("trace", "[ID] — span tree of the last (or given) traced request", cmd_trace);
     ("cache", "[on|off|stats] — the name-resolution cache", cmd_cache);
+    ("admission", "on | off | status — server overload protection", cmd_admission);
     ("metrics", "[json] — observability counters and histograms", cmd_metrics);
     ("events", "[N] — newest flight-recorder events (default 20)", cmd_events);
     ("slo", "— availability/latency objective summary", cmd_slo);
@@ -873,6 +959,12 @@ let demo_script =
     "cat a.txt";
     "cd [home]";
     "replicas off";
+    "echo -- overload protection --";
+    "admission on";
+    "write [home]burst.txt survives under admission control";
+    "cat [home]burst.txt";
+    "admission status";
+    "admission off";
     "echo -- failure and recovery --";
     "crash 0";
     "cat [storage]hello.txt";
@@ -912,6 +1004,7 @@ let run_shell script =
              injector = None;
              replicas = None;
              domains = None;
+             admission_on = false;
            }
          in
          List.iter (execute sh) script;

@@ -16,6 +16,9 @@ type code =
   | No_space  (** storage exhausted *)
   | Server_error
   | Retry  (** transient failure; the client may retry *)
+  | Busy
+      (** the server shed the request under overload; a retry-after hint
+          may ride in the reply message (see {!Vmsg.retry_after}) *)
 
 let to_int = function
   | Ok -> 0
@@ -32,6 +35,7 @@ let to_int = function
   | No_space -> 11
   | Server_error -> 12
   | Retry -> 13
+  | Busy -> 14
 
 let of_int = function
   | 0 -> Some Ok
@@ -48,6 +52,7 @@ let of_int = function
   | 11 -> Some No_space
   | 12 -> Some Server_error
   | 13 -> Some Retry
+  | 14 -> Some Busy
   | _ -> None
 
 let to_string = function
@@ -65,5 +70,6 @@ let to_string = function
   | No_space -> "no space"
   | Server_error -> "server error"
   | Retry -> "retry"
+  | Busy -> "busy"
 
 let pp ppf c = Fmt.string ppf (to_string c)

@@ -19,6 +19,9 @@ type code =
   | No_space  (** storage exhausted *)
   | Server_error
   | Retry  (** transient failure; the client may retry *)
+  | Busy
+      (** the server shed the request under overload (admission control);
+          the reply may carry a retry-after hint ({!Vmsg.retry_after}) *)
 
 val to_int : code -> int
 

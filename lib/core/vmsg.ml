@@ -44,6 +44,15 @@ type t = {
       (** resolution binding stamped into successful CSname replies *)
   wseq : wseq option;
       (** replicated-write sequence number stamped by the coordinator *)
+  deadline : float option;
+      (** absolute sim-time (ms) by which the client's operation budget
+          expires; stamped by a resilience-enabled runtime so admission
+          control can drop requests whose queue wait already exceeds it.
+          Rides the 32-byte message proper — no wire bytes. *)
+  retry_after : float option;
+      (** server-supplied retry-after hint (ms) riding a [Busy] reply:
+          the shedding server's own estimate of when capacity frees.
+          Rides the 32-byte message proper — no wire bytes. *)
 }
 
 (* --- operation codes --- *)
@@ -162,7 +171,7 @@ type payload +=
 
 let request ?name ?(extra_bytes = 0) ?(payload = No_payload) code =
   { code; is_reply = false; name; payload; extra_bytes; binding = None;
-    wseq = None }
+    wseq = None; deadline = None; retry_after = None }
 
 let reply ?(extra_bytes = 0) ?(payload = No_payload) code =
   {
@@ -173,6 +182,8 @@ let reply ?(extra_bytes = 0) ?(payload = No_payload) code =
     extra_bytes;
     binding = None;
     wseq = None;
+    deadline = None;
+    retry_after = None;
   }
 
 let ok ?extra_bytes ?payload () = reply ?extra_bytes ?payload Reply.Ok
@@ -200,6 +211,15 @@ let with_binding m binding = { m with binding = Some binding }
 
 (* Stamp the coordinator's (origin, seq) onto a fanned-out write. *)
 let with_wseq m wseq = { m with wseq = Some wseq }
+
+(* Stamp the client's absolute operation deadline onto a request. *)
+let with_deadline m deadline = { m with deadline = Some deadline }
+
+(* The overload rejection: a Busy reply carrying the shedding server's
+   retry-after estimate. Like [binding] and [wseq], the hint rides the
+   32-byte message proper and contributes nothing to [payload_bytes]. *)
+let busy ~retry_after_ms () =
+  { (reply Reply.Busy) with retry_after = Some retry_after_ms }
 
 (* --- kernel cost model --- *)
 

@@ -43,6 +43,13 @@ type t = {
       (** resolution binding stamped into successful CSname replies *)
   wseq : wseq option;
       (** replicated-write sequence number stamped by the coordinator *)
+  deadline : float option;
+      (** absolute sim-time (ms) by which the client's operation budget
+          expires; stamped by a resilience-enabled runtime, read by
+          admission control for deadline-aware drop. No wire bytes. *)
+  retry_after : float option;
+      (** retry-after hint (ms) riding a [Busy] reply: the shedding
+          server's estimate of when capacity frees. No wire bytes. *)
 }
 
 (** Operation codes. Codes in [\[100, 120)] are CSname requests and must
@@ -129,6 +136,15 @@ val with_binding : t -> binding -> t
 
 (** Stamp the coordinator's (origin, seq) onto a fanned-out write. *)
 val with_wseq : t -> wseq -> t
+
+(** Stamp the client's absolute operation deadline (sim ms) onto a
+    request, for deadline-aware admission drop at loaded servers. *)
+val with_deadline : t -> float -> t
+
+(** [busy ~retry_after_ms ()] is the overload rejection: a
+    [reply Busy] carrying the shedding server's retry-after estimate.
+    The hint adds no wire bytes (32-byte message proper). *)
+val busy : retry_after_ms:float -> unit -> t
 
 (** Wire bytes beyond the 32-byte message proper. *)
 val payload_bytes : t -> int

@@ -47,6 +47,10 @@ type t = {
   mutable next_ctx : Context.id;
   stats : Csnh.server_stats;
   mutable pid : Pid.t option;
+  (* Overload-protection policy; [None] = admission off. Like the
+     delegation tables, it survives [restart_from]: a protected domain
+     server comes back protected. *)
+  mutable admission_cfg : Vservices.Admission.config option;
 }
 
 let apex = Context.Well_known.default
@@ -60,6 +64,23 @@ let pid t =
 
 let spec t ?(context = apex) () = Context.spec ~server:(pid t) ~context
 let stats t = t.stats
+
+(* Overload protection: stored on the record, installed at every
+   (re)spawn — the same adoption pattern as {!Vservices.File_server}. *)
+let enable_admission t domain
+    ?(config = Vservices.Admission.name_server ()) () =
+  t.admission_cfg <- Some config;
+  match t.pid with
+  | Some p -> Vservices.Admission.install domain p config
+  | None -> ()
+
+let disable_admission t domain =
+  t.admission_cfg <- None;
+  match t.pid with
+  | Some p -> Vservices.Admission.uninstall domain p
+  | None -> ()
+
+let admission_config t = t.admission_cfg
 let table t ctx = Hashtbl.find_opt t.contexts ctx
 
 (* --- building the tree (configuration, not protocol) --- *)
@@ -313,7 +334,11 @@ let spawn_server host t =
         in
         loop ())
   in
-  t.pid <- Some server_pid
+  t.pid <- Some server_pid;
+  match t.admission_cfg with
+  | Some cfg ->
+      Vservices.Admission.install (Kernel.domain_of_host host) server_pid cfg
+  | None -> ()
 
 let start host ~name () =
   let t =
@@ -323,6 +348,7 @@ let start host ~name () =
       next_ctx = Context.Well_known.first_ordinary;
       stats = Csnh.make_stats name;
       pid = None;
+      admission_cfg = None;
     }
   in
   Hashtbl.replace t.contexts apex (Hashtbl.create 8);

@@ -49,6 +49,23 @@ val pid : t -> Pid.t
 val spec : t -> ?context:Context.id -> unit -> Context.spec
 val stats : t -> Csnh.server_stats
 
+(** {1 Overload protection}
+
+    Off by default; enabling stores the policy on the record and
+    installs it on the live process. Like the delegation tables, the
+    policy survives {!restart_from}. Default config:
+    {!Vservices.Admission.name_server}. *)
+
+val enable_admission :
+  t ->
+  Vmsg.t Kernel.domain ->
+  ?config:Vservices.Admission.config ->
+  unit ->
+  unit
+
+val disable_admission : t -> Vmsg.t Kernel.domain -> unit
+val admission_config : t -> Vservices.Admission.config option
+
 (** {1 Building the tree (configuration, not protocol)} *)
 
 (** Create a local sub-context named [component] under [ctx]

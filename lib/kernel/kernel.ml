@@ -58,6 +58,18 @@ type 'm packet =
 
 type 'm delivery = { d_sender : Pid.t; d_msg : 'm }
 
+(* What a per-process admission hook decided about an incoming request.
+   The kernel supplies the mechanism (bounded queues, priority lanes, a
+   kernel-level rejection reply); the policy — caps, deadline-aware
+   drop, retry-after hints — lives above, in the layer that understands
+   the message type (see [Vservices.Admission]). *)
+type 'm admission_verdict =
+  | Admit  (** enqueue on the interactive lane *)
+  | Admit_bulk  (** enqueue on the bulk lane, served after interactive *)
+  | Shed of 'm
+      (** reject now: the kernel replies with this message on the
+          server's behalf, without scheduling the server's fiber *)
+
 type 'm process = {
   pid : Pid.t;
   proc_name : string;
@@ -68,6 +80,19 @@ type 'm process = {
   mutable recv_filter : (Pid.t -> bool) option;
   mutable abort : (exn -> unit) option;
   mutable proc_alive : bool;
+  (* Overload protection, off ([None]) by default: with no hook
+     installed the request path costs exactly one extra word test. *)
+  mutable admission : 'm admission option;
+}
+
+and 'm admission = {
+  mutable ad_decide : now:float -> depth:int -> 'm -> 'm admission_verdict;
+  (* The bulk lane: requests classified [Admit_bulk] wait here and are
+     dequeued only when the interactive queue is empty, so cheap
+     resolution traffic overtakes queued bulk work. *)
+  ad_bulk : 'm delivery Queue.t;
+  mutable ad_admitted : int;
+  mutable ad_shed : int;
 }
 
 and 'm pending = {
@@ -319,6 +344,7 @@ let spawn host ?(name = "process") body =
       recv_filter = None;
       abort = None;
       proc_alive = true;
+      admission = None;
     }
   in
   Hashtbl.replace host.processes lp proc;
@@ -359,6 +385,34 @@ let deliver proc delivery =
         fire (Ok delivery)
     | Some _ | None -> Queue.add delivery proc.queue
   end
+
+(* Bulk-lane delivery (admission-controlled processes only): an idle
+   receiver is fired directly, otherwise the message waits behind every
+   queued interactive one. *)
+let deliver_bulk proc ad delivery =
+  if proc.proc_alive then begin
+    let matches =
+      match proc.recv_filter with
+      | None -> true
+      | Some f -> f delivery.d_sender
+    in
+    match proc.recv_waiter with
+    | Some fire when matches ->
+        proc.recv_waiter <- None;
+        proc.recv_filter <- None;
+        fire (Ok delivery)
+    | Some _ | None -> Queue.add delivery ad.ad_bulk
+  end
+
+(* Dequeue order: all interactive traffic first, then bulk. With no
+   admission hook this is exactly the single-queue take it always was. *)
+let take_delivery proc =
+  match Queue.take_opt proc.queue with
+  | Some _ as d -> d
+  | None -> (
+      match proc.admission with
+      | Some ad -> Queue.take_opt ad.ad_bulk
+      | None -> None)
 
 let register_serving host ~sender ~receiver ~txn =
   Hashtbl.replace host.serving (sender, receiver) txn
@@ -417,9 +471,53 @@ let remote_recv_cost d msg =
 
 (* --- request dispatch (Send and Forward share this) --- *)
 
+(* Complete a shed transaction on the server's behalf: resume a local
+   sender directly, or put the rejection on the wire towards a remote
+   one (cached for replay exactly like an ordinary reply). No server
+   fiber runs and no service time is charged — rejection is the cheap
+   path, which is the entire point of shedding early. *)
+let shed_reply host ~txn ~sender ~replier msg =
+  let d = host.domain in
+  match find_process d sender with
+  | Some sender_proc when sender_proc.proc_host == host ->
+      fill_pending host ~txn (Ok (msg, replier))
+  | Some sender_proc ->
+      let packet = Reply_pkt { txn; replier; msg } in
+      let bytes = message_payload_bytes d msg in
+      let dst = sender_proc.proc_host.addr in
+      if Hashtbl.length host.completed_replies > 4096 then
+        Hashtbl.reset host.completed_replies;
+      Hashtbl.replace host.completed_replies txn (dst, packet, bytes);
+      transmit host ~dst:(Ethernet.Unicast dst) ~payload_bytes:bytes packet
+  | None -> () (* sender died while blocked; nothing to resume *)
+
 let dispatch_local_request host ~txn ~sender ~target_proc msg =
-  register_serving host ~sender ~receiver:target_proc.pid ~txn;
-  deliver target_proc { d_sender = sender; d_msg = msg }
+  match target_proc.admission with
+  | None ->
+      register_serving host ~sender ~receiver:target_proc.pid ~txn;
+      deliver target_proc { d_sender = sender; d_msg = msg }
+  | Some ad -> (
+      let depth = Queue.length target_proc.queue + Queue.length ad.ad_bulk in
+      match ad.ad_decide ~now:(Engine.now host.domain.engine) ~depth msg with
+      | Admit ->
+          ad.ad_admitted <- ad.ad_admitted + 1;
+          count_op host "admit";
+          register_serving host ~sender ~receiver:target_proc.pid ~txn;
+          deliver target_proc { d_sender = sender; d_msg = msg }
+      | Admit_bulk ->
+          ad.ad_admitted <- ad.ad_admitted + 1;
+          count_op host "admit";
+          register_serving host ~sender ~receiver:target_proc.pid ~txn;
+          deliver_bulk target_proc ad { d_sender = sender; d_msg = msg }
+      | Shed reply_msg ->
+          ad.ad_shed <- ad.ad_shed + 1;
+          count_op host "shed";
+          if obs_on host then
+            event_log host ~cat:Vobs.Eventlog.Admission
+              ~trace:(host.domain.trace_of msg)
+              "shed %a -> %a (depth %d)" Pid.pp sender Pid.pp target_proc.pid
+              depth;
+          shed_reply host ~txn ~sender ~replier:target_proc.pid reply_msg)
 
 let dispatch_remote_request src_host ~dst_addr ~txn ~sender ~target msg =
   transmit src_host ~dst:(Ethernet.Unicast dst_addr)
@@ -603,7 +701,7 @@ let send proc ?buffer target msg =
 let receive proc =
   check_alive proc;
   let d =
-    match Queue.take_opt proc.queue with
+    match take_delivery proc with
     | Some delivery -> delivery
     | None ->
         block proc (fun fire ->
@@ -620,18 +718,29 @@ let receive proc =
    Other messages stay queued. *)
 let receive_where proc ~from =
   check_alive proc;
-  let rec find_queued acc =
-    match Queue.take_opt proc.queue with
-    | None ->
-        List.iter (fun x -> Queue.add x proc.queue) (List.rev acc);
-        None
-    | Some delivery when from delivery.d_sender ->
-        List.iter (fun x -> Queue.add x proc.queue) (List.rev acc);
-        Some delivery
-    | Some other -> find_queued (other :: acc)
+  let find_queued_in q =
+    let rec go acc =
+      match Queue.take_opt q with
+      | None ->
+          List.iter (fun x -> Queue.add x q) (List.rev acc);
+          None
+      | Some delivery when from delivery.d_sender ->
+          List.iter (fun x -> Queue.add x q) (List.rev acc);
+          Some delivery
+      | Some other -> go (other :: acc)
+    in
+    go []
+  in
+  let find_queued () =
+    match find_queued_in proc.queue with
+    | Some _ as d -> d
+    | None -> (
+        match proc.admission with
+        | Some ad -> find_queued_in ad.ad_bulk
+        | None -> None)
   in
   let d =
-    match find_queued [] with
+    match find_queued () with
     | Some delivery -> delivery
     | None ->
         block proc (fun fire ->
@@ -720,6 +829,59 @@ let forward proc ~from_ ~to_ msg =
           | Some pending -> arm_forward_recovery host ~txn pending ~dst_addr resend
           | None -> ());
           Ok ())
+
+(* --- admission control (overload protection) --- *)
+
+(* Install (or replace) the admission hook on [pid]. The kernel owns
+   the mechanism only: every local-dispatch request to [pid] is put to
+   [decide], which sorts it onto the interactive or bulk lane or sheds
+   it with a kernel-level reply. Replacing a live hook keeps the bulk
+   queue and counters — a policy change mid-run does not lose admitted
+   work. *)
+let set_admission d pid decide =
+  match find_process d pid with
+  | None -> ()
+  | Some proc -> (
+      match proc.admission with
+      | Some ad -> ad.ad_decide <- decide
+      | None ->
+          proc.admission <-
+            Some
+              {
+                ad_decide = decide;
+                ad_bulk = Queue.create ();
+                ad_admitted = 0;
+                ad_shed = 0;
+              })
+
+(* Remove the hook; admitted bulk work drains back into the main queue
+   so nothing already accepted is lost. *)
+let clear_admission d pid =
+  match find_process d pid with
+  | None -> ()
+  | Some proc -> (
+      match proc.admission with
+      | None -> ()
+      | Some ad ->
+          Queue.transfer ad.ad_bulk proc.queue;
+          proc.admission <- None)
+
+(* Undelivered requests queued at [pid], both lanes. *)
+let queue_depth d pid =
+  match find_process d pid with
+  | None -> 0
+  | Some proc ->
+      Queue.length proc.queue
+      + (match proc.admission with
+        | Some ad -> Queue.length ad.ad_bulk
+        | None -> 0)
+
+(* [(admitted, shed)] since the hook was installed; [(0, 0)] without
+   one. *)
+let admission_counters d pid =
+  match find_process d pid with
+  | Some { admission = Some ad; _ } -> (ad.ad_admitted, ad.ad_shed)
+  | _ -> ((0, 0) : int * int)
 
 (* --- MoveTo / MoveFrom --- *)
 

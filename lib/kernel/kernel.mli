@@ -139,6 +139,51 @@ val reply : 'm self -> to_:Pid.t -> 'm -> (unit, error) result
     interpretation rides on (§5.4). *)
 val forward : 'm self -> from_:Pid.t -> to_:Pid.t -> 'm -> (unit, error) result
 
+(** {1 Admission control (overload protection)}
+
+    Off by default: a process without a hook pays one extra word test
+    on the request path and behaves exactly as before. The kernel owns
+    the {e mechanism} — two queues per protected process (interactive
+    ahead of bulk), a counter pair, and a kernel-level rejection reply
+    sent on the server's behalf without scheduling its fiber. The
+    {e policy} (queue caps, deadline-aware drop, lane classification,
+    retry-after hints) lives above the kernel in [Vservices.Admission],
+    where the message type is understood.
+
+    Group (multicast) deliveries bypass admission deliberately: a
+    fan-out member that silently shed a group write would diverge from
+    its peers. *)
+
+(** What the admission hook decided about an incoming request. *)
+type 'm admission_verdict =
+  | Admit  (** enqueue on the interactive lane *)
+  | Admit_bulk  (** enqueue on the bulk lane, served after interactive *)
+  | Shed of 'm
+      (** reject now: the kernel replies with this message on the
+          server's behalf, without scheduling the server's fiber *)
+
+(** [set_admission d pid decide] installs (or replaces) the admission
+    hook on [pid]. [decide ~now ~depth msg] sees the simulated time and
+    the total queued depth (both lanes) {e before} [msg] is enqueued.
+    Replacing a live hook keeps the bulk queue and counters. No-op for
+    unknown pids. *)
+val set_admission :
+  'm domain ->
+  Pid.t ->
+  (now:float -> depth:int -> 'm -> 'm admission_verdict) ->
+  unit
+
+(** Remove the hook; queued bulk work drains back into the main queue. *)
+val clear_admission : 'm domain -> Pid.t -> unit
+
+(** Undelivered requests queued at [pid] (both lanes); 0 for unknown
+    pids. *)
+val queue_depth : 'm domain -> Pid.t -> int
+
+(** [(admitted, shed)] since the hook was installed; [(0, 0)] without
+    one. *)
+val admission_counters : 'm domain -> Pid.t -> int * int
+
 (** {1 Bulk transfer} *)
 
 (** Read [len] bytes from the buffer the blocked [sender] exposed. *)

@@ -18,7 +18,7 @@
    time), and [dropped] counts what the trim discarded so a dump that
    lost its beginning says so instead of pretending to be complete. *)
 
-type cat = Kernel | Net | Fault | Replica | Balancer | Client | Slo
+type cat = Kernel | Net | Fault | Replica | Balancer | Client | Slo | Admission
 
 let cat_to_string = function
   | Kernel -> "kernel"
@@ -28,6 +28,7 @@ let cat_to_string = function
   | Balancer -> "balancer"
   | Client -> "client"
   | Slo -> "slo"
+  | Admission -> "admission"
 
 type event = {
   seq : int;  (* monotonic, survives trimming: gaps reveal drops *)

@@ -8,7 +8,7 @@
     Nothing here reads the simulation clock — callers pass [~at] — so
     runs are bit-identical with the recorder on or off. *)
 
-type cat = Kernel | Net | Fault | Replica | Balancer | Client | Slo
+type cat = Kernel | Net | Fault | Replica | Balancer | Client | Slo | Admission
 
 val cat_to_string : cat -> string
 

@@ -478,6 +478,14 @@ let transact_name env ~code ?payload ?extra_bytes name =
   let attempt r =
     let req = obs_attach env root r.req in
     let msg = Vmsg.request ~name:req ?payload ?extra_bytes code in
+    (* A resilience-enabled client stamps its absolute operation
+       deadline so a loaded server's admission control can drop the
+       request rather than queue it past the point of usefulness. *)
+    let msg =
+      match env.resilience with
+      | Some p -> Vmsg.with_deadline msg (t0 +. p.Vio.Resilience.deadline_ms)
+      | None -> msg
+    in
     match Kernel.send env.self r.target msg with
     | Error e -> Error (Vio.Verr.Ipc e)
     | Ok (reply, replier) -> (
@@ -600,9 +608,14 @@ let open_ env ~mode name =
   let root = obs_root env ~op:span_op ~context:env.current.Context.context in
   let attempt r =
     let req = obs_attach env root r.req in
+    let deadline =
+      Option.map
+        (fun p -> t0 +. p.Vio.Resilience.deadline_ms)
+        env.resilience
+    in
     Vio.Client.open_at env.self
       ~learn:(fun b -> learn_from_reply env name (Some b))
-      ~server:r.target ~req ~mode ()
+      ?deadline ~server:r.target ~req ~mode ()
   in
   let first_route = ref (Some first) in
   let last_target = ref None in

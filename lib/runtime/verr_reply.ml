@@ -1,7 +1,5 @@
-(* Reply checking shared by the run-time stubs. *)
+(* Reply checking shared by the run-time stubs. Delegates to
+   [Vio.Verr.of_reply] so a Busy rejection surfaces as [Verr.Busy] with
+   its retry-after hint here exactly as it does in the client stubs. *)
 
-let check (m : Vnaming.Vmsg.t) =
-  match Vnaming.Vmsg.reply_code m with
-  | Some Vnaming.Reply.Ok -> Ok m
-  | Some code -> Error (Vio.Verr.Denied code)
-  | None -> Error (Vio.Verr.Protocol "expected a reply message")
+let check (m : Vnaming.Vmsg.t) = Vio.Verr.of_reply m

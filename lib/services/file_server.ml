@@ -54,9 +54,28 @@ type t = {
   mutable pid : Pid.t option;
   (* Hub and host name for byte-count metrics, set at spawn. *)
   mutable obs : (Vobs.Hub.t * string) option;
+  (* Overload-protection policy; [None] = admission off. Survives
+     [restart_from] (the record is copied), so a protected server
+     rebooted over its disk comes back protected. *)
+  mutable admission_cfg : Admission.config option;
 }
 
 let pid t = match t.pid with Some p -> p | None -> failwith "file server not started"
+
+(* Overload protection: store the policy on the record and install it
+   on the live serving process; [spawn_server] re-installs on every
+   (re)boot, so protection survives [restart_from]. *)
+let enable_admission t domain ?(config = Admission.file_server ()) () =
+  t.admission_cfg <- Some config;
+  match t.pid with
+  | Some p -> Admission.install domain p config
+  | None -> ()
+
+let disable_admission t domain =
+  t.admission_cfg <- None;
+  match t.pid with Some p -> Admission.uninstall domain p | None -> ()
+
+let admission_config t = t.admission_cfg
 let fs t = t.fs
 let applied_wseq t ~origin = Seq_guard.applied_seq t.guard ~origin
 let disk t = t.disk
@@ -586,6 +605,9 @@ let spawn_server host t scope =
         Csnh.serve self ~stats:t.stats (handlers self))
   in
   t.pid <- Some server_pid;
+  (match t.admission_cfg with
+  | Some cfg -> Admission.install (Kernel.domain_of_host host) server_pid cfg
+  | None -> ());
   Kernel.set_pid host ~service:Service.Id.storage server_pid scope
 
 (* [restart_from old host] boots a fresh server process over the state
@@ -635,6 +657,7 @@ let start host ~name ?(owner = "system") ?(scope = Service.Both) () =
       guard = Seq_guard.create ();
       pid = None;
       obs = None;
+      admission_cfg = None;
     }
   in
   (* Standard layout. *)

@@ -29,6 +29,20 @@ val start :
 val pid : t -> Pid.t
 val name : t -> string
 
+(** {1 Overload protection}
+
+    Off by default. Enabling stores the policy on the server record and
+    installs it on the live serving process; [restart_from] re-installs
+    it on the replacement process automatically. *)
+
+(** [enable_admission t domain ()] — default config
+    {!Admission.file_server}. *)
+val enable_admission :
+  t -> Vmsg.t Kernel.domain -> ?config:Admission.config -> unit -> unit
+
+val disable_admission : t -> Vmsg.t Kernel.domain -> unit
+val admission_config : t -> Admission.config option
+
 (** Boot a fresh server process over the state of a crashed one: the
     disk and directory structure survive, buffered pages and open
     instances do not. The new process has a new pid and re-registers the

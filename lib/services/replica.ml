@@ -71,6 +71,29 @@ let install domain ?(service = Service.Id.replica_storage)
 
 let uninstall t = Kernel.clear_service_group t.domain ~service:t.service
 
+(* Overload-protect the whole replica set. Each member gets the
+   file-server policy — under which coordinator-stamped fan-out writes
+   are always admitted, so write-all ordering is never broken by a
+   member shedding — and the coordinating prefix server [ps] gets the
+   coordinator policy sized to the replication factor: the one place
+   replicated-write backpressure is applied. Members protect their
+   replacements automatically across [revive] (the config rides the
+   file-server record through [restart_from]). *)
+let protect t ?config ps =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> Admission.coordinator ~replicas:(factor t) ()
+  in
+  List.iter
+    (fun (_, fs) -> File_server.enable_admission fs t.domain ())
+    t.members;
+  Admission.install t.domain (Prefix_server.pid ps) cfg
+
+let unprotect t ps =
+  List.iter (fun (_, fs) -> File_server.disable_admission fs t.domain) t.members;
+  Admission.uninstall t.domain (Prefix_server.pid ps)
+
 let metric t host op =
   match Kernel.obs t.domain with
   | None -> ()

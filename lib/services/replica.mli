@@ -32,6 +32,17 @@ val install :
 (** Drop the service→group binding; GetPid reverts to broadcast. *)
 val uninstall : t -> unit
 
+(** [protect t ps] overload-protects the replica set: every member gets
+    the {!Admission.file_server} policy (stamped fan-out writes always
+    admitted) and the coordinating prefix server [ps] gets
+    {!Admission.coordinator} sized to the replication factor — the one
+    place replicated-write backpressure is applied. Survives
+    {!revive}. [?config] overrides the coordinator policy. *)
+val protect : t -> ?config:Admission.config -> Prefix_server.t -> unit
+
+(** Undo {!protect} on members and coordinator. *)
+val unprotect : t -> Prefix_server.t -> unit
+
 val service : t -> int
 val group : t -> int
 val policy : t -> Balancer.policy

@@ -37,11 +37,16 @@ let transact self ~server msg =
    server (no prefix routing), returning the instance and the
    implementing server. [?learn] receives the resolution binding the
    replying server stamped into a successful reply, so the naming layer
-   can feed its cache without this module knowing about caching. *)
-let open_at self ?learn ~server ~req ~mode () =
+   can feed its cache without this module knowing about caching.
+   [?deadline] stamps the client's absolute operation deadline for
+   admission control at a loaded server. *)
+let open_at self ?learn ?deadline ~server ~req ~mode () =
   charge_stub self;
   let msg =
     Vmsg.request ~name:req ~payload:(Vmsg.P_open { mode }) Vmsg.Op.open_instance
+  in
+  let msg =
+    match deadline with Some d -> Vmsg.with_deadline msg d | None -> msg
   in
   match transact self ~server msg with
   | Error e -> Error e

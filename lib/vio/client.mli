@@ -19,10 +19,13 @@ val block_size : remote_instance -> int
 
 (** Send CreateInstance directly to [server] (no prefix routing).
     [?learn] receives the resolution binding a successful reply was
-    stamped with, letting the naming layer feed its cache. *)
+    stamped with, letting the naming layer feed its cache. [?deadline]
+    stamps the client's absolute operation deadline (sim ms) for
+    admission control at a loaded server. *)
 val open_at :
   Vnaming.Vmsg.t Kernel.self ->
   ?learn:(Vnaming.Vmsg.binding -> unit) ->
+  ?deadline:float ->
   server:Pid.t ->
   req:Vnaming.Csname.req ->
   mode:Vnaming.Vmsg.open_mode ->

@@ -42,17 +42,21 @@ let retryable = function
   | Verr.Ipc Vkernel.Kernel.Nonexistent_process
   | Verr.Ipc Vkernel.Kernel.No_reply
   | Verr.Denied Vnaming.Reply.Retry
-  | Verr.Denied Vnaming.Reply.No_server ->
+  | Verr.Denied Vnaming.Reply.No_server
+  | Verr.Busy _ ->
       true
   | Verr.Ipc _ | Verr.Denied _ | Verr.Protocol _ | Verr.Unavailable _ -> false
 
 (* Transport-level failures, where the retry should first re-resolve
    its route (GetPid / rebind) because the server itself may be gone —
    as opposed to server denials, which came from a live server and
-   would be answered identically by any replica. *)
+   would be answered identically by any replica. Busy is emphatically
+   not rebind-worthy: the server is alive and told us when to come
+   back; re-resolving would stampede its replicas. *)
 let rebind_worthy = function
   | Verr.Ipc _ -> true
-  | Verr.Denied _ | Verr.Protocol _ | Verr.Unavailable _ -> false
+  | Verr.Denied _ | Verr.Busy _ | Verr.Protocol _ | Verr.Unavailable _ ->
+      false
 
 (* Exponential backoff with equal jitter: attempt [n] (1-based count of
    failures so far) waits cap/2 + U[0, cap/2) where cap doubles per
@@ -69,11 +73,29 @@ let backoff_ms policy prng ~attempt =
    deadline. *)
 type verdict = Retry_after of float | Give_up
 
+(* The least budget a retry needs left after its backoff to be worth
+   firing: an attempt that would wake with (almost) no deadline
+   remaining is doomed — give up now rather than burn a send on it.
+   Scaled to the policy so short-deadline policies keep their edge. *)
+let min_residual_ms policy =
+  Float.max 1.0
+    (Float.min policy.base_backoff_ms (0.01 *. policy.deadline_ms))
+
 let next_step policy prng ~attempt ~elapsed_ms err =
   if (not (retryable err)) || attempt > policy.max_retries then Give_up
   else
-    let wait = backoff_ms policy prng ~attempt in
-    if elapsed_ms +. wait >= policy.deadline_ms then Give_up
+    let wait =
+      match err with
+      | Verr.Busy { retry_after_ms } when retry_after_ms > 0.0 ->
+          (* The server said when capacity frees; trust it over the
+             computed schedule (no max_backoff clamp — the server knows
+             its queue). Jitter up to +50% so synchronised victims of
+             one shed wave do not return as one wave. *)
+          retry_after_ms +. (Vsim.Prng.float prng *. (retry_after_ms /. 2.0))
+      | _ -> backoff_ms policy prng ~attempt
+    in
+    if elapsed_ms +. wait +. min_residual_ms policy >= policy.deadline_ms then
+      Give_up
     else Retry_after wait
 
 (* The error surfaced when the loop gives up on a retryable failure:

@@ -18,13 +18,15 @@ val pp_policy : Format.formatter -> policy -> unit
 
 (** Transient failures worth re-issuing: [Ipc Timeout],
     [Ipc Nonexistent_process] (stale pid — re-resolution may find a
-    successor), [Ipc No_reply], [Denied Retry] and [Denied No_server]
-    (the implementer is down or its GetPid reply was lost). Other
-    denials, protocol errors and [Unavailable] are permanent. *)
+    successor), [Ipc No_reply], [Denied Retry], [Denied No_server]
+    (the implementer is down or its GetPid reply was lost), and [Busy]
+    (the server shed under overload and will recover). Other denials,
+    protocol errors and [Unavailable] are permanent. *)
 val retryable : Verr.t -> bool
 
 (** Transport-level failures whose retry should first re-resolve its
-    route (the server may be gone); server denials are not. *)
+    route (the server may be gone); server denials are not, and neither
+    is [Busy] — the server is alive and said when to come back. *)
 val rebind_worthy : Verr.t -> bool
 
 (** [backoff_ms p prng ~attempt] for 1-based failure count [attempt]:
@@ -33,9 +35,17 @@ val backoff_ms : policy -> Vsim.Prng.t -> attempt:int -> float
 
 type verdict = Retry_after of float | Give_up
 
+(** The least deadline budget a retry must have left {e after} its
+    backoff to be worth firing:
+    [max 1.0 (min base_backoff_ms (deadline_ms / 100))]. *)
+val min_residual_ms : policy -> float
+
 (** Decide what follows the [attempt]-th failure, [elapsed_ms] into the
-    operation: a jittered backoff that still fits the deadline, or give
-    up. *)
+    operation: a jittered backoff that still fits the deadline (with
+    {!min_residual_ms} budget to spare), or give up. A {!Verr.Busy}
+    failure carrying a positive retry-after hint waits the hint instead
+    of the computed backoff — jittered up to +50%, not clamped by
+    [max_backoff_ms], still deadline-checked. *)
 val next_step :
   policy -> Vsim.Prng.t -> attempt:int -> elapsed_ms:float -> Verr.t -> verdict
 

@@ -4,6 +4,9 @@
 type t =
   | Ipc of Vkernel.Kernel.error  (** the message transaction itself failed *)
   | Denied of Vnaming.Reply.code  (** the server's reply code *)
+  | Busy of { retry_after_ms : float }
+      (** the server shed the request under overload; the hint is its
+          own estimate of when capacity frees *)
   | Protocol of string  (** reply malformed for the request sent *)
   | Unavailable of { attempts : int; last : string }
       (** the resilience policy gave up: retries or the per-operation
@@ -12,15 +15,25 @@ type t =
 let pp ppf = function
   | Ipc e -> Fmt.pf ppf "ipc: %a" Vkernel.Kernel.pp_error e
   | Denied c -> Fmt.pf ppf "%a" Vnaming.Reply.pp c
+  | Busy { retry_after_ms } ->
+      Fmt.pf ppf "busy (retry after %.0fms)" retry_after_ms
   | Protocol s -> Fmt.pf ppf "protocol: %s" s
   | Unavailable { attempts; last } ->
       Fmt.pf ppf "unavailable after %d attempts (last: %s)" attempts last
 
 let to_string e = Fmt.str "%a" pp e
 
-(* Collapse a reply message into [Ok payload] or the failure it encodes. *)
+(* Collapse a reply message into [Ok payload] or the failure it encodes.
+   A Busy reply surfaces as [Busy] carrying the server's retry-after
+   hint (0 when the server supplied none), never as a plain [Denied],
+   so retry policies can tell overload from refusal. *)
 let of_reply (m : Vnaming.Vmsg.t) =
   match Vnaming.Vmsg.reply_code m with
   | Some Vnaming.Reply.Ok -> Ok m
+  | Some Vnaming.Reply.Busy ->
+      let retry_after_ms =
+        match m.Vnaming.Vmsg.retry_after with Some h -> h | None -> 0.0
+      in
+      Error (Busy { retry_after_ms })
   | Some code -> Error (Denied code)
   | None -> Error (Protocol "expected a reply message")

@@ -4,6 +4,11 @@
 type t =
   | Ipc of Vkernel.Kernel.error  (** the message transaction failed *)
   | Denied of Vnaming.Reply.code  (** the server's failure reply code *)
+  | Busy of { retry_after_ms : float }
+      (** the server shed the request under overload ([Reply.Busy]); the
+          hint is the server's own estimate (ms) of when capacity frees,
+          0 when it supplied none. {!Resilience.next_step} lets the hint
+          override its computed backoff. *)
   | Protocol of string  (** reply malformed for the request sent *)
   | Unavailable of { attempts : int; last : string }
       (** the resilience policy gave up ({!Resilience}): bounded retries

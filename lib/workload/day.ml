@@ -103,7 +103,7 @@ let user_day ?resilience ?(on_op = fun ~t0:_ ~t1:_ (_ : (unit, Vio.Verr.t) resul
                match e with
                | Vio.Verr.Ipc _ | Vio.Verr.Unavailable _ ->
                    totals.ipc_failures <- totals.ipc_failures + 1
-               | Vio.Verr.Denied _ | Vio.Verr.Protocol _ ->
+               | Vio.Verr.Denied _ | Vio.Verr.Busy _ | Vio.Verr.Protocol _ ->
                    totals.denied <- totals.denied + 1)
          in
          let iteration i =

@@ -44,6 +44,16 @@ type meta_cell = {
 let run_meta : (string * meta_cell) list ref = ref []
 let current_meta : meta_cell option ref = ref None
 
+(* Short names of experiments deliberately retired from the suite. The
+   bench-regression gate fails when a baseline metric disappears from a
+   fresh run unless its experiment is listed here ("_meta"."removed") —
+   a retirement must be declared, not inferred from absence. *)
+let removed_experiments : string list ref = ref []
+
+let note_removed name =
+  if not (List.mem name !removed_experiments) then
+    removed_experiments := !removed_experiments @ [ name ]
+
 let begin_experiment name =
   let cell =
     { m_seed = None; m_horizon = None; m_events = None; m_wall_s = None }
@@ -88,11 +98,16 @@ let meta_json () =
       !run_meta
   in
   Json.Obj
-    [
-      ("tool", Json.String tool);
-      ("version", Json.String tool_version);
-      ("experiments", Json.Obj experiments);
-    ]
+    ([
+       ("tool", Json.String tool);
+       ("version", Json.String tool_version);
+       ("experiments", Json.Obj experiments);
+     ]
+    @
+    match !removed_experiments with
+    | [] -> []
+    | names ->
+        [ ("removed", Json.List (List.map (fun n -> Json.String n) names)) ])
 
 let results_json () =
   let fields =
@@ -108,7 +123,8 @@ let reset_results () =
   json_store := [];
   current_title := "(untitled)";
   run_meta := [];
-  current_meta := None
+  current_meta := None;
+  removed_experiments := []
 
 let print_title title =
   current_title := title;

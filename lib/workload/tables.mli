@@ -53,6 +53,13 @@ val note_meta :
   unit ->
   unit
 
+(** [note_removed name] declares experiment [name] (short name, e.g.
+    ["e5"]) deliberately retired: it is listed under
+    ["_meta"."removed"], which downgrades the bench-regression gate's
+    missing-baseline-metric failure to a warning for that experiment.
+    Regenerating the baseline is the permanent fix. *)
+val note_removed : string -> unit
+
 (** Everything recorded so far: an object mapping each title to its
     entries, in print order, preceded by ["_meta"] when the harness
     opened experiment entries. *)

@@ -137,6 +137,33 @@ let test_next_step_and_give_up () =
    with
   | Resilience.Give_up -> ()
   | Retry_after _ -> Alcotest.fail "deadline must bound the loop");
+  (* Deadline edge: a retry whose backoff fits the raw deadline but
+     leaves less than min_residual_ms of budget to actually run in must
+     not fire — it would burn an attempt on an already-doomed try. A
+     4ms Busy hint jitters into [4, 6), and min_residual here is
+     max 1 (min 50 (1% of 1000)) = 10ms, so at elapsed 988 every draw
+     lands in [992, 994): under the 1000ms deadline, yet doomed. *)
+  let edge =
+    {
+      p with
+      Resilience.deadline_ms = 1000.0;
+      Resilience.base_backoff_ms = 50.0;
+    }
+  in
+  Alcotest.(check (float 1e-9))
+    "min residual budget" 10.0
+    (Resilience.min_residual_ms edge);
+  let hinted = Verr.Busy { retry_after_ms = 4.0 } in
+  for _ = 1 to 25 do
+    (match Resilience.next_step edge prng ~attempt:1 ~elapsed_ms:988.0 hinted with
+    | Resilience.Give_up -> ()
+    | Retry_after w ->
+        Alcotest.failf "doomed retry fired %.2fms before the deadline"
+          (edge.Resilience.deadline_ms -. 988.0 -. w));
+    match Resilience.next_step edge prng ~attempt:1 ~elapsed_ms:980.0 hinted with
+    | Resilience.Retry_after _ -> ()
+    | Give_up -> Alcotest.fail "a retry with residual budget must fire"
+  done;
   (match Resilience.give_up ~attempts:5 (Verr.Ipc K.Timeout) with
   | Verr.Unavailable { attempts = 5; _ } -> ()
   | e -> Alcotest.failf "expected Unavailable, got %a" Verr.pp e);

@@ -19,6 +19,7 @@ let () =
          Test_recorder.suite;
          Test_cache.suite;
          Test_fault.suite;
+         Test_admission.suite;
          Test_replication.suite;
          Test_domains.suite;
        ])
