@@ -4,6 +4,18 @@
 
      dune exec bench/compare.exe -- BASELINE.json FRESH.json
                                     [--tolerance PCT]
+     dune exec bench/compare.exe -- --check FRESH.json
+
+   The --check form gates a run with no baseline at all: it fails only
+   on incompleteness, invariant violations and SLO breaches. The
+   nightly soak lane uses it — a 100k-host run has no pinned baseline
+   to diff against, but a correctness violation at scale must still
+   fail the job.
+
+   Both forms append a per-metric markdown gate table to the file named
+   by $GITHUB_STEP_SUMMARY when that variable is set (the GitHub
+   Actions job-summary protocol), and print the same markdown to
+   stdout when it is not.
 
    The gate fails (exit 1) when any of these holds:
 
@@ -53,7 +65,9 @@
 module Json = Vobs.Json
 
 let fail_usage () =
-  Fmt.epr "usage: compare BASELINE.json FRESH.json [--tolerance PCT]@.";
+  Fmt.epr
+    "usage: compare BASELINE.json FRESH.json [--tolerance PCT]@.       \
+     compare --check FRESH.json@.";
   exit 2
 
 let read_file path =
@@ -246,19 +260,51 @@ let warn_seed_mismatches baseline fresh =
       | _ -> ())
     fresh_seeds
 
+(* --- the job-summary gate table --- *)
+
+(* One table row per gated metric: path, baseline, fresh, delta,
+   verdict. Appended to $GITHUB_STEP_SUMMARY (the GitHub Actions
+   job-summary protocol) when set, printed to stdout otherwise, so the
+   per-metric verdicts land in the PR's checks UI without digging
+   through the job log. *)
+type row = {
+  metric : string;
+  base_v : string;
+  fresh_v : string;
+  delta : string;
+  verdict : string;
+}
+
+(* '|' would break the markdown table cell. *)
+let md_cell s = String.map (fun c -> if c = '|' then '/' else c) s
+
+let emit_summary ~title rows footer =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Fmt.str "### %s\n\n" title);
+  if rows <> [] then begin
+    Buffer.add_string buf
+      "| metric | baseline | fresh | delta | verdict |\n\
+       |---|---:|---:|---:|---|\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Fmt.str "| %s | %s | %s | %s | %s |\n" (md_cell r.metric) r.base_v
+             r.fresh_v r.delta r.verdict))
+      rows
+  end;
+  Buffer.add_string buf ("\n" ^ footer ^ "\n");
+  match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+  | Some path when path <> "" ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc
+  | _ -> print_string (Buffer.contents buf)
+
 (* --- the gate --- *)
 
-let () =
-  let baseline_file, fresh_file, tolerance =
-    match Array.to_list Sys.argv with
-    | [ _; b; f ] -> (b, f, 10.0)
-    | [ _; b; f; "--tolerance"; t ] -> (
-        match float_of_string_opt t with
-        | Some t when t >= 0.0 -> (b, f, t)
-        | _ -> fail_usage ())
-    | _ -> fail_usage ()
-  in
-  let baseline = load baseline_file and fresh = load fresh_file in
+(* Checks shared by both modes: a partial dump, an invariant violation
+   or an SLO breach each fail the gate regardless of any baseline. *)
+let structural_failures fresh =
   let failures = ref 0 in
   (match Json.member "_incomplete" fresh with
   | Some (Json.String name) ->
@@ -268,7 +314,6 @@ let () =
       Fmt.pr "FAIL: fresh run is incomplete@.";
       incr failures
   | None -> ());
-  warn_seed_mismatches baseline fresh;
   (match List.rev (nonempty_lists ~key:"invariant_violations" [] [] fresh) with
   | [] -> ()
   | vs ->
@@ -287,9 +332,32 @@ let () =
           Fmt.pr "FAIL: SLO breaches at %s:@." path;
           List.iter (fun b -> Fmt.pr "  %s@." (Json.to_string b)) entries)
         bs);
+  !failures
+
+let run_check fresh_file =
+  let fresh = load fresh_file in
+  let failures = structural_failures fresh in
+  let footer =
+    if failures = 0 then
+      Fmt.str "`%s`: complete, no invariant violations, no SLO breaches."
+        fresh_file
+    else Fmt.str "`%s`: %d structural failure(s)." fresh_file failures
+  in
+  emit_summary ~title:"Soak invariant check" [] footer;
+  Fmt.pr "%s: %d structural failure(s)@." fresh_file failures;
+  if failures > 0 then exit 1
+
+let run_compare baseline_file fresh_file tolerance =
+  let baseline = load baseline_file and fresh = load fresh_file in
+  let failures = ref (structural_failures fresh) in
+  warn_seed_mismatches baseline fresh;
   let base_metrics = gated_metrics baseline
   and fresh_metrics = gated_metrics fresh in
   let compared = ref 0 and improved = ref 0 in
+  let rows = ref [] in
+  let add_row metric base_v fresh_v delta verdict =
+    rows := { metric; base_v; fresh_v; delta; verdict } :: !rows
+  in
   List.iter
     (fun (path, (base, kind)) ->
       match List.assoc_opt path fresh_metrics with
@@ -299,13 +367,16 @@ let () =
             | Some i -> String.sub path 0 i
             | None -> path
           in
-          if experiment_removed fresh experiment then
+          if experiment_removed fresh experiment then begin
+            add_row path (Fmt.str "%.3f" base) "—" "—" "removed (warn)";
             Fmt.pr
               "warn: %s missing from fresh run (experiment marked removed in \
                _meta)@."
               path
+          end
           else begin
             incr failures;
+            add_row path (Fmt.str "%.3f" base) "—" "—" "❌ missing";
             Fmt.pr
               "FAIL: %s is in the baseline but missing from the fresh run — \
                the metric silently stopped gating; mark the experiment in \
@@ -323,41 +394,78 @@ let () =
                 | Availability -> base -. now
                 | _ -> now -. base
               in
+              let delta = Fmt.str "%+.3f pts" (now -. base) in
               if worse > points_tolerance then begin
                 incr failures;
+                add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) delta
+                  "❌ regressed";
                 Fmt.pr "FAIL: %s regressed %.3f points (%.3f -> %.3f)@." path
                   worse base now
               end
               else if worse < -.points_tolerance then begin
                 incr improved;
+                add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) delta
+                  "improved";
                 Fmt.pr "note: %s improved %.3f points (%.3f -> %.3f)@." path
                   (-.worse) base now
               end
+              else
+                add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) delta
+                  "ok"
           | (Latency | Rate) when base > 0.0 ->
               incr compared;
               let delta = (now -. base) /. base *. 100.0 in
+              let delta_s = Fmt.str "%+.1f%%" delta in
               (* A latency regresses by growing, a throughput by
                  shrinking; express both as "how far in the bad
                  direction". *)
               let worse = match kind with Latency -> delta | _ -> -.delta in
               if worse > tolerance then begin
                 incr failures;
+                add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) delta_s
+                  "❌ regressed";
                 Fmt.pr "FAIL: %s regressed %+.1f%% (%.3f -> %.3f)@." path delta
                   base now
               end
               else if worse < -.tolerance then begin
                 incr improved;
+                add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) delta_s
+                  "improved";
                 Fmt.pr "note: %s improved %+.1f%% (%.3f -> %.3f)@." path delta
                   base now
               end
-          | Latency | Rate -> incr compared))
+              else
+                add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) delta_s
+                  "ok"
+          | Latency | Rate ->
+              incr compared;
+              add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) "—" "ok"))
     base_metrics;
   List.iter
-    (fun (path, _) ->
-      if not (List.mem_assoc path base_metrics) then
-        Fmt.pr "note: new metric %s (not in baseline)@." path)
+    (fun (path, (now, _)) ->
+      if not (List.mem_assoc path base_metrics) then begin
+        add_row path "—" (Fmt.str "%.3f" now) "—" "new";
+        Fmt.pr "note: new metric %s (not in baseline)@." path
+      end)
     fresh_metrics;
+  let footer =
+    Fmt.str
+      "%d metric(s) compared against `%s` (tolerance %.0f%%): **%d \
+       failure(s)**, %d improved."
+      !compared baseline_file tolerance !failures !improved
+  in
+  emit_summary ~title:"Bench regression gate" (List.rev !rows) footer;
   Fmt.pr "%d latency/throughput metric(s) compared against %s (tolerance \
           %.0f%%): %d regression-or-violation failure(s), %d improved@."
     !compared baseline_file tolerance !failures !improved;
   if !failures > 0 then exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--check"; f ] -> run_check f
+  | [ _; b; f ] -> run_compare b f 10.0
+  | [ _; b; f; "--tolerance"; t ] -> (
+      match float_of_string_opt t with
+      | Some t when t >= 0.0 -> run_compare b f t
+      | _ -> fail_usage ())
+  | _ -> fail_usage ()

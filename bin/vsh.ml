@@ -252,6 +252,57 @@ let cmd_netstat sh _args =
   pr "message transactions: %d" (K.ipc_transaction_count sh.scenario.Scenario.domain);
   Ok ()
 
+(* Fabric introspection: what the installation is wired as, and what
+   each segment has carried. On the shared medium there are no links to
+   list — netstat's wire-wide counters are the whole story. *)
+let cmd_net sh args =
+  let net = sh.scenario.Scenario.net in
+  let topo = Vnet.Ethernet.topology net in
+  match args with
+  | [] | [ "topo" ] ->
+      pr "fabric: %a" Vnet.Topology.pp topo;
+      (match topo with
+      | Vnet.Topology.Shared_medium -> ()
+      | Vnet.Topology.Switched { fan_in } ->
+          let edges = Hashtbl.create 8 in
+          List.iter
+            (fun a ->
+              let e = Vnet.Topology.edge_of ~fan_in a in
+              Hashtbl.replace edges e (1 + Option.value ~default:0 (Hashtbl.find_opt edges e)))
+            (Vnet.Ethernet.hosts net);
+          Hashtbl.fold (fun e n acc -> (e, n) :: acc) edges []
+          |> List.sort compare
+          |> List.iter (fun (e, n) -> pr "  edge%d: %d host(s)" e n);
+          match Vnet.Ethernet.queue_capacity net with
+          | Some cap -> pr "  per-port output queue bound: %d frames" cap
+          | None -> ());
+      Ok ()
+  | [ "stats" ] ->
+      (match topo with
+      | Vnet.Topology.Shared_medium ->
+          pr "shared medium: one wire, no per-segment state (see netstat)"
+      | Vnet.Topology.Switched _ -> (
+          Vnet.Ethernet.export_link_metrics net;
+          match Vnet.Ethernet.link_stats net with
+          | [] -> pr "switched fabric: no segment has carried a frame yet"
+          | stats ->
+              pr "%-22s %5s %8s %6s %6s %9s %6s" "segment" "up" "frames"
+                "drops" "queue" "busy ms" "util%";
+              let now = Vsim.Engine.now sh.scenario.Scenario.engine in
+              List.iter
+                (fun s ->
+                  pr "%-22s %5s %8d %6d %3d/%-3d %9.1f %5.1f%%"
+                    s.Vnet.Ethernet.ls_label
+                    (if s.Vnet.Ethernet.ls_up then "yes" else "NO")
+                    s.Vnet.Ethernet.ls_frames s.Vnet.Ethernet.ls_drops
+                    s.Vnet.Ethernet.ls_queued s.Vnet.Ethernet.ls_queue_peak
+                    s.Vnet.Ethernet.ls_busy_ms
+                    (if now > 0.0 then s.Vnet.Ethernet.ls_busy_ms /. now *. 100.0
+                     else 0.0))
+                stats));
+      Ok ()
+  | _ -> Error (Vio.Verr.Protocol "usage: net [topo|stats]")
+
 let cmd_echo _sh args =
   pr "%s" (String.concat " " args);
   Ok ()
@@ -872,6 +923,7 @@ let commands :
     ("crash", "FS-INDEX — crash a file server host", cmd_crash);
     ("restart", "FS-INDEX — restart host + fresh server", cmd_restart);
     ("netstat", "— wire and transaction counters", cmd_netstat);
+    ("net", "[topo|stats] — fabric topology and per-segment counters", cmd_net);
     ("engine", "[stats] — event-queue scheduler statistics", cmd_engine);
     ("fault", "plan|inject SEED [MS] | status — seeded fault injection", cmd_fault);
     ("replicas", "on [N] [rr|nearest] | off | status — replicated [rstore]", cmd_replicas);
@@ -972,6 +1024,8 @@ let demo_script =
     "write [storage]tmp/after.txt written after restart";
     "cat [storage]tmp/after.txt";
     "netstat";
+    "net topo";
+    "net stats";
     "engine stats";
     "metrics";
     "time";

@@ -97,6 +97,48 @@ let apply inj (e : Plan.event) =
       Ethernet.set_extra_latency Scenario.(s.net) addr ms;
       metric inj "slow";
       applied inj e
+  (* Link actions only make sense on a switched fabric; a plan carrying
+     them against a shared medium records skips instead of raising. *)
+  | Plan.Link_cut (a, b) -> (
+      let net = Scenario.(s.net) in
+      let topo = Ethernet.topology net in
+      match topo with
+      | Vnet.Topology.Shared_medium -> skip inj e "shared medium"
+      | Vnet.Topology.Switched _ when not (Vnet.Topology.is_link topo (a, b))
+        ->
+          skip inj e "not a link"
+      | Vnet.Topology.Switched _ when not (Ethernet.link_up net a b) ->
+          skip inj e "already cut"
+      | Vnet.Topology.Switched _ ->
+          Ethernet.set_link_up net a b false;
+          metric inj "link-cut";
+          applied inj e)
+  | Plan.Link_heal (a, b) -> (
+      let net = Scenario.(s.net) in
+      let topo = Ethernet.topology net in
+      match topo with
+      | Vnet.Topology.Shared_medium -> skip inj e "shared medium"
+      | Vnet.Topology.Switched _ when not (Vnet.Topology.is_link topo (a, b))
+        ->
+          skip inj e "not a link"
+      | Vnet.Topology.Switched _ when Ethernet.link_up net a b ->
+          skip inj e "already up"
+      | Vnet.Topology.Switched _ ->
+          Ethernet.set_link_up net a b true;
+          metric inj "link-heal";
+          applied inj e)
+  | Plan.Link_slow ((a, b), ms) -> (
+      let net = Scenario.(s.net) in
+      let topo = Ethernet.topology net in
+      match topo with
+      | Vnet.Topology.Shared_medium -> skip inj e "shared medium"
+      | Vnet.Topology.Switched _ when not (Vnet.Topology.is_link topo (a, b))
+        ->
+          skip inj e "not a link"
+      | Vnet.Topology.Switched _ ->
+          Ethernet.set_link_extra_latency net a b ms;
+          metric inj "link-slow";
+          applied inj e)
 
 let install ?(on_restart = fun (_ : Ethernet.addr) -> ())
     ?(on_heal = fun (_ : Ethernet.addr) (_ : Ethernet.addr) -> ()) scenario plan
@@ -136,7 +178,11 @@ let attribution_faults inj ~horizon_ms =
     | Plan.Partition _ -> Some "partition"
     | Plan.Loss p when p > 0.0 -> Some "loss"
     | Plan.Slow (_, ms) when ms > 0.0 -> Some "slow"
-    | Plan.Restart _ | Plan.Heal _ | Plan.Loss _ | Plan.Slow _ -> None
+    | Plan.Link_cut _ -> Some "link-cut"
+    | Plan.Link_slow (_, ms) when ms > 0.0 -> Some "link-slow"
+    | Plan.Restart _ | Plan.Heal _ | Plan.Loss _ | Plan.Slow _
+    | Plan.Link_heal _ | Plan.Link_slow _ ->
+        None
   in
   let recovers fault cand =
     match (fault, cand) with
@@ -144,6 +190,8 @@ let attribution_faults inj ~horizon_ms =
     | Plan.Partition (a, b), Plan.Heal (c, d) -> norm (a, b) = norm (c, d)
     | Plan.Loss _, Plan.Loss _ -> true
     | Plan.Slow (x, _), Plan.Slow (y, _) -> x = y
+    | Plan.Link_cut l, Plan.Link_heal l' -> l = l'
+    | Plan.Link_slow (l, _), Plan.Link_slow (l', _) -> l = l'
     | _ -> false
   in
   List.filter_map

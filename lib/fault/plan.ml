@@ -8,6 +8,9 @@
    scenario is {!Injector}'s job. *)
 
 module Ethernet = Vnet.Ethernet
+module Topology = Vnet.Topology
+
+type link = Topology.node * Topology.node
 
 type action =
   | Crash of Ethernet.addr
@@ -16,6 +19,9 @@ type action =
   | Heal of Ethernet.addr * Ethernet.addr
   | Loss of float  (* set the network loss probability *)
   | Slow of Ethernet.addr * float  (* extra receive latency, ms; 0 restores *)
+  | Link_cut of link  (* cut one directed link of a switched fabric *)
+  | Link_heal of link
+  | Link_slow of link * float  (* extra per-hop latency, ms; 0 restores *)
 
 type event = { at : float; action : action }
 
@@ -28,6 +34,9 @@ let pp_action ppf = function
   | Heal (a, b) -> Fmt.pf ppf "heal host%d/host%d" a b
   | Loss p -> Fmt.pf ppf "loss %.3f" p
   | Slow (a, ms) -> Fmt.pf ppf "slow host%d +%.1fms" a ms
+  | Link_cut l -> Fmt.pf ppf "cut link %a" Topology.pp_link l
+  | Link_heal l -> Fmt.pf ppf "heal link %a" Topology.pp_link l
+  | Link_slow (l, ms) -> Fmt.pf ppf "slow link %a +%.1fms" Topology.pp_link l ms
 
 let pp_event ppf e = Fmt.pf ppf "@[t=%.0f %a@]" e.at pp_action e.action
 
@@ -64,6 +73,28 @@ let action_to_json = function
         [
           ("kind", Vobs.Json.String "slow");
           ("host", Vobs.Json.Int a);
+          ("ms", Vobs.Json.Float ms);
+        ]
+  | Link_cut (a, b) ->
+      Vobs.Json.Obj
+        [
+          ("kind", Vobs.Json.String "link-cut");
+          ("a", Vobs.Json.String (Topology.node_to_string a));
+          ("b", Vobs.Json.String (Topology.node_to_string b));
+        ]
+  | Link_heal (a, b) ->
+      Vobs.Json.Obj
+        [
+          ("kind", Vobs.Json.String "link-heal");
+          ("a", Vobs.Json.String (Topology.node_to_string a));
+          ("b", Vobs.Json.String (Topology.node_to_string b));
+        ]
+  | Link_slow ((a, b), ms) ->
+      Vobs.Json.Obj
+        [
+          ("kind", Vobs.Json.String "link-slow");
+          ("a", Vobs.Json.String (Topology.node_to_string a));
+          ("b", Vobs.Json.String (Topology.node_to_string b));
           ("ms", Vobs.Json.Float ms);
         ]
 
@@ -109,6 +140,18 @@ let slow_host ~addr ~at ~duration_ms ~ms =
     { at = at +. duration_ms; action = Slow (addr, 0.0) };
   ]
 
+let link_cut_heal ~link ~at ~duration_ms =
+  [
+    { at; action = Link_cut link };
+    { at = at +. duration_ms; action = Link_heal link };
+  ]
+
+let slow_link ~link ~at ~duration_ms ~ms =
+  [
+    { at; action = Link_slow (link, ms) };
+    { at = at +. duration_ms; action = Link_slow (link, 0.0) };
+  ]
+
 (* --- seeded generation --- *)
 
 (* Draw a randomized day of trouble: episodes spaced by exponential
@@ -119,9 +162,13 @@ let slow_host ~addr ~at ~duration_ms ~ms =
    healed, loss zero and no host slowed. *)
 let generate ~seed ~duration_ms ?(warmup_ms = 5_000.0)
     ?(mean_gap_ms = 8_000.0) ?(crashable = []) ?(partitionable = [])
-    ?(slowable = []) ?(loss_levels = [ 0.05; 0.2 ]) () =
+    ?(slowable = []) ?(loss_levels = [ 0.05; 0.2 ]) ?(cuttable_links = [])
+    ?(slowable_links = []) () =
   let prng = Vsim.Prng.create ~seed in
   let pick xs = List.nth xs (Vsim.Prng.int prng (List.length xs)) in
+  (* The link kinds append after the host kinds: with the default empty
+     link lists the kind list — and therefore every PRNG draw — is
+     unchanged, so pre-fabric plans replay byte-identically. *)
   let kinds =
     List.concat
       [
@@ -129,6 +176,8 @@ let generate ~seed ~duration_ms ?(warmup_ms = 5_000.0)
         (if List.length partitionable >= 2 then [ `Partition ] else []);
         (if loss_levels <> [] then [ `Loss ] else []);
         (if slowable <> [] then [ `Slow ] else []);
+        (if cuttable_links <> [] then [ `Link_cut ] else []);
+        (if slowable_links <> [] then [ `Link_slow ] else []);
       ]
   in
   if kinds = [] then { seed; events = [] }
@@ -159,6 +208,15 @@ let generate ~seed ~duration_ms ?(warmup_ms = 5_000.0)
             let ms = 1.0 +. Vsim.Prng.float prng *. 4.0 in
             let d = 1_000.0 +. Vsim.Prng.exponential prng ~mean:3_000.0 in
             slow_host ~addr ~at ~duration_ms:(clamp at d -. at) ~ms
+        | `Link_cut ->
+            let link = pick cuttable_links in
+            let d = 500.0 +. Vsim.Prng.exponential prng ~mean:1_500.0 in
+            link_cut_heal ~link ~at ~duration_ms:(clamp at d -. at)
+        | `Link_slow ->
+            let link = pick slowable_links in
+            let ms = 0.5 +. Vsim.Prng.float prng *. 2.0 in
+            let d = 1_000.0 +. Vsim.Prng.exponential prng ~mean:3_000.0 in
+            slow_link ~link ~at ~duration_ms:(clamp at d -. at) ~ms
       in
       events := ep @ !events;
       t := !t +. Vsim.Prng.exponential prng ~mean:mean_gap_ms

@@ -5,6 +5,10 @@
     plan is {!Injector}'s job. *)
 
 module Ethernet = Vnet.Ethernet
+module Topology = Vnet.Topology
+
+type link = Topology.node * Topology.node
+(** One directed link of a {!Topology.Switched} fabric. *)
 
 type action =
   | Crash of Ethernet.addr
@@ -13,6 +17,9 @@ type action =
   | Heal of Ethernet.addr * Ethernet.addr
   | Loss of float  (** set the network loss probability *)
   | Slow of Ethernet.addr * float  (** extra receive latency ms; 0 restores *)
+  | Link_cut of link  (** cut one directed link (switched fabric) *)
+  | Link_heal of link
+  | Link_slow of link * float  (** extra per-hop latency ms; 0 restores *)
 
 type event = { at : float; action : action }
 
@@ -46,6 +53,11 @@ val loss_burst : at:float -> duration_ms:float -> p:float -> event list
 val slow_host :
   addr:Ethernet.addr -> at:float -> duration_ms:float -> ms:float -> event list
 
+val link_cut_heal : link:link -> at:float -> duration_ms:float -> event list
+
+val slow_link :
+  link:link -> at:float -> duration_ms:float -> ms:float -> event list
+
 (** {1 Seeded generation}
 
     A randomized sequence of episodes between [warmup_ms] and 90% of
@@ -53,7 +65,10 @@ val slow_host :
     fault kinds whose host lists are non-empty are drawn. Every fault
     is paired with its recovery and every episode completes before the
     horizon, so a generated plan always converges: by [duration_ms]
-    all hosts are up, partitions healed, loss zero, no host slowed. *)
+    all hosts are up, partitions healed, loss zero, no host slowed, all
+    links up and clean. With the default empty [cuttable_links] and
+    [slowable_links] the PRNG draw sequence is unchanged, so pre-fabric
+    seeds replay byte-identical plans. *)
 val generate :
   seed:int ->
   duration_ms:float ->
@@ -63,5 +78,7 @@ val generate :
   ?partitionable:Ethernet.addr list ->
   ?slowable:Ethernet.addr list ->
   ?loss_levels:float list ->
+  ?cuttable_links:link list ->
+  ?slowable_links:link list ->
   unit ->
   t

@@ -539,7 +539,7 @@ let arm_timeout host ~txn pending ~dst_addr =
       let target_host_reachable =
         match Hashtbl.find_opt d.all_hosts dst_addr with
         | Some h ->
-            h.host_up && not (Ethernet.partitioned d.net host.addr dst_addr)
+            h.host_up && Ethernet.reachable d.net host.addr dst_addr
         | None -> false
       in
       if target_host_reachable && attempts < max_timeout_probes then
@@ -571,7 +571,7 @@ let arm_forward_recovery host ~txn pending ~dst_addr resend =
       let target_host_reachable =
         match Hashtbl.find_opt d.all_hosts dst_addr with
         | Some h ->
-            h.host_up && not (Ethernet.partitioned d.net host.addr dst_addr)
+            h.host_up && Ethernet.reachable d.net host.addr dst_addr
         | None -> false
       in
       if target_host_reachable && attempts < max_timeout_probes then begin
@@ -1102,7 +1102,7 @@ let local_group_members host ~group =
 let reachable_group_members d ~requester ~group =
   Hashtbl.fold
     (fun addr h acc ->
-      if h.host_up && not (Ethernet.partitioned d.net requester addr) then
+      if h.host_up && Ethernet.reachable d.net requester addr then
         List.fold_left
           (fun acc pid ->
             match Hashtbl.find_opt h.processes (Pid.local_pid pid) with

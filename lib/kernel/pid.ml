@@ -1,11 +1,17 @@
-(* V process identifiers: 32-bit values structured as two 16-bit
-   subfields, (logical host, local process identifier) — Figure 2 of the
-   paper. The structure lets a kernel locate a process from its pid
-   alone and lets each logical host allocate pids independently. *)
+(* V process identifiers: values structured as (logical host, local
+   process identifier) subfields — Figure 2 of the paper. The structure
+   lets a kernel locate a process from its pid alone and lets each
+   logical host allocate pids independently.
+
+   The paper packs both fields into 16 bits of a 32-bit pid. The
+   simulator keeps the paper's packing formula (host << 16 | local) but
+   widens the host field to 24 bits so the nightly 100k-host soak fits:
+   every pid a 16-bit installation can mint keeps its exact numeric
+   value, only the ceiling moves. *)
 
 type t = int
 
-let logical_host_bits = 16
+let logical_host_bits = 24
 let local_pid_bits = 16
 let max_logical_host = (1 lsl logical_host_bits) - 1
 let max_local_pid = (1 lsl local_pid_bits) - 1

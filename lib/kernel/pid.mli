@@ -1,9 +1,11 @@
 (** V process identifiers.
 
-    A pid is a 32-bit value with two 16-bit subfields, (logical host,
-    local process identifier) — Figure 2 of the paper. Both subfields
-    are non-zero for valid pids. Pids are the only absolute names in a
-    V domain. *)
+    A pid packs two subfields, (logical host, local process identifier)
+    — Figure 2 of the paper. The paper's pids are 32-bit with 16-bit
+    fields; the simulator keeps the same packing formula but widens the
+    host field to 24 bits so 100k-host soaks fit (every 16-bit-era pid
+    keeps its exact numeric value). Both subfields are non-zero for
+    valid pids. Pids are the only absolute names in a V domain. *)
 
 type t = private int
 

@@ -34,6 +34,14 @@ let ethernet_10mbit =
 let transmission_ms net ~payload_bytes =
   float_of_int ((net.header_bytes + payload_bytes) * 8) /. net.bandwidth_bps *. 1000.0
 
+(* Store-and-forward latency charged each time a switch takes a frame
+   off one link and queues it on the next: header inspection plus the
+   output-port table walk. Only the switched fabric (Topology.Switched)
+   pays it — the shared medium has no switches. The figure is an
+   early-1990s cut-through LAN switch, scaled to the same 68000-class
+   era as the host CPU charges. *)
+let switch_forward_ms = 0.02
+
 (* --- Host CPU charges (68000-class processors) --- *)
 
 (* Kernel send-path CPU per small (message-sized) packet. *)

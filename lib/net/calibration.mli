@@ -19,6 +19,11 @@ val ethernet_10mbit : network
 (** Time on the wire for a frame carrying [payload_bytes]. *)
 val transmission_ms : network -> payload_bytes:int -> float
 
+(** Store-and-forward latency charged per switch hop in a
+    {!Topology.Switched} fabric (header inspection + output-port
+    lookup). The shared medium has no switches and never pays it. *)
+val switch_forward_ms : float
+
 (** {1 Host CPU charges (68000-class processors)} *)
 
 (** Kernel send-path CPU per small (message-sized) packet. *)

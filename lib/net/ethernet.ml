@@ -1,10 +1,27 @@
-(* Simulated shared-medium Ethernet.
+(* Simulated network fabric.
 
-   The wire is a single resource: transmissions serialize (a frame waits
-   until the medium is free), then propagate to the destination host(s),
-   where the attached receive handler runs. Host CPU costs for building
-   and consuming packets are charged by the kernel layer, not here; the
-   network charges only queueing + transmission + propagation.
+   Two topologies share one interface (see {!Topology}):
+
+   - [Shared_medium] (the default): the paper's single wire. A
+     transmission waits until the medium is free, then propagates to
+     the destination host(s). This path is kept bit-for-bit identical
+     to the pre-fabric model: one [wire_free_at], one PRNG draw per
+     frame, the same event schedule.
+
+   - [Switched { fan_in }]: hosts hang off edge switches, edges uplink
+     to one spine, and every directed link owns its own [l_free_at] —
+     independent segments carry traffic concurrently. Each hop is
+     store-and-forward: the frame serializes onto the link, propagates,
+     pays {!Calibration.switch_forward_ms} on entering a switch, and is
+     replicated at switches for broadcast/multicast fan-out (one copy
+     per link, not per destination). Each link has a bounded output
+     queue: a frame arriving at a full port is tail-dropped and
+     counted, per link and globally.
+
+   Host CPU costs for building and consuming packets are charged by the
+   kernel layer, not here; the network charges only queueing +
+   transmission + propagation (+ per-switch forwarding in the switched
+   fabric).
 
    The payload type is a parameter so this library sits below the
    kernel: the kernel instantiates ['a t] with its packet type. *)
@@ -35,13 +52,43 @@ type 'a host_port = {
       (* slow-host fault injection: added to every frame's arrival *)
 }
 
+(* One directed link of the switched fabric. [l_queued] counts frames
+   occupying the port — queued, serializing or in flight — and is what
+   the bounded-queue admission check reads; [l_busy_ms] accumulates
+   serialization time for utilization accounting. *)
+type link = {
+  link_id : Topology.node * Topology.node;
+  mutable l_up : bool;
+  mutable l_free_at : float;
+  mutable l_queued : int;
+  mutable l_queue_peak : int;
+  mutable l_frames : int;
+  mutable l_drops : int;  (* tail drops + frames dying on a down link *)
+  mutable l_busy_ms : float;
+  mutable l_extra_ms : float;  (* slow-link fault injection, per hop *)
+}
+
+type link_stat = {
+  ls_label : string;
+  ls_up : bool;
+  ls_frames : int;
+  ls_drops : int;
+  ls_queued : int;
+  ls_queue_peak : int;
+  ls_busy_ms : float;
+  ls_extra_ms : float;
+}
+
 type 'a t = {
   engine : Vsim.Engine.t;
   config : Calibration.network;
+  topology : Topology.t;
+  queue_cap : int;
   prng : Vsim.Prng.t;
   hosts : (addr, 'a host_port) Hashtbl.t;
   groups : (int, (addr, unit) Hashtbl.t) Hashtbl.t;
-  mutable wire_free_at : float;
+  mutable wire_free_at : float;  (* Shared_medium only *)
+  links : (Topology.node * Topology.node, link) Hashtbl.t;  (* Switched only *)
   mutable loss_probability : float;
   (* Unordered host pairs that cannot exchange frames. *)
   mutable partitions : (addr * addr) list;
@@ -50,14 +97,19 @@ type 'a t = {
   mutable obs : Vobs.Hub.t option;
 }
 
-let create ?(seed = 1) ~config engine =
+let create ?(seed = 1) ?(topology = Topology.Shared_medium) ?(queue_cap = 256)
+    ~config engine =
+  if queue_cap < 1 then invalid_arg "Ethernet.create: queue_cap must be >= 1";
   {
     engine;
     config;
+    topology;
+    queue_cap;
     prng = Vsim.Prng.create ~seed;
     hosts = Hashtbl.create 16;
     groups = Hashtbl.create 16;
     wire_free_at = 0.0;
+    links = Hashtbl.create 64;
     loss_probability = 0.0;
     partitions = [];
     counters =
@@ -99,6 +151,13 @@ let net_event t host fmt =
 let host_label addr = Printf.sprintf "host%d" addr
 
 let config t = t.config
+
+let topology t = t.topology
+
+let queue_capacity t =
+  match t.topology with
+  | Topology.Shared_medium -> None
+  | Topology.Switched _ -> Some t.queue_cap
 
 let counters t = t.counters
 
@@ -149,6 +208,111 @@ let leave_group t ~group ~addr =
   match Hashtbl.find_opt t.groups group with
   | None -> ()
   | Some members -> Hashtbl.remove members addr
+
+(* --- the switched fabric's links --- *)
+
+(* Links materialize on first use: the host population is dynamic, so
+   the fabric cannot enumerate its ports up front. *)
+let get_link t key =
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          link_id = key;
+          l_up = true;
+          l_free_at = 0.0;
+          l_queued = 0;
+          l_queue_peak = 0;
+          l_frames = 0;
+          l_drops = 0;
+          l_busy_ms = 0.0;
+          l_extra_ms = 0.0;
+        }
+      in
+      Hashtbl.replace t.links key l;
+      l
+
+let require_link t what (a, b) =
+  (match t.topology with
+  | Topology.Switched _ -> ()
+  | Topology.Shared_medium ->
+      invalid_arg (what ^ ": the shared medium has no links"));
+  if not (Topology.is_link t.topology (a, b)) then
+    invalid_arg
+      (Fmt.str "%s: %a is not a link of this topology" what Topology.pp_link
+         (a, b));
+  get_link t (a, b)
+
+let set_link_up t a b up =
+  let l = require_link t "Ethernet.set_link_up" (a, b) in
+  if l.l_up <> up then begin
+    l.l_up <- up;
+    net_event t "net" "link %a %s" Topology.pp_link (a, b)
+      (if up then "up" else "down")
+  end
+
+let link_up t a b =
+  match t.topology with
+  | Topology.Shared_medium -> true
+  | Topology.Switched _ ->
+      if not (Topology.is_link t.topology (a, b)) then false
+      else
+        (* An untouched link is up; only materialized links can be
+           down. *)
+        (match Hashtbl.find_opt t.links (a, b) with
+        | Some l -> l.l_up
+        | None -> true)
+
+let set_link_extra_latency t a b ms =
+  if ms < 0.0 then invalid_arg "Ethernet.set_link_extra_latency";
+  let l = require_link t "Ethernet.set_link_extra_latency" (a, b) in
+  l.l_extra_ms <- ms;
+  net_event t "net" "link %a extra latency := %.3fms" Topology.pp_link (a, b) ms
+
+let link_extra_latency t a b =
+  match Hashtbl.find_opt t.links (a, b) with
+  | Some l -> l.l_extra_ms
+  | None -> 0.0
+
+let link_stats t =
+  Hashtbl.fold
+    (fun key l acc ->
+      {
+        ls_label = Topology.link_label key;
+        ls_up = l.l_up;
+        ls_frames = l.l_frames;
+        ls_drops = l.l_drops;
+        ls_queued = l.l_queued;
+        ls_queue_peak = l.l_queue_peak;
+        ls_busy_ms = l.l_busy_ms;
+        ls_extra_ms = l.l_extra_ms;
+      }
+      :: acc)
+    t.links []
+  |> List.sort (fun a b -> compare a.ls_label b.ls_label)
+
+(* Per-segment utilization into the metrics registry, as gauges keyed
+   (link label, "net", op): utilization is serialization time over the
+   clock so far, in percent. Gauges are idempotent — call at sampling
+   points (vsh `net stats`, the E14 harness), not per frame. *)
+let export_link_metrics t =
+  match t.obs with
+  | None -> ()
+  | Some hub ->
+      let m = Vobs.Hub.metrics hub in
+      let now = Vsim.Engine.now t.engine in
+      List.iter
+        (fun s ->
+          let pct = if now > 0.0 then s.ls_busy_ms /. now *. 100.0 else 0.0 in
+          Vobs.Metrics.set_gauge m ~host:s.ls_label ~server:"net"
+            ~op:"utilization-pct" pct;
+          Vobs.Metrics.set_gauge m ~host:s.ls_label ~server:"net"
+            ~op:"queue-peak"
+            (float_of_int s.ls_queue_peak);
+          Vobs.Metrics.set_gauge m ~host:s.ls_label ~server:"net" ~op:"drops"
+            (float_of_int s.ls_drops))
+        (link_stats t)
 
 (* --- fault injection --- *)
 
@@ -206,6 +370,21 @@ let partitioned t a b =
   let pair = if a < b then (a, b) else (b, a) in
   List.mem pair t.partitions
 
+(* Can frames flow from [a] to [b]? Host-pair partitions apply in both
+   topologies; the switched fabric additionally requires every directed
+   link on the path to be up. The kernel's reachability probes ask this
+   instead of [partitioned], so a cut uplink times transactions out the
+   same way a partition does. *)
+let reachable t a b =
+  (not (partitioned t a b))
+  &&
+  match t.topology with
+  | Topology.Shared_medium -> true
+  | Topology.Switched _ ->
+      List.for_all
+        (fun (x, y) -> link_up t x y)
+        (Topology.links t.topology ~src:a ~dst:b)
+
 let pp ppf t =
   let slow =
     Hashtbl.fold
@@ -215,14 +394,20 @@ let pp ppf t =
       t.hosts []
     |> List.sort compare
   in
+  let down_links =
+    Hashtbl.fold (fun _ l acc -> if l.l_up then acc else acc + 1) t.links 0
+  in
   Fmt.pf ppf
-    "net: %d hosts, loss %.3f, %d partitions%a, sent %d delivered %d dropped \
-     %d (%dB)"
-    (Hashtbl.length t.hosts) t.loss_probability
+    "net: %a, %d hosts, loss %.3f, %d partitions%a%a, sent %d delivered %d \
+     dropped %d (%dB)"
+    Topology.pp t.topology (Hashtbl.length t.hosts) t.loss_probability
     (List.length t.partitions)
     Fmt.(
       list ~sep:nop (fun ppf (a, ms) -> pf ppf ", host%d slow +%.1fms" a ms))
-    slow t.counters.frames_sent t.counters.frames_delivered
+    slow
+    Fmt.(
+      fun ppf n -> if n > 0 then pf ppf ", %d link(s) down" n)
+    down_links t.counters.frames_sent t.counters.frames_delivered
     t.counters.frames_dropped t.counters.bytes_sent
 
 (* --- transmission --- *)
@@ -236,6 +421,152 @@ let intended_destinations t frame =
   | Broadcast -> List.filter not_self (hosts t)
   | Multicast g -> List.filter not_self (group_members t g)
 
+(* Hand one frame copy to a destination port: liveness and host-pair
+   partitions are checked now — arrival time — so a host that crashed
+   while the frame was in flight never sees it. Shared by both
+   topologies; must be called from an event at the frame's arrival
+   instant. *)
+let deliver_at_arrival t frame addr =
+  match Hashtbl.find_opt t.hosts addr with
+  | Some port when port.up && not (partitioned t frame.src addr) ->
+      let deliver () =
+        t.counters.frames_delivered <- t.counters.frames_delivered + 1;
+        net_metric t addr "frames-delivered";
+        port.handler frame
+      in
+      if port.extra_latency_ms > 0.0 then
+        (* Slow-host injection: the NIC holds the frame. The host may
+           crash while it sits there, so re-check liveness at the
+           deferred delivery time. *)
+        Vsim.Engine.schedule_at t.engine
+          (Vsim.Engine.now t.engine +. port.extra_latency_ms)
+          (fun () ->
+            if port.up then deliver ()
+            else begin
+              t.counters.frames_dropped <- t.counters.frames_dropped + 1;
+              net_metric t addr "frames-dropped"
+            end)
+      else deliver ()
+  | Some _ | None ->
+      t.counters.frames_dropped <- t.counters.frames_dropped + 1;
+      net_metric t addr "frames-dropped";
+      net_event t (host_label addr)
+        "frame dropped from host%d (down or partitioned)" frame.src
+
+(* The frame-wide loss draw, one per transmitted frame in both
+   topologies. Returns true when the frame is lost (accounted). *)
+let frame_lost t frame =
+  let lost =
+    t.loss_probability > 0.0 && Vsim.Prng.float t.prng < t.loss_probability
+  in
+  if lost then begin
+    t.counters.frames_dropped <- t.counters.frames_dropped + 1;
+    net_metric t frame.src "frames-lost";
+    net_event t (host_label frame.src) "frame lost -> %a (%dB)" pp_dest
+      frame.dst frame.payload_bytes
+  end;
+  lost
+
+(* The single-wire path, bit-for-bit the pre-fabric model: one
+   [wire_free_at], transmission then propagation, one loss draw per
+   frame at arrival time. *)
+let transmit_shared t frame =
+  let now = Vsim.Engine.now t.engine in
+  let start = Float.max now t.wire_free_at in
+  let duration =
+    Calibration.transmission_ms t.config ~payload_bytes:frame.payload_bytes
+  in
+  t.wire_free_at <- start +. duration;
+  let arrival = start +. duration +. t.config.propagation_ms in
+  Vsim.Engine.schedule_at t.engine arrival (fun () ->
+      if not (frame_lost t frame) then
+        List.iter
+          (fun addr -> deliver_at_arrival t frame addr)
+          (intended_destinations t frame))
+
+(* One store-and-forward hop of the switched fabric: admission-check
+   the port's bounded queue, serialize behind [l_free_at], propagate,
+   then run [k] at the instant the frame is available at the far node.
+   [k] must add {!Calibration.switch_forward_ms} itself when the far
+   node is a switch (final host delivery pays no forwarding cost). *)
+let hop t frame key ~at k =
+  let l = get_link t key in
+  if not l.l_up then begin
+    l.l_drops <- l.l_drops + 1;
+    t.counters.frames_dropped <- t.counters.frames_dropped + 1;
+    net_metric t frame.src "frames-dropped";
+    net_event t (host_label frame.src) "frame dropped on down link %a"
+      Topology.pp_link key
+  end
+  else if l.l_queued >= t.queue_cap then begin
+    l.l_drops <- l.l_drops + 1;
+    t.counters.frames_dropped <- t.counters.frames_dropped + 1;
+    net_metric t frame.src "frames-dropped";
+    net_event t (host_label frame.src) "frame tail-dropped at full port %a"
+      Topology.pp_link key
+  end
+  else begin
+    l.l_queued <- l.l_queued + 1;
+    if l.l_queued > l.l_queue_peak then l.l_queue_peak <- l.l_queued;
+    let start = Float.max at l.l_free_at in
+    let duration =
+      Calibration.transmission_ms t.config ~payload_bytes:frame.payload_bytes
+    in
+    l.l_free_at <- start +. duration;
+    l.l_busy_ms <- l.l_busy_ms +. duration;
+    l.l_frames <- l.l_frames + 1;
+    let arrival = start +. duration +. t.config.propagation_ms +. l.l_extra_ms in
+    Vsim.Engine.schedule_at t.engine arrival (fun () ->
+        l.l_queued <- l.l_queued - 1;
+        k arrival)
+  end
+
+(* The switched path. The first hop (source uplink) carries one copy
+   regardless of fan-out; switches replicate — one copy per outgoing
+   link, never per destination — so a broadcast costs O(links touched),
+   not O(hosts) transmissions on any single segment. The loss draw
+   happens once per frame as it clears the source uplink, mirroring the
+   shared medium's one-draw-per-frame accounting. *)
+let transmit_switched t fan_in frame =
+  let now = Vsim.Engine.now t.engine in
+  let dests = intended_destinations t frame in
+  let src_edge = Topology.edge_of ~fan_in frame.src in
+  hop t frame (Topology.Host frame.src, Topology.Edge src_edge) ~at:now
+    (fun at ->
+      if not (frame_lost t frame) then begin
+        let at = at +. Calibration.switch_forward_ms in
+        let local, remote =
+          List.partition (fun a -> Topology.edge_of ~fan_in a = src_edge) dests
+        in
+        List.iter
+          (fun a ->
+            hop t frame (Topology.Edge src_edge, Topology.Host a) ~at
+              (fun at ->
+                ignore at;
+                deliver_at_arrival t frame a))
+          local;
+        if remote <> [] then
+          hop t frame (Topology.Edge src_edge, Topology.Spine) ~at (fun at ->
+              let at = at +. Calibration.switch_forward_ms in
+              let edges =
+                List.sort_uniq compare
+                  (List.map (Topology.edge_of ~fan_in) remote)
+              in
+              List.iter
+                (fun eb ->
+                  hop t frame (Topology.Spine, Topology.Edge eb) ~at (fun at ->
+                      let at = at +. Calibration.switch_forward_ms in
+                      List.iter
+                        (fun a ->
+                          if Topology.edge_of ~fan_in a = eb then
+                            hop t frame (Topology.Edge eb, Topology.Host a) ~at
+                              (fun at ->
+                                ignore at;
+                                deliver_at_arrival t frame a))
+                        remote))
+                edges)
+      end)
+
 (* Queue a frame for transmission. The sending host must exist and be
    up; otherwise the frame vanishes (its kernel is dead anyway). *)
 let transmit t frame =
@@ -245,63 +576,15 @@ let transmit t frame =
     | None -> false
   in
   if src_ok then begin
-    let now = Vsim.Engine.now t.engine in
-    let start = Float.max now t.wire_free_at in
-    let duration =
-      Calibration.transmission_ms t.config ~payload_bytes:frame.payload_bytes
-    in
-    t.wire_free_at <- start +. duration;
     t.counters.frames_sent <- t.counters.frames_sent + 1;
     t.counters.bytes_sent <-
       t.counters.bytes_sent + t.config.header_bytes + frame.payload_bytes;
     net_metric t frame.src "frames-sent";
     net_metric t frame.src "bytes-sent"
       ~by:(t.config.header_bytes + frame.payload_bytes);
-    let arrival = start +. duration +. t.config.propagation_ms in
     trace_emit t "host%d -> %a (%dB payload)" frame.src pp_dest frame.dst
       frame.payload_bytes;
-    Vsim.Engine.schedule_at t.engine arrival (fun () ->
-        let lost =
-          t.loss_probability > 0.0 && Vsim.Prng.float t.prng < t.loss_probability
-        in
-        if lost then begin
-          t.counters.frames_dropped <- t.counters.frames_dropped + 1;
-          net_metric t frame.src "frames-lost";
-          net_event t (host_label frame.src) "frame lost -> %a (%dB)" pp_dest
-            frame.dst frame.payload_bytes
-        end
-        else
-          List.iter
-            (fun addr ->
-              (* Check liveness and partitions at arrival time: the
-                 destination may have crashed while the frame was in
-                 flight. *)
-              match Hashtbl.find_opt t.hosts addr with
-              | Some port when port.up && not (partitioned t frame.src addr) ->
-                  let deliver () =
-                    t.counters.frames_delivered <-
-                      t.counters.frames_delivered + 1;
-                    net_metric t addr "frames-delivered";
-                    port.handler frame
-                  in
-                  if port.extra_latency_ms > 0.0 then
-                    (* Slow-host injection: the NIC holds the frame. The
-                       host may crash while it sits there, so re-check
-                       liveness at the deferred delivery time. *)
-                    Vsim.Engine.schedule_at t.engine
-                      (Vsim.Engine.now t.engine +. port.extra_latency_ms)
-                      (fun () ->
-                        if port.up then deliver ()
-                        else begin
-                          t.counters.frames_dropped <-
-                            t.counters.frames_dropped + 1;
-                          net_metric t addr "frames-dropped"
-                        end)
-                  else deliver ()
-              | Some _ | None ->
-                  t.counters.frames_dropped <- t.counters.frames_dropped + 1;
-                  net_metric t addr "frames-dropped";
-                  net_event t (host_label addr)
-                    "frame dropped from host%d (down or partitioned)" frame.src)
-            (intended_destinations t frame))
+    match t.topology with
+    | Topology.Shared_medium -> transmit_shared t frame
+    | Topology.Switched { fan_in } -> transmit_switched t fan_in frame
   end

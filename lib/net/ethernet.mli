@@ -1,10 +1,16 @@
-(** Simulated shared-medium Ethernet.
+(** Simulated network fabric.
 
-    Transmissions serialize on the wire, then propagate to the
-    destination host(s). The payload type is abstract so the network
-    layer sits below the kernel, which instantiates it with its own
-    packet type. Host CPU costs are charged by the kernel; this layer
-    charges queueing + transmission + propagation only. *)
+    Two topologies behind one interface: the paper's single shared wire
+    ({!Topology.Shared_medium}, the default — transmissions serialize on
+    one medium), and a two-tier switched fabric ({!Topology.Switched} —
+    each directed link carries traffic independently, switches
+    store-and-forward with bounded per-port output queues).
+
+    The payload type is abstract so the network layer sits below the
+    kernel, which instantiates it with its own packet type. Host CPU
+    costs are charged by the kernel; this layer charges queueing +
+    transmission + propagation (+ per-switch forwarding in the switched
+    fabric) only. *)
 
 type addr = int
 
@@ -21,13 +27,35 @@ type counters = {
   mutable bytes_sent : int;
 }
 
+(** Per-link snapshot of the switched fabric (see {!link_stats}). *)
+type link_stat = {
+  ls_label : string;  (** {!Topology.link_label} of the directed link *)
+  ls_up : bool;
+  ls_frames : int;  (** frames serialized onto the link *)
+  ls_drops : int;  (** tail drops at a full port + drops on a down link *)
+  ls_queued : int;  (** frames currently occupying the port *)
+  ls_queue_peak : int;
+  ls_busy_ms : float;  (** cumulative serialization time *)
+  ls_extra_ms : float;  (** slow-link injected latency per hop *)
+}
+
 type 'a t
 
 exception Duplicate_host of addr
 
 (** [create ~config engine] is a network with no attached hosts. [seed]
-    drives loss-injection draws only. *)
-val create : ?seed:int -> config:Calibration.network -> Vsim.Engine.t -> 'a t
+    drives loss-injection draws only. [topology] defaults to
+    {!Topology.Shared_medium}, which reproduces the single-wire model
+    exactly. [queue_cap] bounds each directed link's output queue in the
+    switched fabric (default 256 frames; ignored on the shared medium).
+    Raises [Invalid_argument] when [queue_cap < 1]. *)
+val create :
+  ?seed:int ->
+  ?topology:Topology.t ->
+  ?queue_cap:int ->
+  config:Calibration.network ->
+  Vsim.Engine.t ->
+  'a t
 
 (** Record frame transmissions into a trace. *)
 val set_trace : 'a t -> Vsim.Trace.t -> unit
@@ -37,6 +65,11 @@ val set_trace : 'a t -> Vsim.Trace.t -> unit
 val set_obs : 'a t -> Vobs.Hub.t -> unit
 
 val config : 'a t -> Calibration.network
+val topology : 'a t -> Topology.t
+
+(** Per-link output-queue bound; [None] on the shared medium. *)
+val queue_capacity : 'a t -> int option
+
 val counters : 'a t -> counters
 val engine : 'a t -> Vsim.Engine.t
 
@@ -85,11 +118,54 @@ val heal : 'a t -> addr -> addr -> unit
 val heal_all : 'a t -> unit
 val partitioned : 'a t -> addr -> addr -> bool
 
-(** One-line audit summary: host count, loss probability, partition
-    count, per-host slow-host latencies, frame counters. *)
+(** {1 Link faults (switched fabric only)}
+
+    Links are directed: cutting [a -> b] leaves [b -> a] carrying
+    traffic. These raise [Invalid_argument] on the shared medium or when
+    the pair is not a link of the configured topology. *)
+
+(** Cut ([false]) or restore ([true]) a directed link. Frames hopping
+    onto a down link are dropped and counted. *)
+val set_link_up : 'a t -> Topology.node -> Topology.node -> bool -> unit
+
+(** Is the directed link up? [true] for every link of the shared medium
+    and for valid links never touched by {!set_link_up}; [false] for
+    pairs that are not links of the topology. *)
+val link_up : 'a t -> Topology.node -> Topology.node -> bool
+
+(** Slow-link fault injection: add [ms] to every frame's traversal of
+    the directed link. [0.0] restores the clean link. Raises
+    [Invalid_argument] on a negative value. *)
+val set_link_extra_latency :
+  'a t -> Topology.node -> Topology.node -> float -> unit
+
+val link_extra_latency : 'a t -> Topology.node -> Topology.node -> float
+
+(** Can frames currently flow from [a] to [b]? Host-pair partitions
+    apply on both topologies; the switched fabric additionally requires
+    every directed link on the path to be up. The kernel's reachability
+    probes use this, so a cut uplink looks like a partition to IPC. *)
+val reachable : 'a t -> addr -> addr -> bool
+
+(** Snapshot of every materialized link (a link materializes the first
+    time a frame hops onto it or a fault touches it), sorted by label.
+    Empty on the shared medium. *)
+val link_stats : 'a t -> link_stat list
+
+(** Export per-segment gauges — ("<link>", "net", "utilization-pct" /
+    "queue-peak" / "drops") — to the attached hub. Idempotent; call at
+    sampling points. No-op without a hub or on the shared medium. *)
+val export_link_metrics : 'a t -> unit
+
+(** One-line audit summary: topology, host count, loss probability,
+    partition count, per-host slow-host latencies, down links, frame
+    counters. *)
 val pp : Format.formatter -> 'a t -> unit
 
 (** Queue a frame for transmission. Broadcast frames are not delivered
     back to the sender. Delivery respects liveness at arrival time,
-    partitions, and the loss probability. *)
+    partitions, the loss probability, link liveness and per-port queue
+    bounds. On the switched fabric the frame is replicated at switches
+    (one copy per outgoing link), and the loss draw happens once per
+    frame as it clears the source uplink. *)
 val transmit : 'a t -> 'a frame -> unit

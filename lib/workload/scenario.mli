@@ -55,9 +55,11 @@ val internet_addr : Ethernet.addr
     [local_file_server_on] additionally runs a Local-scope file server
     process on that workstation, bound to the "[localfs]" prefix.
     [tracing] turns on distributed tracing in the installation's
-    observability hub (simulated timings are unaffected). *)
+    observability hub (simulated timings are unaffected). [topology]
+    selects the network fabric (default the paper's shared wire). *)
 val build :
   ?config:Vnet.Calibration.network ->
+  ?topology:Vnet.Topology.t ->
   ?workstations:int ->
   ?file_servers:int ->
   ?local_file_server_on:int ->

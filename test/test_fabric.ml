@@ -1,0 +1,237 @@
+(* Tests for the switched multi-segment fabric: topology arithmetic,
+   the shared-medium oracle (the fabric's Shared_medium path must
+   reproduce the single-wire model bit for bit), per-link faults,
+   bounded-port drop accounting, and multi-hop latency composition. *)
+
+module E = Vnet.Ethernet
+module T = Vnet.Topology
+module C = Vnet.Calibration
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let tx = C.transmission_ms C.ethernet_3mbit ~payload_bytes:32
+let prop = C.ethernet_3mbit.C.propagation_ms
+
+(* --- topology arithmetic --- *)
+
+let test_topology_paths () =
+  let t = T.switched ~fan_in:4 in
+  Alcotest.(check int) "edge of host 0" 0 (T.edge_of ~fan_in:4 0);
+  Alcotest.(check int) "edge of host 7" 1 (T.edge_of ~fan_in:4 7);
+  Alcotest.(check int) "same edge: 2 hops" 2 (T.hop_count t ~src:0 ~dst:3);
+  Alcotest.(check int) "cross edge: 4 hops" 4 (T.hop_count t ~src:0 ~dst:7);
+  Alcotest.(check int) "shared wire: 1 hop" 1
+    (T.hop_count T.Shared_medium ~src:0 ~dst:7);
+  (match T.path t ~src:1 ~dst:6 with
+  | [ T.Host 1; T.Edge 0; T.Spine; T.Edge 1; T.Host 6 ] -> ()
+  | p -> Alcotest.failf "unexpected path: %d nodes" (List.length p));
+  Alcotest.(check bool) "uplink is a link" true (T.is_link t (T.Host 2, T.Edge 0));
+  Alcotest.(check bool) "wrong edge is not" false
+    (T.is_link t (T.Host 2, T.Edge 1));
+  Alcotest.(check bool) "host-host is not" false
+    (T.is_link t (T.Host 2, T.Host 3));
+  Alcotest.(check bool) "shared medium has no links" false
+    (T.is_link T.Shared_medium (T.Host 0, T.Host 1))
+
+let test_node_string_round_trip () =
+  List.iter
+    (fun n ->
+      match T.node_of_string (T.node_to_string n) with
+      | Some n' when T.equal_node n n' -> ()
+      | _ -> Alcotest.failf "round trip failed for %s" (T.node_to_string n))
+    [ T.Host 0; T.Host 17; T.Edge 3; T.Spine ];
+  Alcotest.(check bool) "garbage rejected" true
+    (T.node_of_string "switch9" = None)
+
+(* --- the shared-medium oracle --- *)
+
+(* Reference single-wire model: frames serialize behind one
+   wire-free-at cursor, then arrive after transmission + propagation.
+   The fabric's Shared_medium path must produce exactly these arrival
+   times in exactly this order — this is the bit-identity contract the
+   E1-E13 baselines rest on. *)
+let single_wire_reference sends =
+  let wire_free = ref 0.0 in
+  List.map
+    (fun (at, src, dst, bytes) ->
+      let start = Float.max at !wire_free in
+      let duration = C.transmission_ms C.ethernet_3mbit ~payload_bytes:bytes in
+      wire_free := start +. duration;
+      (start +. duration +. prop, src, dst))
+    sends
+
+let prop_shared_matches_single_wire =
+  QCheck.Test.make ~name:"Shared_medium reproduces the single-wire model"
+    ~count:200
+    QCheck.(
+      small_list (triple (int_range 0 50) (pair (int_range 0 3) (int_range 0 3))
+          (int_range 1 600)))
+    (fun raw ->
+      (* Sends at integer-ms marks, in list order at equal times —
+         matching the engine's FIFO tie-break. *)
+      let sends =
+        List.filter_map
+          (fun (at, (src, dst), bytes) ->
+            if src = dst then None
+            else Some (float_of_int at, src, dst, bytes))
+          raw
+        (* The engine executes in time order with FIFO tie-break, so the
+           reference must walk the sends the same way. *)
+        |> List.stable_sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+      in
+      let eng = Vsim.Engine.create () in
+      let net = E.create ~config:C.ethernet_3mbit eng in
+      for a = 0 to 3 do
+        E.attach net a (fun _ -> ())
+      done;
+      let deliveries = ref [] in
+      for a = 0 to 3 do
+        E.set_handler net a (fun frame ->
+            deliveries := (Vsim.Engine.now eng, frame.E.src, a) :: !deliveries)
+      done;
+      List.iter
+        (fun (at, src, dst, bytes) ->
+          Vsim.Engine.schedule_at eng at (fun () ->
+              E.transmit net
+                { E.src; dst = E.Unicast dst; payload = (); payload_bytes = bytes }))
+        sends;
+      Vsim.Engine.run eng;
+      let got = List.rev !deliveries in
+      let expected = single_wire_reference sends in
+      if List.length got <> List.length expected then
+        QCheck.Test.fail_reportf "delivered %d frames, expected %d"
+          (List.length got) (List.length expected)
+      else begin
+        List.iter2
+          (fun (gt, gs, gd) (et, es, ed) ->
+            if gs <> es || gd <> ed || Float.abs (gt -. et) > 1e-9 then
+              QCheck.Test.fail_reportf
+                "delivery diverged: got %d->%d at %.6f, expected %d->%d at %.6f"
+                gs gd gt es ed et)
+          got expected;
+        true
+      end)
+
+(* --- per-link faults --- *)
+
+let make_switched ?(queue_cap = 256) ?(fan_in = 2) ?(hosts = 4) () =
+  let eng = Vsim.Engine.create () in
+  let net =
+    E.create ~config:C.ethernet_3mbit ~topology:(T.switched ~fan_in) ~queue_cap
+      eng
+  in
+  let hits = Array.make hosts 0 in
+  for a = 0 to hosts - 1 do
+    E.attach net a (fun _ -> hits.(a) <- hits.(a) + 1)
+  done;
+  (eng, net, hits)
+
+let send net src dst =
+  E.transmit net
+    { E.src; dst = E.Unicast dst; payload = (); payload_bytes = 32 }
+
+let test_link_cut () =
+  let eng, net, hits = make_switched () in
+  (* fan_in 2: hosts 0,1 on edge0; hosts 2,3 on edge1. *)
+  E.set_link_up net (T.Edge 0) T.Spine false;
+  Alcotest.(check bool) "cross-edge unreachable" false (E.reachable net 0 2);
+  Alcotest.(check bool) "same edge still reachable" true (E.reachable net 0 1);
+  Alcotest.(check bool) "reverse direction unaffected" true (E.reachable net 2 0);
+  send net 0 2 (* dies at the cut uplink *);
+  send net 0 1 (* same edge, unaffected *);
+  send net 2 0 (* reverse path uses edge1->spine, up *);
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "cross-edge frame dropped" 0 hits.(2);
+  Alcotest.(check int) "same-edge delivered" 1 hits.(1);
+  Alcotest.(check int) "reverse delivered" 1 hits.(0);
+  Alcotest.(check int) "drop counted" 1 (E.counters net).E.frames_dropped;
+  let cut =
+    List.find
+      (fun s -> s.E.ls_label = T.link_label (T.Edge 0, T.Spine))
+      (E.link_stats net)
+  in
+  Alcotest.(check bool) "link reported down" false cut.E.ls_up;
+  Alcotest.(check int) "per-link drop counted" 1 cut.E.ls_drops;
+  E.set_link_up net (T.Edge 0) T.Spine true;
+  Alcotest.(check bool) "healed" true (E.reachable net 0 2);
+  send net 0 2;
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "flows after heal" 1 hits.(2)
+
+let test_queue_full_drops () =
+  let eng, net, hits = make_switched ~queue_cap:2 () in
+  (* Six same-instant frames against a 2-deep port: 2 admitted, 4
+     tail-dropped before anything drains. *)
+  for _ = 1 to 6 do
+    send net 0 1
+  done;
+  Vsim.Engine.run eng;
+  Alcotest.(check int) "two delivered" 2 hits.(1);
+  Alcotest.(check int) "four dropped globally" 4
+    (E.counters net).E.frames_dropped;
+  let uplink =
+    List.find
+      (fun s -> s.E.ls_label = T.link_label (T.Host 0, T.Edge 0))
+      (E.link_stats net)
+  in
+  Alcotest.(check int) "four dropped at the port" 4 uplink.E.ls_drops;
+  Alcotest.(check int) "peak occupancy is the cap" 2 uplink.E.ls_queue_peak;
+  Alcotest.(check int) "port drained" 0 uplink.E.ls_queued
+
+let test_multi_hop_latency () =
+  let eng, net, _ = make_switched () in
+  let arrival = ref nan in
+  E.set_handler net 2 (fun _ -> arrival := Vsim.Engine.now eng);
+  send net 0 2;
+  Vsim.Engine.run eng;
+  (* Four store-and-forward hops, each serializing and propagating, plus
+     a forwarding charge at each of the three switches on the path. *)
+  check_float "cross-edge latency composes per hop"
+    ((4.0 *. (tx +. prop)) +. (3.0 *. C.switch_forward_ms))
+    !arrival;
+  let eng, net, _ = make_switched () in
+  let arrival = ref nan in
+  E.set_handler net 1 (fun _ -> arrival := Vsim.Engine.now eng);
+  send net 0 1;
+  Vsim.Engine.run eng;
+  check_float "same-edge latency: two hops, one switch"
+    ((2.0 *. (tx +. prop)) +. C.switch_forward_ms)
+    !arrival
+
+let test_slow_link () =
+  let eng, net, _ = make_switched () in
+  E.set_link_extra_latency net (T.Edge 0) T.Spine 5.0;
+  let arrival = ref nan in
+  E.set_handler net 2 (fun _ -> arrival := Vsim.Engine.now eng);
+  send net 0 2;
+  Vsim.Engine.run eng;
+  check_float "slow link adds its latency to the one hop"
+    ((4.0 *. (tx +. prop)) +. (3.0 *. C.switch_forward_ms) +. 5.0)
+    !arrival
+
+let test_shared_medium_has_no_links () =
+  let eng = Vsim.Engine.create () in
+  let net = E.create ~config:C.ethernet_3mbit eng in
+  Alcotest.(check bool) "no queue bound" true (E.queue_capacity net = None);
+  Alcotest.(check (list reject)) "no link stats" [] (E.link_stats net);
+  Alcotest.check_raises "set_link_up raises"
+    (Invalid_argument "Ethernet.set_link_up: the shared medium has no links")
+    (fun () -> E.set_link_up net (T.Host 0) (T.Edge 0) false)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "net.fabric",
+      [
+        Alcotest.test_case "topology paths" `Quick test_topology_paths;
+        Alcotest.test_case "node strings" `Quick test_node_string_round_trip;
+        qcheck prop_shared_matches_single_wire;
+        Alcotest.test_case "link cut and heal" `Quick test_link_cut;
+        Alcotest.test_case "queue-full drops" `Quick test_queue_full_drops;
+        Alcotest.test_case "multi-hop latency" `Quick test_multi_hop_latency;
+        Alcotest.test_case "slow link" `Quick test_slow_link;
+        Alcotest.test_case "shared medium has no links" `Quick
+          test_shared_medium_has_no_links;
+      ] );
+  ]

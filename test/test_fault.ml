@@ -47,6 +47,8 @@ let test_plan_converges () =
   let down = Hashtbl.create 8
   and parts = Hashtbl.create 8
   and slow = Hashtbl.create 8
+  and cut = Hashtbl.create 8
+  and slow_links = Hashtbl.create 8
   and loss = ref 0.0 in
   List.iter
     (fun { Plan.at; action } ->
@@ -58,11 +60,18 @@ let test_plan_converges () =
       | Plan.Heal (a, b) -> Hashtbl.remove parts (a, b)
       | Plan.Loss p -> loss := p
       | Plan.Slow (a, ms) ->
-          if ms > 0.0 then Hashtbl.replace slow a () else Hashtbl.remove slow a)
+          if ms > 0.0 then Hashtbl.replace slow a () else Hashtbl.remove slow a
+      | Plan.Link_cut l -> Hashtbl.replace cut l ()
+      | Plan.Link_heal l -> Hashtbl.remove cut l
+      | Plan.Link_slow (l, ms) ->
+          if ms > 0.0 then Hashtbl.replace slow_links l ()
+          else Hashtbl.remove slow_links l)
     plan.Plan.events;
   Alcotest.(check int) "all hosts back up" 0 (Hashtbl.length down);
   Alcotest.(check int) "all partitions healed" 0 (Hashtbl.length parts);
   Alcotest.(check int) "no host slowed" 0 (Hashtbl.length slow);
+  Alcotest.(check int) "all links healed" 0 (Hashtbl.length cut);
+  Alcotest.(check int) "no link slowed" 0 (Hashtbl.length slow_links);
   Alcotest.(check (float 0.0)) "loss restored to zero" 0.0 !loss
 
 let test_plan_combinators () =

@@ -4,6 +4,7 @@ let () =
        [
          Test_sim.suite;
          Test_net.suite;
+         Test_fabric.suite;
          Test_kernel.suite;
          Test_naming.suite;
          Test_fs.suite;
