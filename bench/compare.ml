@@ -36,6 +36,11 @@
      shedding anything) rose by more than one point: both gate on
      absolute points, since a relative tolerance on a number close to
      1.0 (or exactly 0.0) gates nothing;
+   - an overhead metric (a comparison row whose unit is "%" — E15's
+     telemetry tax on the soak, saturated at its acceptance ceiling the
+     same way E12 saturates its speedup floor) rose by more than half a
+     point: also absolute, since a relative tolerance on a saturated
+     constant gates nothing;
    - a metric present in the baseline is missing from the fresh run —
      a removed metric must not silently stop gating. Listing the
      experiment's short name in the fresh dump's "_meta"."removed"
@@ -110,6 +115,12 @@ let is_availability_key k = k = "availability" || ends_with ~suffix:"_availabili
 let is_shed_ratio_key k = k = "shed_ratio" || ends_with ~suffix:"_shed_ratio" k
 let points_tolerance = 0.01
 
+(* Overhead rows (unit "%") gate on absolute points too, but with a
+   half-point band: they are saturated at an acceptance ceiling, so a
+   healthy run records a constant and any real rise past the ceiling
+   is meaningful. *)
+let overhead_points_tolerance = 0.5
+
 let number = function
   | Json.Int i -> Some (float_of_int i)
   | Json.Float f -> Some f
@@ -123,14 +134,19 @@ let time_unit u = contains ~sub:"ms" u || contains ~sub:"us" u
    direction. *)
 let rate_unit u = contains ~sub:"/s" u || u = "x"
 
+(* Overhead percentages: lower is better, and the number is already in
+   points, so the gate holds them to an absolute half-point band. *)
+let percent_unit u = u = "%"
+
 (* Which way a gated metric is allowed to move, and whether the
    tolerance is relative (latencies, throughputs) or absolute points
-   (availability, shed ratios). *)
+   (availability, shed ratios, overheads). *)
 type kind =
   | Latency (* relative; growing is the regression *)
   | Rate (* relative; shrinking is the regression *)
   | Availability (* absolute points; dropping is the regression *)
   | Shed_ratio (* absolute points; rising is the regression *)
+  | Overhead (* absolute points; rising is the regression *)
 
 (* List elements are identified by a "label" or "factor" field when
    they have one, else by position. *)
@@ -154,8 +170,12 @@ let rec collect path acc json =
             Json.member "unit" json )
         with
         | Some (Json.String _), Some m, Some (Json.String u)
-          when time_unit u || rate_unit u -> (
-            let kind = if time_unit u then Latency else Rate in
+          when time_unit u || rate_unit u || percent_unit u -> (
+            let kind =
+              if time_unit u then Latency
+              else if percent_unit u then Overhead
+              else Rate
+            in
             match number m with
             | Some v ->
                 (String.concat "/" (List.rev path) ^ "/measured", (v, kind))
@@ -385,24 +405,30 @@ let run_compare baseline_file fresh_file tolerance =
           end
       | Some (now, _) -> (
           match kind with
-          | Availability | Shed_ratio ->
+          | Availability | Shed_ratio | Overhead ->
               (* Absolute points: a relative tolerance on a value near
-                 1.0 (or exactly 0.0) would gate nothing. *)
+                 1.0 (or exactly 0.0), or on a saturated constant,
+                 would gate nothing. *)
               incr compared;
               let worse =
                 match kind with
                 | Availability -> base -. now
                 | _ -> now -. base
               in
+              let tol =
+                match kind with
+                | Overhead -> overhead_points_tolerance
+                | _ -> points_tolerance
+              in
               let delta = Fmt.str "%+.3f pts" (now -. base) in
-              if worse > points_tolerance then begin
+              if worse > tol then begin
                 incr failures;
                 add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) delta
                   "❌ regressed";
                 Fmt.pr "FAIL: %s regressed %.3f points (%.3f -> %.3f)@." path
                   worse base now
               end
-              else if worse < -.points_tolerance then begin
+              else if worse < -.tol then begin
                 incr improved;
                 add_row path (Fmt.str "%.3f" base) (Fmt.str "%.3f" now) delta
                   "improved";

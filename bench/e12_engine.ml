@@ -105,6 +105,37 @@ let soak_client_hosts = 5000
 let soak_cohort_size = 200 (* virtual clients per client host *)
 let soak_ops = 100_000
 
+(* The nightly soak lane sets VSYSTEM_TELEMETRY=1 to run the soak with
+   the full scale-telemetry stack attached (rollup, time series,
+   sampled tracing, kernel pump) and dump the artifact. Telemetry
+   schedules nothing, so every simulated number is unchanged — E15
+   gates that claim, this flag exercises it at soak scale. *)
+let telemetry_on =
+  match Sys.getenv_opt "VSYSTEM_TELEMETRY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let attach_telemetry domain net =
+  let hub = Vobs.Hub.create ~tracing:true () in
+  Vobs.Hub.set_head_sampling hub ~every:64 ~seed:1207;
+  Vobs.Hub.set_rollup hub
+    (Some
+       (Vobs.Rollup.create ~exemplar_slots:2
+          ~group_of:(K.telemetry_group_of domain) ()));
+  Vobs.Hub.set_timeseries hub (Some (Vobs.Timeseries.create ()));
+  K.set_obs domain hub;
+  E.set_obs net hub;
+  K.enable_telemetry domain ~interval_ms:250.0;
+  hub
+
+let dump_telemetry file domain hub =
+  (* Scrape the host/port-resident counters into the registry first. *)
+  K.flush_metrics domain;
+  Out_channel.with_open_bin file (fun oc ->
+      output_string oc (Vobs.Json.to_string (Vobs.Export.telemetry_to_json hub));
+      output_char oc '\n');
+  Fmt.pr "telemetry dump written to %s@." file
+
 (* Per-virtual-client mean think time; the cohort issues at
    [soak_cohort_size] times this rate. 10 s per client -> one op every
    50 ms per host -> ~100k ops/s offered across 5,000 hosts. *)
@@ -133,6 +164,7 @@ let soak () =
   let eng = En.create () in
   let net = E.create ~config:gigabit eng in
   let domain = K.create_domain ~hosts_hint:16384 ~cost:Rig.raw_cost eng net in
+  let hub = if telemetry_on then Some (attach_telemetry domain net) else None in
   let prng = Vsim.Prng.create ~seed:1207 in
   let servers =
     Array.init soak_servers (fun i ->
@@ -161,6 +193,9 @@ let soak () =
   let wall0 = Unix.gettimeofday () in
   En.run eng;
   let wall_s = Unix.gettimeofday () -. wall0 in
+  (match hub with
+  | Some hub -> dump_telemetry "telemetry-e12.json" domain hub
+  | None -> ());
   {
     resolved = !resolved;
     failed = !failed;

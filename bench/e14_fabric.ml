@@ -45,6 +45,15 @@ let env_int name default =
 let soak_hosts = env_int "VSYSTEM_SOAK_HOSTS" 10_000
 let soak_ops = env_int "VSYSTEM_SOAK_OPS" 50_000
 
+(* VSYSTEM_TELEMETRY=1 (the nightly lane) attaches the scale-telemetry
+   stack to the Phase B soak and dumps the artifact; the switched
+   fan-in-64 fabric is what puts per-edge rollup rows in it. The sim
+   numbers are unchanged — telemetry schedules nothing. *)
+let telemetry_on =
+  match Sys.getenv_opt "VSYSTEM_TELEMETRY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
 (* --- Phase A: cross-edge drain --- *)
 
 let drain_fan_in = 100
@@ -155,6 +164,22 @@ let soak () =
     E.create ~config:gigabit ~topology:(T.switched ~fan_in:soak_fan_in) eng
   in
   let domain = K.create_domain ~hosts_hint:(2 * soak_hosts) ~cost:Rig.raw_cost eng net in
+  let hub =
+    if not telemetry_on then None
+    else begin
+      let hub = Vobs.Hub.create ~tracing:true () in
+      Vobs.Hub.set_head_sampling hub ~every:64 ~seed:1406;
+      Vobs.Hub.set_rollup hub
+        (Some
+           (Vobs.Rollup.create ~exemplar_slots:2
+              ~group_of:(K.telemetry_group_of domain) ()));
+      Vobs.Hub.set_timeseries hub (Some (Vobs.Timeseries.create ()));
+      K.set_obs domain hub;
+      E.set_obs net hub;
+      K.enable_telemetry domain ~interval_ms:250.0;
+      Some hub
+    end
+  in
   let prng = Vsim.Prng.create ~seed:1406 in
   let servers =
     Array.init servers_n (fun i ->
@@ -182,6 +207,15 @@ let soak () =
            done))
   done;
   En.run eng;
+  (match hub with
+  | Some hub ->
+      K.flush_metrics domain;
+      Out_channel.with_open_bin "telemetry-e14.json" (fun oc ->
+          output_string oc
+            (Vobs.Json.to_string (Vobs.Export.telemetry_to_json hub));
+          output_char oc '\n');
+      Fmt.pr "telemetry dump written to telemetry-e14.json@."
+  | None -> ());
   {
     resolved = !resolved;
     failed = !failed;

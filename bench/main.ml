@@ -26,6 +26,7 @@ let registry =
     ("e12", E12_engine.run);
     ("e13", E13_overload.run);
     ("e14", E14_fabric.run);
+    ("e15", E15_telemetry.run);
     ("figs", Figures.run);
     ("f1", Figures.f1);
     ("f2", Figures.f2);
@@ -43,7 +44,7 @@ let registry =
 let default =
   [
     "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-    "e12"; "e13"; "e14"; "figs"; "ablations"; "day"; "micro";
+    "e12"; "e13"; "e14"; "e15"; "figs"; "ablations"; "day"; "micro";
   ]
 
 (* Strip "--json FILE" from the argument list, returning the file.

@@ -792,47 +792,254 @@ let cmd_admission sh args =
       Ok ()
   | _ -> Error (Vio.Verr.Protocol "usage: admission on | off | status")
 
+(* Row shapes shared by `metrics` and `top`, so the two views stay
+   column-compatible. *)
+let hist_header = [ "histogram"; "n"; "mean"; "p50"; "p95"; "p99"; "max" ]
+
+let hist_row name h =
+  let module H = Vobs.Metrics.Histogram in
+  [
+    name;
+    string_of_int (H.count h);
+    Fmt.str "%.3f" (H.mean h);
+    Fmt.str "%.3f" (H.quantile h 0.5);
+    Fmt.str "%.3f" (H.quantile h 0.95);
+    Fmt.str "%.3f" (H.quantile h 0.99);
+    Fmt.str "%.3f" (H.max_ h);
+  ]
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  m = 0
+  ||
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
 (* Counters, gauges and histograms as stable tables: rows sorted by
    (host, server, op) — the registry guarantees the order — histograms
    carrying their quantile columns so a latency regression is visible
-   without the JSON dump. *)
+   without the JSON dump. With hundreds of keys the full dump is
+   unreadable, hence [FILTER] (substring over "host/server/op") and
+   [--top N] (sort by count/value, keep the N hottest). *)
 let cmd_metrics sh args =
-  let m = Vobs.Hub.metrics sh.scenario.Scenario.obs in
+  let hub = sh.scenario.Scenario.obs in
+  (* Per-op counters accumulate on host/port records; scrape them into
+     the registry before reading it. *)
+  K.flush_metrics sh.scenario.Scenario.domain;
+  let m = Vobs.Hub.metrics hub in
   let key (k : Vobs.Metrics.key) = Fmt.str "%s/%s/%s" k.host k.server k.op in
-  (match args with
-  | [ "json" ] -> pr "%s" (Vobs.Json.to_string (Vobs.Metrics.to_json m))
-  | _ ->
-      (match Vobs.Metrics.counters m with
+  let usage = "usage: metrics [FILTER] [--top N] | metrics json | metrics prom" in
+  let rec parse filter top = function
+    | [] -> Ok (filter, top)
+    | "--top" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> parse filter (Some n) rest
+        | _ -> Error (Vio.Verr.Protocol usage))
+    | s :: rest when filter = None && s <> "--top" -> parse (Some s) top rest
+    | _ -> Error (Vio.Verr.Protocol usage)
+  in
+  match args with
+  | [ "json" ] ->
+      pr "%s" (Vobs.Json.to_string (Vobs.Metrics.to_json m));
+      Ok ()
+  | [ "prom" ] ->
+      print_string (Vobs.Export.prometheus hub);
+      Ok ()
+  | args -> (
+      match parse None None args with
+      | Error e -> Error e
+      | Ok (filter, top) ->
+          let keep name =
+            match filter with
+            | None -> true
+            | Some f -> contains_substring name f
+          in
+          let select weight rows =
+            let rows = List.filter (fun (name, _) -> keep name) rows in
+            match top with
+            | None -> rows
+            | Some n ->
+                List.stable_sort
+                  (fun (_, a) (_, b) -> compare (weight b) (weight a))
+                  rows
+                |> take n
+          in
+          (match
+             select Fun.id
+               (List.map (fun (k, v) -> (key k, v)) (Vobs.Metrics.counters m))
+           with
+          | [] -> ()
+          | counters ->
+              print_rows ~header:[ "counter"; "value" ]
+                (List.map
+                   (fun (name, v) -> [ name; string_of_int v ])
+                   counters));
+          (match
+             select Fun.id
+               (List.map (fun (k, v) -> (key k, v)) (Vobs.Metrics.gauges m))
+           with
+          | [] -> ()
+          | gauges ->
+              pr "";
+              print_rows ~header:[ "gauge"; "value" ]
+                (List.map (fun (name, v) -> [ name; Fmt.str "%.3f" v ]) gauges));
+          (match
+             select Vobs.Metrics.Histogram.count
+               (List.map
+                  (fun (k, h) -> (key k, h))
+                  (Vobs.Metrics.histograms m))
+           with
+          | [] -> ()
+          | histograms ->
+              pr "";
+              print_rows ~header:hist_header
+                (List.map (fun (name, h) -> hist_row name h) histograms));
+          Ok ())
+
+(* The live view at scale: the N hottest instruments (rollup leaves
+   when a rollup is attached, the flat registry otherwise) plus the
+   time-series sparklines — one screen that says where the load and the
+   latency are right now. *)
+let cmd_top sh args =
+  let hub = sh.scenario.Scenario.obs in
+  let n =
+    match args with
+    | [] -> Some 10
+    | [ n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> Some n
+        | _ -> None)
+    | _ -> None
+  in
+  match n with
+  | None -> Error (Vio.Verr.Protocol "usage: top [N]")
+  | Some n ->
+      K.flush_metrics sh.scenario.Scenario.domain;
+      Vobs.Hub.sync_health_metrics hub;
+      let counter_rows, hist_rows =
+        match Vobs.Hub.rollup hub with
+        | Some r ->
+            let key (k : Vobs.Rollup.key) =
+              Fmt.str "%s/%s/%s" k.scope k.server k.op
+            in
+            ( List.map
+                (fun (k, v) -> (key k, v))
+                (Vobs.Rollup.counters r Vobs.Rollup.Leaf),
+              List.map
+                (fun (k, h) -> (key k, h))
+                (Vobs.Rollup.histograms r Vobs.Rollup.Leaf) )
+        | None ->
+            let m = Vobs.Hub.metrics hub in
+            let key (k : Vobs.Metrics.key) =
+              Fmt.str "%s/%s/%s" k.host k.server k.op
+            in
+            ( List.map (fun (k, v) -> (key k, v)) (Vobs.Metrics.counters m),
+              List.map (fun (k, h) -> (key k, h)) (Vobs.Metrics.histograms m)
+            )
+      in
+      let hottest weight rows =
+        List.stable_sort (fun (_, a) (_, b) -> compare (weight b) (weight a)) rows
+        |> take n
+      in
+      (match hottest Fun.id counter_rows with
+      | [] -> pr "(no counters yet)"
+      | rows ->
+          print_rows ~header:[ "hottest"; "count" ]
+            (List.map (fun (name, v) -> [ name; string_of_int v ]) rows));
+      (match hottest Vobs.Metrics.Histogram.count hist_rows with
       | [] -> ()
-      | counters ->
-          print_rows ~header:[ "counter"; "value" ]
-            (List.map (fun (k, v) -> [ key k; string_of_int v ]) counters));
-      (match Vobs.Metrics.gauges m with
-      | [] -> ()
-      | gauges ->
+      | rows ->
           pr "";
-          print_rows ~header:[ "gauge"; "value" ]
-            (List.map (fun (k, v) -> [ key k; Fmt.str "%.3f" v ]) gauges));
-      (match Vobs.Metrics.histograms m with
-      | [] -> ()
-      | histograms ->
-          pr "";
-          print_rows
-            ~header:[ "histogram"; "n"; "mean"; "p50"; "p95"; "p99"; "max" ]
-            (List.map
-               (fun (k, h) ->
-                 let module H = Vobs.Metrics.Histogram in
-                 [
-                   key k;
-                   string_of_int (H.count h);
-                   Fmt.str "%.3f" (H.mean h);
-                   Fmt.str "%.3f" (H.quantile h 0.5);
-                   Fmt.str "%.3f" (H.quantile h 0.95);
-                   Fmt.str "%.3f" (H.quantile h 0.99);
-                   Fmt.str "%.3f" (H.max_ h);
-                 ])
-               histograms)));
-  Ok ()
+          print_rows ~header:hist_header
+            (List.map (fun (name, h) -> hist_row name h) rows));
+      (match Vobs.Hub.timeseries hub with
+      | None -> ()
+      | Some ts -> (
+          let series =
+            List.map
+              (fun (name, kind) ->
+                let last =
+                  match List.rev (Vobs.Timeseries.points ts name) with
+                  | (_, v) :: _ -> v
+                  | [] -> 0.0
+                in
+                (name, kind, last))
+              (Vobs.Timeseries.names ts)
+            |> List.stable_sort (fun (_, _, a) (_, _, b) -> compare b a)
+            |> take n
+          in
+          match series with
+          | [] -> ()
+          | series ->
+              pr "";
+              print_rows
+                ~header:[ "series"; "kind"; "last"; "trend" ]
+                (List.map
+                   (fun (name, kind, last) ->
+                     [
+                       name;
+                       Vobs.Timeseries.kind_to_string kind;
+                       Fmt.str "%.3f" last;
+                       Vobs.Timeseries.sparkline ts name;
+                     ])
+                   series)));
+      Ok ()
+
+(* Scale telemetry from the shell: attach a rollup tree (grouped by the
+   kernel's topology mapping), a time-series store and 1-in-N head
+   sampling, and arm the kernel pump. Everything detaches cleanly with
+   `telemetry off`. *)
+let cmd_telemetry sh args =
+  let t = sh.scenario in
+  let hub = t.Scenario.obs in
+  let d = t.Scenario.domain in
+  let enable every =
+    let rollup =
+      Vobs.Rollup.create ~exemplar_slots:2
+        ~group_of:(fun name -> K.telemetry_group_of d name)
+        ()
+    in
+    Vobs.Hub.set_rollup hub (Some rollup);
+    Vobs.Hub.set_timeseries hub
+      (Some (Vobs.Timeseries.create ~bucket_ms:100.0 ()));
+    Vobs.Hub.set_head_sampling hub ~every ~seed:47;
+    K.enable_telemetry d ~interval_ms:50.0;
+    pr "telemetry on: rollups + time series attached, tracing 1-in-%d" every;
+    Ok ()
+  in
+  match args with
+  | [ "on" ] -> enable 1
+  | [ "on"; every ] -> (
+      match int_of_string_opt every with
+      | Some every when every >= 1 -> enable every
+      | _ -> Error (Vio.Verr.Protocol "usage: telemetry on [EVERY]"))
+  | [ "off" ] ->
+      Vobs.Hub.set_rollup hub None;
+      Vobs.Hub.set_timeseries hub None;
+      Vobs.Hub.set_head_sampling hub ~every:1 ~seed:47;
+      K.disable_telemetry d;
+      pr "telemetry off";
+      Ok ()
+  | [] | [ "status" ] ->
+      (match Vobs.Hub.rollup hub with
+      | None -> pr "telemetry off (flat metrics only)"
+      | Some r ->
+          pr
+            "telemetry on: tracing 1-in-%d (%d sampled out), rollup %d \
+             key(s), %d observation(s) dropped by the leaf cap"
+            (Vobs.Hub.sample_every hub)
+            (Vobs.Hub.sampled_out hub) (Vobs.Rollup.key_count r)
+            (Vobs.Rollup.keys_dropped r));
+      (match Vobs.Hub.timeseries hub with
+      | None -> ()
+      | Some ts ->
+          pr "time series: %d series, %d refused by the cap"
+            (Vobs.Timeseries.series_count ts)
+            (Vobs.Timeseries.series_dropped ts));
+      Ok ()
+  | _ -> Error (Vio.Verr.Protocol "usage: telemetry on [EVERY] | off | status")
 
 (* The flight recorder from the shell: newest events (oldest first, so
    the narrative reads downward), dropped-count trailer included. *)
@@ -931,7 +1138,9 @@ let commands :
     ("trace", "[ID] — span tree of the last (or given) traced request", cmd_trace);
     ("cache", "[on|off|stats] — the name-resolution cache", cmd_cache);
     ("admission", "on | off | status — server overload protection", cmd_admission);
-    ("metrics", "[json] — observability counters and histograms", cmd_metrics);
+    ("metrics", "[FILTER] [--top N] | json | prom — counters and histograms", cmd_metrics);
+    ("top", "[N] — hottest servers/links with time-series sparklines", cmd_top);
+    ("telemetry", "on [EVERY] | off | status — rollups, time series, sampling", cmd_telemetry);
     ("events", "[N] — newest flight-recorder events (default 20)", cmd_events);
     ("slo", "— availability/latency objective summary", cmd_slo);
     ("record", "[on|off|status] | dump [FILE] — the flight recorder", cmd_record);
@@ -1029,6 +1238,15 @@ let demo_script =
     "engine stats";
     "metrics";
     "time";
+    "echo -- scale telemetry --";
+    "telemetry on 4";
+    "write [home]tele.txt feeding the rollup tree";
+    "cat [home]tele.txt";
+    "cat [home]tele.txt";
+    "top 8";
+    "metrics runtime --top 3";
+    "telemetry status";
+    "telemetry off";
     "echo -- the flight recorder and the SLO --";
     "record status";
     "events 12";

@@ -15,6 +15,7 @@
 
 module Calibration = Vnet.Calibration
 module Ethernet = Vnet.Ethernet
+module Topology = Vnet.Topology
 module Engine = Vsim.Engine
 module Proc = Vsim.Proc
 
@@ -69,6 +70,17 @@ type 'm admission_verdict =
   | Shed of 'm
       (** reject now: the kernel replies with this message on the
           server's behalf, without scheduling the server's fiber *)
+
+(* Cached metric handles for the per-transaction kernel ops — bound
+   per host on first use so the IPC hot path records through pointer
+   work, not keyed lookups (see Vobs.Metrics handles). *)
+type hot_ops = {
+  ho_send : Vobs.Metrics.counter;
+  ho_receive : Vobs.Metrics.counter;
+  ho_reply : Vobs.Metrics.counter;
+  ho_admit : Vobs.Metrics.counter;
+  ho_shed : Vobs.Metrics.counter;
+}
 
 type 'm process = {
   pid : Pid.t;
@@ -138,6 +150,22 @@ and 'm host = {
   completed_replies : (int, Ethernet.addr * 'm packet * int) Hashtbl.t;
   group_members : (int, Pid.t list) Hashtbl.t;
   host_prng : Vsim.Prng.t;
+  mutable host_hot : hot_ops option;
+  (* The per-transaction IPC counters accumulate right here — the
+     host record is already in cache on every send/receive/reply and
+     on every admission verdict, so counting is one register add with
+     no branch. [flush_metrics] moves the deltas into the registry at
+     scrape time. *)
+  mutable h_sends : int;
+  mutable h_receives : int;
+  mutable h_replies : int;
+  mutable h_admits : int;
+  mutable h_sheds : int;
+  mutable h_sends_flushed : int;
+  mutable h_receives_flushed : int;
+  mutable h_replies_flushed : int;
+  mutable h_admits_flushed : int;
+  mutable h_sheds_flushed : int;
 }
 
 (* A logical service implemented by a whole process group (§7): GetPid
@@ -202,6 +230,19 @@ and 'm domain = {
   mutable trace_of : 'm -> int;
   mutable getpid_cache_on : bool;
   ipc_transactions : Vsim.Stats.Counter.t;
+  (* The telemetry pump: every [tel_interval] simulated ms (0 = off)
+     the send path's next kernel operation snapshots fleet counters,
+     fabric links and watched server queues into the hub's time-series
+     store. Piggybacked on the hot path rather than self-scheduled so
+     the pump adds zero engine events — obs-on and obs-off runs execute
+     identical event sequences. *)
+  mutable tel_interval : float;
+  mutable tel_next : float;
+  (* host name -> rollup group scope, fed to Rollup.group_of. *)
+  tel_groups : (string, string) Hashtbl.t;
+  (* (series label, pid) of servers whose queue depth is traced:
+     every pid with an admission hook installed. *)
+  mutable tel_watched : (string * Pid.t) list;
 }
 
 type 'm self = 'm process
@@ -224,8 +265,21 @@ let trace d fmt =
 let tracing d = d.trace <> None
 let obs_on host = host.domain.domain_obs <> None
 
+(* The flight-recorder guard: [event_log] itself is a no-op when the
+   recorder is off, but applying it to a format string still builds the
+   continuation closures — this predicate lets call sites skip that. *)
+let obs_events_on host =
+  match host.domain.domain_obs with
+  | Some hub -> Vobs.Eventlog.enabled (Vobs.Hub.events hub)
+  | None -> false
+
 let set_trace d tr = d.trace <- Some tr
-let set_obs d hub = d.domain_obs <- Some hub
+
+let set_obs d hub =
+  d.domain_obs <- Some hub;
+  (* Cached metric handles belong to the previous hub's registry. *)
+  Hashtbl.iter (fun _ host -> host.host_hot <- None) d.all_hosts
+
 let obs d = d.domain_obs
 let set_trace_of d f = d.trace_of <- f
 
@@ -252,6 +306,74 @@ let count_op host op =
   | Some hub ->
       Vobs.Metrics.incr (Vobs.Hub.metrics hub) ~host:host.host_name
         ~server:"kernel" ~op
+
+(* The three per-transaction ops go through cached handles instead:
+   send/receive/reply fire on every IPC transaction, and the keyed
+   path's hashing is what the E15 overhead gate would choke on. *)
+let host_hot_ops host hub =
+  match host.host_hot with
+  | Some h -> h
+  | None ->
+      let m = Vobs.Hub.metrics hub in
+      let mk op =
+        Vobs.Metrics.counter m ~host:host.host_name ~server:"kernel" ~op
+      in
+      let h =
+        {
+          ho_send = mk "send";
+          ho_receive = mk "receive";
+          ho_reply = mk "reply";
+          ho_admit = mk "admit";
+          ho_shed = mk "shed";
+        }
+      in
+      host.host_hot <- Some h;
+      h
+
+let count_send host = host.h_sends <- host.h_sends + 1
+let count_receive host = host.h_receives <- host.h_receives + 1
+let count_reply host = host.h_replies <- host.h_replies + 1
+let count_admit host = host.h_admits <- host.h_admits + 1
+let count_shed host = host.h_sheds <- host.h_sheds + 1
+
+(* Move every host's IPC-counter deltas since the previous flush into
+   the registry (through the cached handles), then flush the wire
+   layer. Called at scrape points — exports, dumps, vsh — never per
+   transaction; pure bookkeeping, so a flush at any instant leaves
+   simulated behaviour untouched. *)
+let flush_metrics d =
+  (match d.domain_obs with
+  | None -> ()
+  | Some hub ->
+      Hashtbl.iter
+        (fun _ host ->
+          if
+            host.h_sends > host.h_sends_flushed
+            || host.h_receives > host.h_receives_flushed
+            || host.h_replies > host.h_replies_flushed
+            || host.h_admits > host.h_admits_flushed
+            || host.h_sheds > host.h_sheds_flushed
+          then begin
+            let h = host_hot_ops host hub in
+            Vobs.Metrics.add ~by:(host.h_sends - host.h_sends_flushed) h.ho_send;
+            Vobs.Metrics.add
+              ~by:(host.h_receives - host.h_receives_flushed)
+              h.ho_receive;
+            Vobs.Metrics.add
+              ~by:(host.h_replies - host.h_replies_flushed)
+              h.ho_reply;
+            Vobs.Metrics.add
+              ~by:(host.h_admits - host.h_admits_flushed)
+              h.ho_admit;
+            Vobs.Metrics.add ~by:(host.h_sheds - host.h_sheds_flushed) h.ho_shed;
+            host.h_sends_flushed <- host.h_sends;
+            host.h_receives_flushed <- host.h_receives;
+            host.h_replies_flushed <- host.h_replies;
+            host.h_admits_flushed <- host.h_admits;
+            host.h_sheds_flushed <- host.h_sheds
+          end)
+        d.all_hosts);
+  Ethernet.flush_metrics d.net
 
 let fresh_txn d =
   let t = d.next_txn in
@@ -294,6 +416,95 @@ let host_is_up h = h.host_up
 
 let check_alive proc =
   if not proc.proc_alive then raise (Proc.Killed "process destroyed")
+
+(* --- the telemetry pump --- *)
+
+(* The rollup group of one host: its edge switch on a switched fabric,
+   a 1024-host address shard on the shared medium (which has no
+   segments, but fleet-minus-one granularity is still wanted). *)
+let telemetry_scope_of_host d host =
+  match Ethernet.topology d.net with
+  | Topology.Switched { fan_in } ->
+      Topology.node_to_string (Topology.Edge (Topology.edge_of ~fan_in host.addr))
+  | Topology.Shared_medium -> Printf.sprintf "shard%d" (host.addr / 1024)
+
+let register_telemetry_host d host =
+  let scope = telemetry_scope_of_host d host in
+  Hashtbl.replace d.tel_groups host.host_name scope;
+  (* The net layer labels the same host "host<addr>"; registering that
+     alias keeps its handle binds off the topology-parsing fallback. *)
+  Hashtbl.replace d.tel_groups (Printf.sprintf "host%d" host.addr) scope
+
+(* The [Rollup.group_of] function for this domain: kernel host names
+   map through the registration table, net-layer labels ("host3",
+   "edge0->spine") through the topology; anything else is fleet-only. *)
+let telemetry_group_of d name =
+  match Hashtbl.find_opt d.tel_groups name with
+  | Some g -> Some g
+  | None -> Topology.rollup_scope (Ethernet.topology d.net) name
+
+let telemetry_enabled d = d.tel_interval > 0.0
+
+(* [enable_telemetry d ~interval_ms] arms the pump and maps every
+   booted host to its rollup group (hosts booted later register as they
+   boot). The pump itself runs from the send path — see
+   [telemetry_tick]. *)
+let enable_telemetry d ~interval_ms =
+  if interval_ms <= 0.0 then
+    invalid_arg "Kernel.enable_telemetry: interval must be positive";
+  d.tel_interval <- interval_ms;
+  d.tel_next <- Engine.now d.engine;
+  Hashtbl.iter (fun _ host -> register_telemetry_host d host) d.all_hosts
+
+let disable_telemetry d = d.tel_interval <- 0.0
+
+(* One pump firing: fleet-wide counters, the fabric's interior links,
+   and every watched server queue, stamped at the current simulated
+   instant. Records only — never schedules, never advances the clock,
+   so the engine's event sequence is identical with the pump on or
+   off. *)
+let telemetry_sample d hub ~now =
+  match Vobs.Hub.timeseries hub with
+  | None -> ()
+  | Some ts ->
+      Vobs.Timeseries.sample ts "kernel/ipc-transactions"
+        Vobs.Timeseries.Counter ~now
+        (float_of_int (Vsim.Stats.Counter.value d.ipc_transactions));
+      let c = Ethernet.counters d.net in
+      Vobs.Timeseries.sample ts "net/frames-sent" Vobs.Timeseries.Counter ~now
+        (float_of_int c.Ethernet.frames_sent);
+      Vobs.Timeseries.sample ts "net/frames-dropped" Vobs.Timeseries.Counter
+        ~now
+        (float_of_int c.Ethernet.frames_dropped);
+      Ethernet.sample_timeseries d.net ts ~now;
+      List.iter
+        (fun (label, pid) ->
+          let depth =
+            match find_process d pid with
+            | None -> 0
+            | Some proc ->
+                Queue.length proc.queue
+                + (match proc.admission with
+                  | Some ad -> Queue.length ad.ad_bulk
+                  | None -> 0)
+          in
+          Vobs.Timeseries.sample ts label Vobs.Timeseries.Gauge ~now
+            (float_of_int depth))
+        d.tel_watched
+
+(* The hot-path hook: two float compares when armed but not yet due,
+   nothing at all when disabled (callers guard on [obs_on]). *)
+let telemetry_tick host =
+  let d = host.domain in
+  if d.tel_interval > 0.0 then begin
+    let now = Engine.now d.engine in
+    if now >= d.tel_next then begin
+      d.tel_next <- now +. d.tel_interval;
+      match d.domain_obs with
+      | Some hub -> telemetry_sample d hub ~now
+      | None -> ()
+    end
+  end
 
 (* Suspend the current fiber in a crash-abortable, fire-once way. *)
 let block proc register =
@@ -501,18 +712,18 @@ let dispatch_local_request host ~txn ~sender ~target_proc msg =
       match ad.ad_decide ~now:(Engine.now host.domain.engine) ~depth msg with
       | Admit ->
           ad.ad_admitted <- ad.ad_admitted + 1;
-          count_op host "admit";
+          count_admit host;
           register_serving host ~sender ~receiver:target_proc.pid ~txn;
           deliver target_proc { d_sender = sender; d_msg = msg }
       | Admit_bulk ->
           ad.ad_admitted <- ad.ad_admitted + 1;
-          count_op host "admit";
+          count_admit host;
           register_serving host ~sender ~receiver:target_proc.pid ~txn;
           deliver_bulk target_proc ad { d_sender = sender; d_msg = msg }
       | Shed reply_msg ->
           ad.ad_shed <- ad.ad_shed + 1;
-          count_op host "shed";
-          if obs_on host then
+          count_shed host;
+          if obs_events_on host then
             event_log host ~cat:Vobs.Eventlog.Admission
               ~trace:(host.domain.trace_of msg)
               "shed %a -> %a (depth %d)" Pid.pp sender Pid.pp target_proc.pid
@@ -575,7 +786,7 @@ let arm_forward_recovery host ~txn pending ~dst_addr resend =
         | None -> false
       in
       if target_host_reachable && attempts < max_timeout_probes then begin
-        if obs_on host then
+        if obs_events_on host then
           event_log host ~cat:Vobs.Eventlog.Kernel
             "forward-recovery-probe txn %d (attempt %d)" txn attempts;
         resend ();
@@ -597,7 +808,7 @@ let arm_retransmit host ~txn pending resend =
   let d = host.domain in
   let rec tick () =
     if Hashtbl.mem host.pendings txn && host.host_up then begin
-      if obs_on host then
+      if obs_events_on host then
         event_log host ~cat:Vobs.Eventlog.Kernel "retransmit-probe txn %d" txn;
       resend ();
       pending.p_retransmit <-
@@ -654,11 +865,14 @@ let send proc ?buffer target msg =
   let host = proc.proc_host in
   let d = host.domain in
   Vsim.Stats.Counter.incr d.ipc_transactions;
-  count_op host "send";
+  count_send host;
   if tracing d then trace d "Send %a -> %a" Pid.pp proc.pid Pid.pp target;
-  if obs_on host then
-    event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
-      "send %a -> %a" Pid.pp proc.pid Pid.pp target;
+  if obs_on host then begin
+    telemetry_tick host;
+    if obs_events_on host then
+      event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
+        "send %a -> %a" Pid.pp proc.pid Pid.pp target
+  end;
   match find_process d target with
   | Some target_proc when target_proc.proc_host == host ->
       charge proc Calibration.local_ipc_leg_cpu;
@@ -708,7 +922,7 @@ let receive proc =
             proc.recv_filter <- None;
             proc.recv_waiter <- Some fire)
   in
-  count_op proc.proc_host "receive";
+  count_receive proc.proc_host;
   if tracing proc.proc_host.domain then
     trace proc.proc_host.domain "Receive %a <- %a" Pid.pp proc.pid Pid.pp
       d.d_sender;
@@ -759,7 +973,7 @@ let reply proc ~to_ msg =
   | None -> Error Not_awaiting_reply
   | Some txn -> (
       Hashtbl.remove host.serving (to_, proc.pid);
-      count_op host "reply";
+      count_reply host;
       if tracing d then trace d "Reply %a -> %a" Pid.pp proc.pid Pid.pp to_;
       match find_process d to_ with
       | None -> Ok () (* sender died while blocked; nothing to resume *)
@@ -796,7 +1010,7 @@ let forward proc ~from_ ~to_ msg =
       count_op host "forward";
       if tracing d then
         trace d "Forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
-      if obs_on host then
+      if obs_events_on host then
         event_log host ~cat:Vobs.Eventlog.Kernel ~trace:(d.trace_of msg)
           "forward %a: %a -> %a" Pid.pp proc.pid Pid.pp from_ Pid.pp to_;
       match find_process d to_ with
@@ -852,7 +1066,13 @@ let set_admission d pid decide =
                 ad_bulk = Queue.create ();
                 ad_admitted = 0;
                 ad_shed = 0;
-              })
+              };
+          (* A server worth admission-protecting is a server whose
+             queue depth is worth a trace. *)
+          let label =
+            Fmt.str "server/%s/%a/queue" proc.proc_host.host_name Pid.pp pid
+          in
+          d.tel_watched <- (label, pid) :: d.tel_watched)
 
 (* Remove the hook; admitted bulk work drains back into the main queue
    so nothing already accepted is lost. *)
@@ -864,7 +1084,8 @@ let clear_admission d pid =
       | None -> ()
       | Some ad ->
           Queue.transfer ad.ad_bulk proc.queue;
-          proc.admission <- None)
+          proc.admission <- None;
+          d.tel_watched <- List.filter (fun (_, p) -> p <> pid) d.tel_watched)
 
 (* Undelivered requests queued at [pid], both lanes. *)
 let queue_depth d pid =
@@ -1239,9 +1460,10 @@ let balanced_choice host ~service =
           | Balancer.Nearest_host -> ());
           (match choice with
           | Some pid ->
-              event_log host ~cat:Vobs.Eventlog.Balancer
-                "pick service %d -> %a (%d reachable)" service Pid.pp pid
-                (List.length members)
+              if obs_events_on host then
+                event_log host ~cat:Vobs.Eventlog.Balancer
+                  "pick service %d -> %a (%d reachable)" service Pid.pp pid
+                  (List.length members)
           | None -> ());
           choice)
 
@@ -1585,6 +1807,10 @@ let create_domain ?(seed = 42) ?(hosts_hint = 16) ~cost engine net =
       trace_of = (fun _ -> 0);
       getpid_cache_on = false;
       ipc_transactions = Vsim.Stats.Counter.create "ipc-transactions";
+      tel_interval = 0.0;
+      tel_next = 0.0;
+      tel_groups = Hashtbl.create 64;
+      tel_watched = [];
     }
   in
   d
@@ -1618,11 +1844,23 @@ let boot_host d ~name addr =
       completed_replies = Hashtbl.create 64;
       group_members = Hashtbl.create 8;
       host_prng = Vsim.Prng.split d.domain_prng;
+      host_hot = None;
+      h_sends = 0;
+      h_receives = 0;
+      h_replies = 0;
+      h_admits = 0;
+      h_sheds = 0;
+      h_sends_flushed = 0;
+      h_receives_flushed = 0;
+      h_replies_flushed = 0;
+      h_admits_flushed = 0;
+      h_sheds_flushed = 0;
     }
   in
   Hashtbl.replace d.all_hosts addr host;
   Hashtbl.replace d.logical_hosts host.logical_host host;
   Ethernet.attach d.net addr (fun frame -> handle_packet host frame);
+  if telemetry_enabled d then register_telemetry_host d host;
   host
 
 let host_of_addr d addr = Hashtbl.find_opt d.all_hosts addr

@@ -75,6 +75,14 @@ val set_obs : 'm domain -> Vobs.Hub.t -> unit
 
 val obs : 'm domain -> Vobs.Hub.t option
 
+(** Per-transaction IPC counters (send/receive/reply) and per-frame
+    wire counters accumulate on the host and port records; this moves
+    their deltas since the previous flush into the attached hub's
+    registry (host rollup groups apply as usual). Call at scrape
+    points — before exporting, dumping or rendering metrics — never
+    per operation. No-op without a hub; never perturbs simulation. *)
+val flush_metrics : 'm domain -> unit
+
 (** Install the accessor extracting the obs trace id riding inside a
     message (0 = untraced), used to stamp flight-recorder events. The
     kernel never inspects messages itself; the deployment, which knows
@@ -85,6 +93,31 @@ val set_trace_of : 'm domain -> ('m -> int) -> unit
 (** Completed + in-flight Send/group-Send transactions, for the
     messages-per-operation benchmarks. *)
 val ipc_transaction_count : 'm domain -> int
+
+(** {1 The telemetry pump}
+
+    Scale telemetry rides the IPC hot path: with a hub attached and the
+    pump armed, the first kernel send at or after each [interval_ms] of
+    simulated time snapshots fleet counters, the fabric's interior
+    links and every admission-protected server queue into the hub's
+    time-series store ({!Vobs.Hub.timeseries}). The pump only records —
+    it schedules nothing and advances nothing, so the engine executes
+    an identical event sequence with telemetry on or off. *)
+
+(** [enable_telemetry d ~interval_ms] arms the pump and registers every
+    booted host's rollup group (later boots register themselves).
+    @raise Invalid_argument on a non-positive interval. *)
+val enable_telemetry : 'm domain -> interval_ms:float -> unit
+
+val disable_telemetry : 'm domain -> unit
+val telemetry_enabled : 'm domain -> bool
+
+(** The {!Vobs.Rollup.group_of} function for this domain: kernel host
+    names group by edge switch (switched fabric) or 1024-host address
+    shard (shared medium); net-layer labels ("host3", "edge0->spine")
+    resolve through {!Vnet.Topology.rollup_scope}; anything else is
+    fleet-only ([None]). *)
+val telemetry_group_of : 'm domain -> string -> string option
 
 (** Kill a host: processes die, tables clear, the wire stops delivering.
     Pids minted there become permanently invalid. *)

@@ -50,6 +50,20 @@ type 'a host_port = {
   mutable handler : 'a frame -> unit;
   mutable extra_latency_ms : float;
       (* slow-host fault injection: added to every frame's arrival *)
+  (* Per-frame wire counters accumulate in place — the port record is
+     already in cache on every transmit/delivery, so counting costs one
+     register add and no branch. [flush_metrics] moves the deltas into
+     the registry at scrape time (the Prometheus model: instrument
+     locally, aggregate on scrape). *)
+  mutable p_sent : int;
+  mutable p_bytes : int;
+  mutable p_delivered : int;
+  mutable p_sent_flushed : int;
+  mutable p_bytes_flushed : int;
+  mutable p_delivered_flushed : int;
+  mutable hot : Vobs.Metrics.counter array;
+      (* cached flush handles: [|sent; bytes; delivered|], bound on
+         first flush with a hub attached, cleared by set_obs *)
 }
 
 (* One directed link of the switched fabric. [l_queued] counts frames
@@ -66,6 +80,7 @@ type link = {
   mutable l_drops : int;  (* tail drops + frames dying on a down link *)
   mutable l_busy_ms : float;
   mutable l_extra_ms : float;  (* slow-link fault injection, per hop *)
+  mutable l_busy_sampled : float;  (* l_busy_ms at the last ts sample *)
 }
 
 type link_stat = {
@@ -95,6 +110,11 @@ type 'a t = {
   counters : counters;
   mutable trace : Vsim.Trace.t option;
   mutable obs : Vobs.Hub.t option;
+  mutable last_ts_sample : float;  (* when sample_timeseries last ran *)
+  (* Interior (switch-to-switch) links with their three prebuilt series
+     names, so a pump firing walks ~O(edges) records and allocates no
+     strings. Links materialize lazily, so [get_link] invalidates. *)
+  mutable ts_interior : (string * string * string * link) list option;
 }
 
 let create ?(seed = 1) ?(topology = Topology.Shared_medium) ?(queue_cap = 256)
@@ -116,10 +136,15 @@ let create ?(seed = 1) ?(topology = Topology.Shared_medium) ?(queue_cap = 256)
       { frames_sent = 0; frames_delivered = 0; frames_dropped = 0; bytes_sent = 0 };
     trace = None;
     obs = None;
+    last_ts_sample = 0.0;
+    ts_interior = None;
   }
 
 let set_trace t trace = t.trace <- Some trace
-let set_obs t hub = t.obs <- Some hub
+let set_obs t hub =
+  t.obs <- Some hub;
+  (* Cached per-frame handles belong to the previous hub's registry. *)
+  Hashtbl.iter (fun _ port -> port.hot <- [||]) t.hosts
 
 (* Per-host wire metrics, keyed under server "net". The address stands
    in for the host name — this layer sits below the kernel and has no
@@ -131,6 +156,62 @@ let net_metric ?(by = 1) t addr op =
       Vobs.Metrics.incr (Vobs.Hub.metrics hub) ~by
         ~host:(Printf.sprintf "host%d" addr)
         ~server:"net" ~op
+
+(* The per-frame counters (sent, bytes, delivered — every frame pays
+   them) accumulate on the port record itself; [flush_metrics] moves
+   the deltas into the registry through handles cached on the port.
+   Rarer paths (drops, losses) stay on the keyed [net_metric]. *)
+let hot_sent = 0
+
+let hot_bytes = 1
+let hot_delivered = 2
+
+let port_handles t port =
+  if Array.length port.hot > 0 then port.hot
+  else begin
+    match t.obs with
+    | None -> [||]
+    | Some hub ->
+        let m = Vobs.Hub.metrics hub in
+        let host = Printf.sprintf "host%d" port.host_addr in
+        let mk op = Vobs.Metrics.counter m ~host ~server:"net" ~op in
+        let hot =
+          [| mk "frames-sent"; mk "bytes-sent"; mk "frames-delivered" |]
+        in
+        port.hot <- hot;
+        hot
+  end
+
+(* Move each port's wire-counter deltas since the previous flush into
+   the registry. Called at scrape points (exports, the kernel pump's
+   owner), never per frame; pure bookkeeping, so a flush at any instant
+   leaves simulated behaviour untouched. *)
+let flush_metrics t =
+  match t.obs with
+  | None -> ()
+  | Some _ ->
+      Hashtbl.iter
+        (fun _ port ->
+          if
+            port.p_sent > port.p_sent_flushed
+            || port.p_bytes > port.p_bytes_flushed
+            || port.p_delivered > port.p_delivered_flushed
+          then begin
+            let hot = port_handles t port in
+            if Array.length hot > 0 then begin
+              Vobs.Metrics.add ~by:(port.p_sent - port.p_sent_flushed)
+                hot.(hot_sent);
+              Vobs.Metrics.add ~by:(port.p_bytes - port.p_bytes_flushed)
+                hot.(hot_bytes);
+              Vobs.Metrics.add
+                ~by:(port.p_delivered - port.p_delivered_flushed)
+                hot.(hot_delivered);
+              port.p_sent_flushed <- port.p_sent;
+              port.p_bytes_flushed <- port.p_bytes;
+              port.p_delivered_flushed <- port.p_delivered
+            end
+          end)
+        t.hosts
 
 (* Flight-recorder events for the wire: frames lost or dropped,
    partitions cut and healed, loss-rate and slow-host changes. The
@@ -168,7 +249,19 @@ exception Duplicate_host of addr
 let attach t addr handler =
   if Hashtbl.mem t.hosts addr then raise (Duplicate_host addr);
   Hashtbl.replace t.hosts addr
-    { host_addr = addr; up = true; handler; extra_latency_ms = 0.0 }
+    {
+      host_addr = addr;
+      up = true;
+      handler;
+      extra_latency_ms = 0.0;
+      p_sent = 0;
+      p_bytes = 0;
+      p_delivered = 0;
+      p_sent_flushed = 0;
+      p_bytes_flushed = 0;
+      p_delivered_flushed = 0;
+      hot = [||];
+    }
 
 let set_handler t addr handler =
   match Hashtbl.find_opt t.hosts addr with
@@ -228,9 +321,24 @@ let get_link t key =
           l_drops = 0;
           l_busy_ms = 0.0;
           l_extra_ms = 0.0;
+          l_busy_sampled = 0.0;
         }
       in
       Hashtbl.replace t.links key l;
+      (* Keep the pump's interior-link cache coherent incrementally:
+         host links (the overwhelming majority) never touch it, and a
+         fresh interior link appends rather than forcing a rebuild. *)
+      (match (key, t.ts_interior) with
+      | ((Topology.Host _, _ | _, Topology.Host _), _) | _, None -> ()
+      | _, Some cached ->
+          let label = Topology.link_label key in
+          t.ts_interior <-
+            Some
+              (( "link/" ^ label ^ "/utilization-pct",
+                 "link/" ^ label ^ "/queue",
+                 "link/" ^ label ^ "/drops",
+                 l )
+              :: cached));
       l
 
 let require_link t what (a, b) =
@@ -313,6 +421,50 @@ let export_link_metrics t =
           Vobs.Metrics.set_gauge m ~host:s.ls_label ~server:"net" ~op:"drops"
             (float_of_int s.ls_drops))
         (link_stats t)
+
+(* Feed the fabric's interior links (edge<->spine — the segments whose
+   saturation explains a fleet-wide stall) into a time-series store:
+   utilization over the interval since the previous sample (a gauge —
+   this is the heatmap row), instantaneous queue occupancy (gauge), and
+   cumulative drops (counter). Interior-only keeps the series count
+   O(edges) instead of O(hosts); access-link health still reaches the
+   rollup via {!export_link_metrics}. Call at sampling points (the
+   kernel telemetry pump), never per frame. *)
+let interior_links t =
+  match t.ts_interior with
+  | Some cached -> cached
+  | None ->
+      let cached =
+        Hashtbl.fold
+          (fun key l acc ->
+            match key with
+            | Topology.Host _, _ | _, Topology.Host _ -> acc
+            | _ ->
+                let label = Topology.link_label key in
+                ( "link/" ^ label ^ "/utilization-pct",
+                  "link/" ^ label ^ "/queue",
+                  "link/" ^ label ^ "/drops",
+                  l )
+                :: acc)
+          t.links []
+      in
+      t.ts_interior <- Some cached;
+      cached
+
+let sample_timeseries t ts ~now =
+  let interval = now -. t.last_ts_sample in
+  List.iter
+    (fun (s_util, s_queue, s_drops, l) ->
+      let busy = l.l_busy_ms -. l.l_busy_sampled in
+      l.l_busy_sampled <- l.l_busy_ms;
+      let pct = if interval > 0.0 then busy /. interval *. 100.0 else 0.0 in
+      Vobs.Timeseries.sample ts s_util Vobs.Timeseries.Gauge ~now pct;
+      Vobs.Timeseries.sample ts s_queue Vobs.Timeseries.Gauge ~now
+        (float_of_int l.l_queued);
+      Vobs.Timeseries.sample ts s_drops Vobs.Timeseries.Counter ~now
+        (float_of_int l.l_drops))
+    (interior_links t);
+  t.last_ts_sample <- now
 
 (* --- fault injection --- *)
 
@@ -431,7 +583,7 @@ let deliver_at_arrival t frame addr =
   | Some port when port.up && not (partitioned t frame.src addr) ->
       let deliver () =
         t.counters.frames_delivered <- t.counters.frames_delivered + 1;
-        net_metric t addr "frames-delivered";
+        port.p_delivered <- port.p_delivered + 1;
         port.handler frame
       in
       if port.extra_latency_ms > 0.0 then
@@ -570,21 +722,21 @@ let transmit_switched t fan_in frame =
 (* Queue a frame for transmission. The sending host must exist and be
    up; otherwise the frame vanishes (its kernel is dead anyway). *)
 let transmit t frame =
-  let src_ok =
+  let src_port =
     match Hashtbl.find_opt t.hosts frame.src with
-    | Some port -> port.up
-    | None -> false
+    | Some port when port.up -> Some port
+    | Some _ | None -> None
   in
-  if src_ok then begin
+  match src_port with
+  | None -> ()
+  | Some port ->
     t.counters.frames_sent <- t.counters.frames_sent + 1;
     t.counters.bytes_sent <-
       t.counters.bytes_sent + t.config.header_bytes + frame.payload_bytes;
-    net_metric t frame.src "frames-sent";
-    net_metric t frame.src "bytes-sent"
-      ~by:(t.config.header_bytes + frame.payload_bytes);
+    port.p_sent <- port.p_sent + 1;
+    port.p_bytes <- port.p_bytes + t.config.header_bytes + frame.payload_bytes;
     trace_emit t "host%d -> %a (%dB payload)" frame.src pp_dest frame.dst
       frame.payload_bytes;
     match t.topology with
     | Topology.Shared_medium -> transmit_shared t frame
     | Topology.Switched { fan_in } -> transmit_switched t fan_in frame
-  end

@@ -61,8 +61,17 @@ val create :
 val set_trace : 'a t -> Vsim.Trace.t -> unit
 
 (** Count per-host frame and byte metrics (server "net", hosts keyed
-    ["host<addr>"]) against an observability hub. *)
+    ["host<addr>"]) against an observability hub. Per-frame counters
+    accumulate on the port and reach the registry at the next
+    {!flush_metrics}. *)
 val set_obs : 'a t -> Vobs.Hub.t -> unit
+
+(** Move every port's wire-counter deltas (frames-sent, bytes-sent,
+    frames-delivered) since the previous flush into the attached hub's
+    registry. Call at scrape points — exports, dumps, the telemetry
+    pump's owner — never per frame. No-op without a hub; pure
+    bookkeeping, so flushing never perturbs simulated behaviour. *)
+val flush_metrics : 'a t -> unit
 
 val config : 'a t -> Calibration.network
 val topology : 'a t -> Topology.t
@@ -156,6 +165,15 @@ val link_stats : 'a t -> link_stat list
     "queue-peak" / "drops") — to the attached hub. Idempotent; call at
     sampling points. No-op without a hub or on the shared medium. *)
 val export_link_metrics : 'a t -> unit
+
+(** [sample_timeseries t ts ~now] feeds the fabric's interior
+    (edge<->spine) links into a time-series store: per-link utilization
+    over the interval since the previous sample (gauge, the heatmap
+    row), instantaneous queue occupancy (gauge) and cumulative drops
+    (counter), under "link/<label>/..." names. Interior-only keeps the
+    series count O(edges). Call at sampling points (the kernel
+    telemetry pump); no-op on the shared medium. *)
+val sample_timeseries : 'a t -> Vobs.Timeseries.t -> now:float -> unit
 
 (** One-line audit summary: topology, host count, loss probability,
     partition count, per-host slow-host latencies, down links, frame

@@ -88,6 +88,52 @@ let hop_count t ~src ~dst = List.length (links t ~src ~dst)
 let pp_link ppf (a, b) = Fmt.pf ppf "%a->%a" pp_node a pp_node b
 let link_label l = Fmt.str "%a" pp_link l
 
+(* Split a [link_label] back into its nodes; [None] for anything that
+   is not "a->b" with two parseable nodes. *)
+let link_of_label s =
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if s.[i] = '-' && s.[i + 1] = '>' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> (
+      match
+        ( node_of_string (String.sub s 0 i),
+          node_of_string (String.sub s (i + 2) (n - i - 2)) )
+      with
+      | Some a, Some b -> Some (a, b)
+      | _ -> None)
+
+(* The rollup group for a telemetry leaf scope named after this
+   topology's nodes or links: hosts group under their edge switch, and
+   a link groups under the edge it touches — so per-edge rollup rows
+   aggregate a whole segment (the edge's hosts, their access links and
+   its uplink). Labels that are not topology-shaped (kernel host
+   names, "obs", ...) and the shared medium (no segments to group by)
+   yield [None]: the leaf still reaches the fleet level. *)
+let rollup_scope t label =
+  match t with
+  | Shared_medium -> None
+  | Switched { fan_in } -> (
+      let edge_scope e = Some (node_to_string (Edge e)) in
+      let node_scope = function
+        | Host h -> if h >= 0 then edge_scope (edge_of ~fan_in h) else None
+        | Edge e -> edge_scope e
+        | Spine -> None
+      in
+      match link_of_label label with
+      | Some (a, b) -> (
+          match (a, b) with
+          | (Edge e, _ | _, Edge e) -> edge_scope e
+          | _ -> None)
+      | None -> (
+          match node_of_string label with
+          | Some node -> node_scope node
+          | None -> None))
+
 (* Is [(a, b)] a directed link of the topology's graph? Both directions
    of a cable are valid, independent links. The shared medium has no
    links at all. *)

@@ -52,6 +52,16 @@ val hop_count : t -> src:int -> dst:int -> int
 val pp_link : Format.formatter -> node * node -> unit
 val link_label : node * node -> string
 
+(** Parse what {!link_label} prints ("host3->edge0"). *)
+val link_of_label : string -> (node * node) option
+
+(** [rollup_scope t label] is the rollup group for a telemetry leaf
+    scope named after this topology's nodes or links: "hostN" and any
+    link touching edge [e] group under "edge<e>"; the spine, labels
+    that are not topology-shaped, and everything on the shared medium
+    yield [None] (the leaf still reaches the fleet level). *)
+val rollup_scope : t -> string -> string option
+
 (** Is the pair a directed link of this topology's graph? Always
     [false] on the shared medium. *)
 val is_link : t -> node * node -> bool

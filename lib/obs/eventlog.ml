@@ -46,6 +46,7 @@ type t = {
   mutable count : int;
   mutable next_seq : int;
   mutable dropped : int;
+  mutable on_drop : int -> unit;  (* called with each trim's drop count *)
 }
 
 let create ?(capacity = 20_000) () =
@@ -57,12 +58,14 @@ let create ?(capacity = 20_000) () =
     count = 0;
     next_seq = 1;
     dropped = 0;
+    on_drop = ignore;
   }
 
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
 let count t = t.count
 let dropped t = t.dropped
+let set_on_drop t f = t.on_drop <- f
 
 let clear t =
   t.events <- [];
@@ -78,9 +81,11 @@ let record t ~at ~cat ~host ?(trace = 0) label =
     if t.count > t.capacity then begin
       (* Drop the oldest half; amortises the O(n) trim. *)
       let keep = t.capacity / 2 in
-      t.dropped <- t.dropped + (t.count - keep);
+      let lost = t.count - keep in
+      t.dropped <- t.dropped + lost;
       t.events <- List.filteri (fun i _ -> i < keep) t.events;
-      t.count <- keep
+      t.count <- keep;
+      t.on_drop lost
     end
   end
 

@@ -45,6 +45,11 @@ val count : t -> int
 (** Events discarded by the bounded store's trim. *)
 val dropped : t -> int
 
+(** [set_on_drop t f] installs a hook called with each trim's drop
+    count — how {!Hub} mirrors flight-recorder loss into a metric so a
+    trimmed dump is detectable from the metrics artifact alone. *)
+val set_on_drop : t -> (int -> unit) -> unit
+
 val clear : t -> unit
 val event_to_json : event -> Json.t
 

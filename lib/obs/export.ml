@@ -65,17 +65,186 @@ let hub_to_json hub =
    the dump was cut (e.g. "invariant-violation", "slo-breach",
    "manual"). *)
 let flight_to_json ?(reason = "manual") hub =
+  Hub.sync_health_metrics hub;
   let slo =
     match Hub.slo hub with
     | None -> Json.Null
     | Some engine -> Slo.summary_to_json (Slo.summary engine)
   in
+  let scale_fields =
+    (match Hub.rollup hub with
+    | Some r -> [ ("rollup", Rollup.to_json r) ]
+    | None -> [])
+    @
+    match Hub.timeseries hub with
+    | Some ts -> [ ("timeseries", Timeseries.to_json ts) ]
+    | None -> []
+  in
+  Json.Obj
+    ([
+       ("reason", Json.String reason);
+       ("spans_dropped", Json.Int (Hub.spans_dropped hub));
+       ("events", Eventlog.to_json (Hub.events hub));
+       ("spans", trace_to_json (Hub.all_spans hub));
+       ("slo", slo);
+       ("metrics", Metrics.to_json (Hub.metrics hub));
+     ]
+    @ scale_fields)
+
+(* The telemetry artifact the nightly soak uploads: rollup tree, time
+   series and obs-health metrics — no spans or events, which at 100k
+   hosts would dwarf the aggregates the artifact exists to carry. *)
+let telemetry_to_json hub =
+  Hub.sync_health_metrics hub;
   Json.Obj
     [
-      ("reason", Json.String reason);
-      ("spans_dropped", Json.Int (Hub.spans_dropped hub));
-      ("events", Eventlog.to_json (Hub.events hub));
-      ("spans", trace_to_json (Hub.all_spans hub));
-      ("slo", slo);
+      ( "rollup",
+        match Hub.rollup hub with
+        | Some r -> Rollup.to_json r
+        | None -> Json.Null );
+      ( "timeseries",
+        match Hub.timeseries hub with
+        | Some ts -> Timeseries.to_json ts
+        | None -> Json.Null );
+      ("sampled_out", Json.Int (Hub.sampled_out hub));
+      ("sample_every", Json.Int (Hub.sample_every hub));
       ("metrics", Metrics.to_json (Hub.metrics hub));
     ]
+
+(* --- Prometheus text exposition format --- *)
+
+(* Label values escape backslash, double quote and newline per the
+   exposition-format spec. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labels pairs =
+  pairs
+  |> List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+  |> String.concat ","
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" f
+
+(* One histogram in exposition format: cumulative buckets over the raw
+   configured bounds, closed by the mandatory le="+Inf" row. This is
+   the only place "+Inf" appears — the JSON/vsh views clamp the
+   overflow bucket to the observed max (see {!Histogram}); here the
+   wire format mandates the open-ended row. *)
+let prom_histogram buf name base_labels h =
+  let bounds = Metrics.Histogram.bounds h in
+  let counts = Metrics.Histogram.raw_counts h in
+  let cum = ref 0 in
+  Array.iteri
+    (fun i b ->
+      cum := !cum + counts.(i);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{%s} %d\n" name
+           (labels (base_labels @ [ ("le", prom_float b) ]))
+           !cum))
+    bounds;
+  cum := !cum + counts.(Array.length counts - 1);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{%s} %d\n" name
+       (labels (base_labels @ [ ("le", "+Inf") ]))
+       !cum);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum{%s} %s\n" name (labels base_labels)
+       (prom_float (Metrics.Histogram.sum h)));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count{%s} %d\n" name (labels base_labels)
+       (Metrics.Histogram.count h))
+
+let prom_family buf name typ help =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+
+(* The whole hub in Prometheus text exposition format. Flat-mode
+   instruments carry (host, server, op) labels; rollup rows add
+   (level, scope) instead of host, so one scrape covers both modes. *)
+let prometheus hub =
+  Hub.sync_health_metrics hub;
+  let m = Hub.metrics hub in
+  let buf = Buffer.create 4096 in
+  let flat_key (k : Metrics.key) =
+    [
+      ("host", k.Metrics.host);
+      ("server", k.Metrics.server);
+      ("op", k.Metrics.op);
+    ]
+  in
+  let rollup_key level (k : Rollup.key) =
+    [
+      ("level", Rollup.level_to_string level);
+      ("scope", k.Rollup.scope);
+      ("server", k.Rollup.server);
+      ("op", k.Rollup.op);
+    ]
+  in
+  let levels = [ Rollup.Leaf; Rollup.Group; Rollup.Fleet ] in
+  let rollup = Hub.rollup hub in
+  prom_family buf "v_ops_total" "counter" "Operation counts";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "v_ops_total{%s} %d\n" (labels (flat_key k)) v))
+    (Metrics.counters m);
+  (match rollup with
+  | Some r ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun (k, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "v_ops_total{%s} %d\n"
+                   (labels (rollup_key level k))
+                   v))
+            (Rollup.counters r level))
+        levels
+  | None -> ());
+  prom_family buf "v_gauge" "gauge" "Instantaneous readings";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "v_gauge{%s} %s\n" (labels (flat_key k)) (prom_float v)))
+    (Metrics.gauges m);
+  (match rollup with
+  | Some r ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun (k, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "v_gauge{%s} %s\n"
+                   (labels (rollup_key level k))
+                   (prom_float v)))
+            (Rollup.gauges r level))
+        levels
+  | None -> ());
+  prom_family buf "v_latency_ms" "histogram" "Operation latency (simulated ms)";
+  List.iter
+    (fun (k, h) -> prom_histogram buf "v_latency_ms" (flat_key k) h)
+    (Metrics.histograms m);
+  (match rollup with
+  | Some r ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun (k, h) ->
+              prom_histogram buf "v_latency_ms" (rollup_key level k) h)
+            (Rollup.histograms r level))
+        levels
+  | None -> ());
+  Buffer.contents buf

@@ -15,5 +15,19 @@ val hub_to_json : Hub.t -> Json.t
 
 (** The flight-recorder dump: event log, spans, metrics, SLO summary
     (when attached) and drop counters, with [reason] stating why the
-    dump was cut (default ["manual"]). *)
+    dump was cut (default ["manual"]). When a rollup or time-series
+    store is attached, their dumps ride along. Health metrics are
+    refreshed ({!Hub.sync_health_metrics}) before reading. *)
 val flight_to_json : ?reason:string -> Hub.t -> Json.t
+
+(** The scale-telemetry artifact: rollup tree, time series, sampling
+    counters and the metrics registry — no spans or events, which at
+    soak scale would dwarf the aggregates. *)
+val telemetry_to_json : Hub.t -> Json.t
+
+(** The whole hub in Prometheus text exposition format: flat
+    instruments labelled (host, server, op), rollup rows labelled
+    (level, scope, server, op); histograms as cumulative buckets over
+    the configured bounds closed by the mandatory [le="+Inf"] row —
+    the only representation where "+Inf" appears. *)
+val prometheus : Hub.t -> string

@@ -30,22 +30,41 @@ type t = {
   metrics : Metrics.t;
   events : Eventlog.t;
   mutable slo : Slo.t option;
+  (* Head sampling: keep 1-in-[sample_every] traces, decided at
+     start_trace by a private Srand stream (zero draws from any
+     workload PRNG). 1 = keep everything (the default). *)
+  mutable sample_every : int;
+  mutable sample_rand : Srand.t;
+  mutable sampled_out : int;
+  mutable timeseries : Timeseries.t option;
 }
 
 let create ?(tracing = false) ?(span_limit = 10_000) ?event_capacity () =
-  {
-    tracing;
-    next_trace = 1;
-    next_span = 1;
-    span_limit;
-    spans = [];
-    span_count = 0;
-    spans_dropped = 0;
-    last_trace = 0;
-    metrics = Metrics.create ();
-    events = Eventlog.create ?capacity:event_capacity ();
-    slo = None;
-  }
+  let t =
+    {
+      tracing;
+      next_trace = 1;
+      next_span = 1;
+      span_limit;
+      spans = [];
+      span_count = 0;
+      spans_dropped = 0;
+      last_trace = 0;
+      metrics = Metrics.create ();
+      events = Eventlog.create ?capacity:event_capacity ();
+      slo = None;
+      sample_every = 1;
+      sample_rand = Srand.create ~seed:0;
+      sampled_out = 0;
+      timeseries = None;
+    }
+  in
+  (* Mirror flight-recorder loss into a metric: a soak that silently
+     trims its recorder is visible from the metrics artifact alone. *)
+  Eventlog.set_on_drop t.events (fun lost ->
+      Metrics.incr ~by:lost t.metrics ~host:"obs" ~server:"eventlog"
+        ~op:"events-dropped");
+  t
 
 let tracing t = t.tracing
 let set_tracing t flag = t.tracing <- flag
@@ -55,13 +74,61 @@ let slo t = t.slo
 let set_slo t engine = t.slo <- engine
 let spans_dropped t = t.spans_dropped
 
+let set_head_sampling t ~every ~seed =
+  if every < 1 then invalid_arg "Hub.set_head_sampling: every must be >= 1";
+  t.sample_every <- every;
+  t.sample_rand <- Srand.create ~seed
+
+let sample_every t = t.sample_every
+let sampled_out t = t.sampled_out
+let rollup t = Metrics.rollup t.metrics
+let set_rollup t r = Metrics.set_rollup t.metrics r
+let timeseries t = t.timeseries
+let set_timeseries t ts = t.timeseries <- ts
+
+(* Refresh the obs-health metrics from the hub's own internals. Called
+   at export time rather than on every recording so the hot path stays
+   cheap; counters below are gauges-in-spirit (monotone totals). *)
+let sync_health_metrics t =
+  Metrics.set_gauge t.metrics ~host:"obs" ~server:"hub" ~op:"sampled-out"
+    (float_of_int t.sampled_out);
+  Metrics.set_gauge t.metrics ~host:"obs" ~server:"eventlog"
+    ~op:"dropped-total"
+    (float_of_int (Eventlog.dropped t.events));
+  Metrics.set_gauge t.metrics ~host:"obs" ~server:"hub" ~op:"spans-dropped-total"
+    (float_of_int t.spans_dropped);
+  (match Metrics.rollup t.metrics with
+  | Some r ->
+      Metrics.set_gauge t.metrics ~host:"obs" ~server:"rollup"
+        ~op:"keys-dropped"
+        (float_of_int (Rollup.keys_dropped r));
+      Metrics.set_gauge t.metrics ~host:"obs" ~server:"rollup" ~op:"key-count"
+        (float_of_int (Rollup.key_count r))
+  | None -> ());
+  match t.timeseries with
+  | Some ts ->
+      Metrics.set_gauge t.metrics ~host:"obs" ~server:"timeseries"
+        ~op:"series-dropped"
+        (float_of_int (Timeseries.series_dropped ts))
+  | None -> ()
+
 (* One-call convenience for instrumentation sites: a boolean test when
    the recorder is off. *)
 let event t ~at ~cat ~host ?trace label =
   Eventlog.record t.events ~at ~cat ~host ?trace label
 
+(* Head sampling composes with the tail-based eviction below: heads
+   decide *which traces exist at all* (1-in-N, cheap, at the root),
+   tails decide *which recorded spans survive memory pressure*
+   (interesting traces last). A sampled-out request gets [Span.no_ctx]
+   and pays nothing downstream — every hop's [start_span] is one test. *)
 let start_trace t ~now =
   if not t.tracing then Span.no_ctx
+  else if t.sample_every > 1 && Srand.int t.sample_rand t.sample_every <> 0
+  then begin
+    t.sampled_out <- t.sampled_out + 1;
+    Span.no_ctx
+  end
   else begin
     let id = t.next_trace in
     t.next_trace <- id + 1;

@@ -47,9 +47,40 @@ val event :
     "spans-dropped") metric. *)
 val spans_dropped : t -> int
 
+(** [set_head_sampling t ~every ~seed] keeps 1-in-[every] traces,
+    decided at {!start_trace} by a private deterministic PRNG — zero
+    draws from any workload stream, so sampled and unsampled runs are
+    behaviourally identical. [every = 1] (the default) keeps all.
+    Composes with tail-based span eviction: heads choose which traces
+    exist, tails choose which recorded spans survive memory pressure.
+    @raise Invalid_argument when [every < 1]. *)
+val set_head_sampling : t -> every:int -> seed:int -> unit
+
+val sample_every : t -> int
+
+(** Traces refused by head sampling so far. *)
+val sampled_out : t -> int
+
+(** The rollup attached to this hub's metrics registry, if any
+    (see {!Metrics.set_rollup}). *)
+val rollup : t -> Rollup.t option
+
+val set_rollup : t -> Rollup.t option -> unit
+
+(** The attached time-series store, if any; samplers (the kernel
+    telemetry pump) feed it, exporters and [vsh top] read it. *)
+val timeseries : t -> Timeseries.t option
+
+val set_timeseries : t -> Timeseries.t option -> unit
+
+(** Refresh the obs-health metrics (eventlog drops, span evictions,
+    sampled-out traces, rollup key pressure, time-series refusals)
+    from the hub's internals. Exporters call this before reading. *)
+val sync_health_metrics : t -> unit
+
 (** [start_trace t ~now] allocates a fresh trace and returns the context
     to attach to the outgoing request. Returns {!Span.no_ctx} when
-    tracing is off. *)
+    tracing is off or head sampling rejects the trace. *)
 val start_trace : t -> now:float -> Span.ctx
 
 (** [start_span t ~ctx ...] opens a span for one hop of a traced

@@ -5,7 +5,19 @@
    never touches simulated time (so instrumented and uninstrumented runs
    are bit-identical), and a disabled registry reduces every operation
    to one boolean test. Instruments are created lazily on first use, so
-   call sites need no setup. *)
+   call sites need no setup.
+
+   Two storage modes share this one recording API. The default is the
+   original flat mode: one instrument per concrete (host, server, op)
+   triple — unbounded cardinality, fine at demo scale. Attaching a
+   {!Rollup} ([set_rollup]) switches the registry to scale mode: every
+   recording is forwarded to the rollup's leaf/group/fleet tree (host
+   as the leaf scope) and the flat tables stay empty, so key count is
+   governed by the rollup's cap instead of the host count. The flat
+   readers deliberately keep their flat-mode meaning — in rollup mode
+   they report zero/absent, and callers read the rollup instead. *)
+
+module Histogram = Histogram
 
 type key = { host : string; server : string; op : string }
 
@@ -18,146 +30,19 @@ let key_json k =
     ("op", Json.String k.op);
   ]
 
-(* --- fixed-bucket histograms --- *)
-
-module Histogram = struct
-  (* [bounds] are strictly increasing bucket upper bounds; counts has
-     one extra slot for the overflow bucket. Observed extrema are kept
-     so quantile interpolation can clamp the open-ended end buckets. *)
-  type t = {
-    bounds : float array;
-    counts : int array;
-    mutable n : int;
-    mutable sum : float;
-    mutable lo : float;
-    mutable hi : float;
-  }
-
-  (* Default bounds suit simulated-ms latencies: sub-ms locals through
-     multi-second bulk transfers. *)
-  let default_bounds =
-    [| 0.1; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0;
-       256.0; 512.0; 1024.0; 4096.0 |]
-
-  let create ?(bounds = default_bounds) () =
-    if Array.length bounds = 0 then invalid_arg "Histogram.create: no bounds";
-    Array.iteri
-      (fun i b ->
-        if i > 0 && bounds.(i - 1) >= b then
-          invalid_arg "Histogram.create: bounds not increasing")
-      bounds;
-    {
-      bounds;
-      counts = Array.make (Array.length bounds + 1) 0;
-      n = 0;
-      sum = 0.0;
-      lo = infinity;
-      hi = neg_infinity;
-    }
-
-  let bucket_of t x =
-    (* Linear scan: bucket counts are small and fixed. *)
-    let rec find i =
-      if i >= Array.length t.bounds then i
-      else if x <= t.bounds.(i) then i
-      else find (i + 1)
-    in
-    find 0
-
-  let observe t x =
-    t.counts.(bucket_of t x) <- t.counts.(bucket_of t x) + 1;
-    t.n <- t.n + 1;
-    t.sum <- t.sum +. x;
-    if x < t.lo then t.lo <- x;
-    if x > t.hi then t.hi <- x
-
-  let count t = t.n
-  let sum t = t.sum
-  let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
-  let min_ t = if t.n = 0 then nan else t.lo
-  let max_ t = if t.n = 0 then nan else t.hi
-
-  (* Lower edge of bucket [b], clamped to the observed minimum for the
-     first occupied bucket; upper edge clamped to the observed maximum
-     for the overflow bucket. *)
-  let bucket_edges t b =
-    let lower = if b = 0 then t.lo else t.bounds.(b - 1) in
-    let upper = if b >= Array.length t.bounds then t.hi else t.bounds.(b) in
-    (Float.max lower t.lo |> Float.min t.hi, Float.min upper t.hi)
-
-  (* Quantile by linear interpolation inside the bucket holding the
-     target rank — the standard estimate for pre-aggregated samples.
-     Error is bounded by the width of that bucket. *)
-  let quantile t q =
-    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
-    if t.n = 0 then nan
-    else begin
-      let target = q *. float_of_int t.n in
-      let rec walk b cum =
-        if b >= Array.length t.counts then t.hi
-        else begin
-          let c = t.counts.(b) in
-          let cum' = cum +. float_of_int c in
-          if c > 0 && cum' >= target then begin
-            let lower, upper = bucket_edges t b in
-            let frac =
-              if c = 0 then 0.0
-              else Float.max 0.0 (target -. cum) /. float_of_int c
-            in
-            lower +. (frac *. (upper -. lower))
-          end
-          else walk (b + 1) cum'
-        end
-      in
-      walk 0 0.0 |> Float.max t.lo |> Float.min t.hi
-    end
-
-  (* (lower, upper, count) rows for the occupied range. *)
-  let buckets t =
-    List.init
-      (Array.length t.counts)
-      (fun b ->
-        let lower, upper = bucket_edges t b in
-        (lower, upper, t.counts.(b)))
-    |> List.filter (fun (_, _, c) -> c > 0)
-
-  let to_json t =
-    Json.Obj
-      [
-        ("count", Json.Int t.n);
-        ("sum", Json.Float t.sum);
-        ("mean", Json.Float (mean t));
-        ("min", Json.Float (min_ t));
-        ("max", Json.Float (max_ t));
-        ("p50", Json.Float (quantile t 0.5));
-        ("p95", Json.Float (quantile t 0.95));
-        ("p99", Json.Float (quantile t 0.99));
-        ( "buckets",
-          Json.List
-            (List.map
-               (fun (lower, upper, c) ->
-                 Json.Obj
-                   [
-                     ("le", Json.Float upper);
-                     ("ge", Json.Float lower);
-                     ("count", Json.Int c);
-                   ])
-               (buckets t)) );
-      ]
-
-  let pp ppf t =
-    Fmt.pf ppf "n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f" t.n
-      (mean t) (quantile t 0.5) (quantile t 0.95) (quantile t 0.99) (max_ t)
-end
-
-(* --- the registry --- *)
-
 type t = {
   mutable enabled : bool;
   bounds : float array;
   counters : (key, int ref) Hashtbl.t;
   gauges : (key, float ref) Hashtbl.t;
   histograms : (key, Histogram.t) Hashtbl.t;
+  mutable rollup : Rollup.t option;
+  mutable exemplar_slots : int;
+  mutable exemplar_rand : Srand.t option;
+  (* Bumped whenever the storage mode changes (rollup attach/detach,
+     reset, exemplar reconfiguration): handles compare their stamp
+     against this and rebind lazily. *)
+  mutable generation : int;
 }
 
 let create ?(bounds = Histogram.default_bounds) () =
@@ -167,39 +52,190 @@ let create ?(bounds = Histogram.default_bounds) () =
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 32;
+    rollup = None;
+    exemplar_slots = 0;
+    exemplar_rand = None;
+    generation = 0;
   }
 
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
+let rollup t = t.rollup
+
+let set_rollup t r =
+  t.rollup <- r;
+  t.generation <- t.generation + 1
+
+let set_exemplars t ~slots ~seed =
+  if slots < 0 then invalid_arg "Metrics.set_exemplars: negative slots";
+  t.exemplar_slots <- slots;
+  t.exemplar_rand <- (if slots = 0 then None else Some (Srand.create ~seed));
+  t.generation <- t.generation + 1
 
 let incr ?(by = 1) t ~host ~server ~op =
-  if t.enabled then begin
-    let k = { host; server; op } in
-    match Hashtbl.find_opt t.counters k with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.replace t.counters k (ref by)
-  end
+  if t.enabled then
+    match t.rollup with
+    | Some r -> Rollup.incr ~by r ~leaf:host ~server ~op
+    | None -> (
+        let k = { host; server; op } in
+        match Hashtbl.find_opt t.counters k with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace t.counters k (ref by))
 
 let set_gauge t ~host ~server ~op v =
+  if t.enabled then
+    match t.rollup with
+    | Some r -> Rollup.set_gauge r ~leaf:host ~server ~op v
+    | None -> (
+        let k = { host; server; op } in
+        match Hashtbl.find_opt t.gauges k with
+        | Some r -> r := v
+        | None -> Hashtbl.replace t.gauges k (ref v))
+
+let observe ?trace t ~host ~server ~op v =
+  if t.enabled then
+    match t.rollup with
+    | Some r -> Rollup.observe ?trace r ~leaf:host ~server ~op v
+    | None ->
+        let k = { host; server; op } in
+        let h =
+          match Hashtbl.find_opt t.histograms k with
+          | Some h -> h
+          | None ->
+              let h =
+                Histogram.create ~bounds:t.bounds
+                  ~exemplar_slots:t.exemplar_slots ()
+              in
+              Hashtbl.replace t.histograms k h;
+              h
+        in
+        Histogram.observe ?trace ?rand:t.exemplar_rand h v
+
+(* --- handles: the recording hot path --- *)
+
+(* A handle caches where its instrument's data lives — a flat cell, or
+   a rollup route — so per-frame call sites pay pointer work instead of
+   key hashing. The binding is lazy and generation-stamped: attaching
+   or detaching a rollup, resetting, or reconfiguring exemplars bumps
+   [generation], and every handle transparently rebinds on its next
+   recording. *)
+
+type counter = {
+  cn_t : t;
+  cn_host : string;
+  cn_server : string;
+  cn_op : string;
+  mutable cn_gen : int;
+  mutable cn_flat : int ref option;
+  mutable cn_route : Rollup.counter_route option;
+}
+
+type observer = {
+  ob_t : t;
+  ob_host : string;
+  ob_server : string;
+  ob_op : string;
+  mutable ob_gen : int;
+  mutable ob_flat : Histogram.t option;
+  mutable ob_route : Rollup.observe_route option;
+}
+
+let counter t ~host ~server ~op =
+  {
+    cn_t = t;
+    cn_host = host;
+    cn_server = server;
+    cn_op = op;
+    cn_gen = t.generation - 1;
+    cn_flat = None;
+    cn_route = None;
+  }
+
+let observer t ~host ~server ~op =
+  {
+    ob_t = t;
+    ob_host = host;
+    ob_server = server;
+    ob_op = op;
+    ob_gen = t.generation - 1;
+    ob_flat = None;
+    ob_route = None;
+  }
+
+let flat_counter_cell t k =
+  match Hashtbl.find_opt t.counters k with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counters k r;
+      r
+
+let flat_histogram_cell t k =
+  match Hashtbl.find_opt t.histograms k with
+  | Some h -> h
+  | None ->
+      let h =
+        Histogram.create ~bounds:t.bounds ~exemplar_slots:t.exemplar_slots ()
+      in
+      Hashtbl.replace t.histograms k h;
+      h
+
+let bind_counter c =
+  let t = c.cn_t in
+  c.cn_gen <- t.generation;
+  match t.rollup with
+  | Some r ->
+      c.cn_flat <- None;
+      c.cn_route <-
+        Some
+          (Rollup.counter_route r ~leaf:c.cn_host ~server:c.cn_server
+             ~op:c.cn_op)
+  | None ->
+      c.cn_route <- None;
+      c.cn_flat <-
+        Some
+          (flat_counter_cell t
+             { host = c.cn_host; server = c.cn_server; op = c.cn_op })
+
+let bind_observer o =
+  let t = o.ob_t in
+  o.ob_gen <- t.generation;
+  match t.rollup with
+  | Some r ->
+      o.ob_flat <- None;
+      o.ob_route <-
+        Some
+          (Rollup.observe_route r ~leaf:o.ob_host ~server:o.ob_server
+             ~op:o.ob_op)
+  | None ->
+      o.ob_route <- None;
+      o.ob_flat <-
+        Some
+          (flat_histogram_cell t
+             { host = o.ob_host; server = o.ob_server; op = o.ob_op })
+
+let add ?(by = 1) c =
+  let t = c.cn_t in
   if t.enabled then begin
-    let k = { host; server; op } in
-    match Hashtbl.find_opt t.gauges k with
-    | Some r -> r := v
-    | None -> Hashtbl.replace t.gauges k (ref v)
+    if c.cn_gen <> t.generation then bind_counter c;
+    match c.cn_route with
+    | Some r -> Rollup.route_add ~by r
+    | None -> (
+        match c.cn_flat with
+        | Some cell -> cell := !cell + by
+        | None -> ())
   end
 
-let observe t ~host ~server ~op v =
+let record ?trace o v =
+  let t = o.ob_t in
   if t.enabled then begin
-    let k = { host; server; op } in
-    let h =
-      match Hashtbl.find_opt t.histograms k with
-      | Some h -> h
-      | None ->
-          let h = Histogram.create ~bounds:t.bounds () in
-          Hashtbl.replace t.histograms k h;
-          h
-    in
-    Histogram.observe h v
+    if o.ob_gen <> t.generation then bind_observer o;
+    match o.ob_route with
+    | Some r -> Rollup.route_observe ?trace r v
+    | None -> (
+        match o.ob_flat with
+        | Some h -> Histogram.observe ?trace ?rand:t.exemplar_rand h v
+        | None -> ())
   end
 
 let counter_value t ~host ~server ~op =
@@ -232,7 +268,8 @@ let histograms t = sorted_bindings t.histograms Fun.id
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.gauges;
-  Hashtbl.reset t.histograms
+  Hashtbl.reset t.histograms;
+  t.generation <- t.generation + 1
 
 let to_json t =
   let instrument extra k = Json.Obj (key_json k @ extra) in

@@ -4,47 +4,22 @@
     Recording never touches simulated time, so instrumented and
     uninstrumented runs produce bit-identical results; a disabled
     registry reduces every recording call to one boolean test.
-    Instruments are created lazily on first use. *)
+    Instruments are created lazily on first use.
+
+    Two storage modes share the recording API. Flat mode (the default)
+    keeps one instrument per concrete key — unbounded cardinality, fine
+    below fleet scale. Attaching a {!Rollup} via {!set_rollup} forwards
+    every recording into the rollup's leaf/group/fleet tree (host as
+    leaf scope) instead; the flat tables then stay empty and the flat
+    readers report zero/absent — at scale, read the rollup. *)
+
+(** The histogram implementation, re-exported so existing
+    [Metrics.Histogram] call sites keep working; see {!Histogram}. *)
+module Histogram = Histogram
 
 type key = { host : string; server : string; op : string }
 
 val pp_key : Format.formatter -> key -> unit
-
-module Histogram : sig
-  type t
-
-  (** Bucket upper bounds in simulated ms, suitable for IPC and file
-      access latencies. *)
-  val default_bounds : float array
-
-  (** [create ~bounds ()] makes an empty histogram. [bounds] must be
-      strictly increasing; an overflow bucket is added automatically.
-      @raise Invalid_argument on empty or non-increasing bounds. *)
-  val create : ?bounds:float array -> unit -> t
-
-  val observe : t -> float -> unit
-  val count : t -> int
-  val sum : t -> float
-
-  (** [mean], [min_], [max_] are [nan] on an empty histogram. *)
-  val mean : t -> float
-
-  val min_ : t -> float
-  val max_ : t -> float
-
-  (** [quantile t q] estimates the [q]-quantile by linear interpolation
-      inside the bucket holding the target rank, clamped to the observed
-      [min_, max_] range. [nan] on an empty histogram.
-      @raise Invalid_argument unless [0 <= q <= 1]. *)
-  val quantile : t -> float -> float
-
-  (** Occupied buckets as [(lower, upper, count)] rows, edges clamped
-      to the observed range. *)
-  val buckets : t -> (float * float * int) list
-
-  val to_json : t -> Json.t
-  val pp : Format.formatter -> t -> unit
-end
 
 type t
 
@@ -52,13 +27,57 @@ val create : ?bounds:float array -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+(** The attached rollup, if the registry is in scale mode. *)
+val rollup : t -> Rollup.t option
+
+(** [set_rollup t (Some r)] switches the registry to scale mode: all
+    subsequent recordings land in [r] rather than the flat tables.
+    [set_rollup t None] returns to flat mode. *)
+val set_rollup : t -> Rollup.t option -> unit
+
+(** [set_exemplars t ~slots ~seed] enables per-bucket trace exemplars
+    on histograms created after this call (flat mode; a rollup carries
+    its own exemplar configuration). [slots = 0] disables.
+    @raise Invalid_argument on negative [slots]. *)
+val set_exemplars : t -> slots:int -> seed:int -> unit
+
 (** Recording. All are no-ops when the registry is disabled. *)
 
 val incr : ?by:int -> t -> host:string -> server:string -> op:string -> unit
 val set_gauge : t -> host:string -> server:string -> op:string -> float -> unit
-val observe : t -> host:string -> server:string -> op:string -> float -> unit
 
-(** Reading. *)
+(** [observe ?trace t ~host ~server ~op v] records a histogram sample;
+    a positive [trace] id is offered to the bucket's exemplar reservoir
+    when exemplars are enabled. *)
+val observe :
+  ?trace:int -> t -> host:string -> server:string -> op:string -> float -> unit
+
+(** {1 Handles — the recording hot path}
+
+    A handle caches where its instrument's data lives (a flat cell or
+    a rollup route), so recording through it is pointer work — no key
+    construction, no hashing, no group lookup. This is what per-frame
+    and per-send call sites use. Handles survive mode changes:
+    attaching or detaching a rollup, {!reset} and {!set_exemplars} all
+    invalidate cached bindings, and a handle transparently rebinds on
+    its next recording. *)
+
+type counter
+type observer
+
+val counter : t -> host:string -> server:string -> op:string -> counter
+
+(** [add c] bumps the counter (all rollup levels at once in rollup
+    mode). No-op when the registry is disabled. *)
+val add : ?by:int -> counter -> unit
+
+val observer : t -> host:string -> server:string -> op:string -> observer
+
+(** [record ?trace o v] records a histogram sample through the handle;
+    semantics match {!observe}. *)
+val record : ?trace:int -> observer -> float -> unit
+
+(** Reading (flat mode; in rollup mode these report zero/absent). *)
 
 (** [counter_value] is 0 for a counter never incremented. *)
 val counter_value : t -> host:string -> server:string -> op:string -> int

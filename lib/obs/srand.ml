@@ -1,0 +1,35 @@
+(* The sampling-decision PRNG: a self-contained splitmix64 stream used
+   for head-sampling verdicts and exemplar reservoirs.
+
+   Observability must never perturb the workload, and the workload's
+   randomness lives in [Vsim.Prng] streams the obs library cannot (and
+   must not) draw from: one extra draw would shift every subsequent
+   think time and break the guarantee that runs are bit-identical with
+   telemetry on or off. So sampling decisions come from this private
+   stream instead — seeded explicitly, deterministic across runs, and
+   consuming zero draws from any workload PRNG. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64 (Steele, Lea & Flood): one 64-bit add per draw, finalized
+   by two xor-shift-multiply rounds. The same generator Vsim.Prng uses,
+   re-derived here because this library sits below the simulator. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* 62 uniform bits as a non-negative int (OCaml ints are 63-bit). *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Srand.int: bound must be positive";
+  bits t mod bound

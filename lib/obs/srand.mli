@@ -1,0 +1,17 @@
+(** The sampling-decision PRNG: a private, deterministic splitmix64
+    stream for head-sampling verdicts and exemplar reservoirs.
+
+    Kept separate from every workload PRNG so that enabling sampling
+    consumes zero draws from the streams that shape simulated behaviour
+    — the foundation of the "telemetry on or off, same run" guarantee. *)
+
+type t
+
+val create : seed:int -> t
+
+(** 62 uniformly random bits as a non-negative [int]. *)
+val bits : t -> int
+
+(** Uniform integer in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int

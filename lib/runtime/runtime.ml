@@ -170,7 +170,15 @@ let obs_done env ~op ~t0 root outcome =
   | None -> ()
   | Some hub ->
       let now = Vsim.Engine.now (engine env) in
-      Vobs.Metrics.observe (Vobs.Hub.metrics hub)
+      (* The root trace id rides into the latency histogram as an
+         exemplar candidate (when exemplars are on), linking an
+         aggregate's outlier bucket back to its span tree. *)
+      let trace =
+        match root with
+        | Some (_, span) -> Some span.Vobs.Span.trace_id
+        | None -> None
+      in
+      Vobs.Metrics.observe ?trace (Vobs.Hub.metrics hub)
         ~host:(Kernel.self_host_name env.self)
         ~server:"runtime" ~op (now -. t0);
       (* Every finished client operation feeds the SLO engine when one

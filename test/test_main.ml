@@ -17,6 +17,7 @@ let () =
          Test_day.suite;
          Test_edges.suite;
          Test_obs.suite;
+         Test_telemetry.suite;
          Test_recorder.suite;
          Test_cache.suite;
          Test_fault.suite;

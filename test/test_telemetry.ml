@@ -1,0 +1,312 @@
+(* Tests for the scale-telemetry layer: deterministic head sampling,
+   rollup merge algebra and cardinality bounds, histogram overflow and
+   exemplar reservoirs, time-series downsampling and caps, eventlog
+   drop accounting, and the deferred-scrape counter flush. *)
+
+module K = Vkernel.Kernel
+module E = Vnet.Ethernet
+module C = Vnet.Calibration
+module H = Vobs.Histogram
+module R = Vobs.Rollup
+module Ts = Vobs.Timeseries
+
+let cost = { K.payload_bytes = String.length; K.segment_bytes = (fun _ -> 0) }
+
+(* --- head sampling: deterministic, seeded, workload-independent --- *)
+
+(* Two hubs configured identically must make the identical keep/refuse
+   decision on every trace — the sampler draws from a private seeded
+   stream, so nothing about the host or the workload can perturb it. *)
+let prop_sampling_deterministic =
+  QCheck.Test.make
+    ~name:"head sampling is a pure function of (seed, every, draw index)"
+    ~count:50
+    QCheck.(pair (int_range 1 128) (int_range 0 10_000))
+    (fun (every, seed) ->
+      let mk () =
+        let hub = Vobs.Hub.create ~tracing:true () in
+        Vobs.Hub.set_head_sampling hub ~every ~seed;
+        hub
+      in
+      let a = mk () and b = mk () in
+      let draws = 300 in
+      for i = 1 to draws do
+        let ca = Vobs.Hub.start_trace a ~now:(float_of_int i) in
+        (* Different [now] on purpose: the decision must not read it. *)
+        let cb = Vobs.Hub.start_trace b ~now:(float_of_int (i * 7)) in
+        if ca.Vobs.Span.trace > 0 <> (cb.Vobs.Span.trace > 0) then
+          QCheck.Test.fail_reportf "draw %d diverged (every=%d seed=%d)" i
+            every seed
+      done;
+      Vobs.Hub.sampled_out a = Vobs.Hub.sampled_out b)
+
+let test_sampling_rate () =
+  let hub = Vobs.Hub.create ~tracing:true () in
+  Vobs.Hub.set_head_sampling hub ~every:4 ~seed:42;
+  let draws = 10_000 in
+  let kept = ref 0 in
+  for _ = 1 to draws do
+    if (Vobs.Hub.start_trace hub ~now:0.0).Vobs.Span.trace > 0 then incr kept
+  done;
+  Alcotest.(check int)
+    "kept + refused = draws" draws
+    (!kept + Vobs.Hub.sampled_out hub);
+  (* 1-in-4 over 10k draws: a binomial this size stays well inside
+     [1/8, 1/2] — the check catches an inverted or constant decision,
+     not distribution shape. *)
+  if !kept < draws / 8 || !kept > draws / 2 then
+    Alcotest.failf "1-in-4 sampling kept %d of %d" !kept draws;
+  let all = Vobs.Hub.create ~tracing:true () in
+  Vobs.Hub.set_head_sampling all ~every:1 ~seed:42;
+  for _ = 1 to 100 do
+    ignore (Vobs.Hub.start_trace all ~now:0.0)
+  done;
+  Alcotest.(check int) "every:1 refuses nothing" 0 (Vobs.Hub.sampled_out all)
+
+(* --- rollup: merge algebra --- *)
+
+(* Group leaves in fours, like hosts under an edge switch. *)
+let group_of leaf =
+  match int_of_string_opt leaf with
+  | Some n -> Some (Printf.sprintf "edge%d" (n / 4))
+  | None -> None
+
+let rollup_of_ops ops =
+  let r = R.create ~group_of () in
+  List.iter
+    (fun (leaf, op, v) ->
+      let leaf = string_of_int leaf in
+      let op = Printf.sprintf "op%d" op in
+      R.incr r ~leaf ~server:"kernel" ~op;
+      R.observe r ~leaf ~server:"kernel" ~op (float_of_int v))
+    ops;
+  r
+
+let prop_rollup_merge_associative =
+  QCheck.Test.make ~name:"rollup merge is associative" ~count:60
+    QCheck.(
+      triple
+        (small_list (triple (int_range 0 15) (int_range 0 2) (int_range 0 40)))
+        (small_list (triple (int_range 0 15) (int_range 0 2) (int_range 0 40)))
+        (small_list (triple (int_range 0 15) (int_range 0 2) (int_range 0 40))))
+    (fun (xs, ys, zs) ->
+      let a () = rollup_of_ops xs
+      and b () = rollup_of_ops ys
+      and c () = rollup_of_ops zs in
+      let left = R.merge (R.merge (a ()) (b ())) (c ()) in
+      let right = R.merge (a ()) (R.merge (b ()) (c ())) in
+      Vobs.Json.to_string (R.to_json left)
+      = Vobs.Json.to_string (R.to_json right))
+
+let test_rollup_cap_and_drop_accounting () =
+  let r = R.create ~leaf_cap:8 ~group_of () in
+  for leaf = 0 to 49 do
+    R.incr r ~leaf:(string_of_int leaf) ~server:"kernel" ~op:"send"
+  done;
+  Alcotest.(check int) "leaf keys saturate at the cap" 8 (R.key_count_at r Leaf);
+  Alcotest.(check int) "refused leaf observations counted" 42 (R.keys_dropped r);
+  let fleet_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (R.counters r Fleet)
+  in
+  Alcotest.(check int) "fleet total stays exact past the cap" 50 fleet_total
+
+(* --- histogram: overflow bucket and merge --- *)
+
+let test_histogram_overflow () =
+  let h = H.create ~bounds:[| 1.0; 2.0 |] () in
+  List.iter (H.observe h) [ 0.5; 1.5; 10.0; 20.0 ];
+  Alcotest.(check (array int))
+    "raw counts, overflow last"
+    [| 1; 1; 2 |]
+    (H.raw_counts h);
+  (match List.rev (H.buckets h) with
+  | (_, upper, n) :: _ ->
+      Alcotest.(check int) "overflow row count" 2 n;
+      Alcotest.(check (float 1e-9)) "overflow upper edge = max" 20.0 upper
+  | [] -> Alcotest.fail "no buckets");
+  Alcotest.(check (float 1e-9)) "q1.0 = max" 20.0 (H.quantile h 1.0)
+
+let test_histogram_merge () =
+  let mk vals =
+    let h = H.create ~bounds:[| 1.0; 2.0 |] () in
+    List.iter (H.observe h) vals;
+    h
+  in
+  let m = H.merge (mk [ 0.5; 3.0 ]) (mk [ 1.5; 9.0 ]) in
+  Alcotest.(check int) "merged count" 4 (H.count m);
+  Alcotest.(check (float 1e-9)) "merged sum" 14.0 (H.sum m);
+  Alcotest.(check (array int))
+    "bucket-wise sum"
+    [| 1; 1; 2 |]
+    (H.raw_counts m);
+  Alcotest.check_raises "mismatched bounds refuse to merge"
+    (Invalid_argument "Histogram.merge: bounds differ") (fun () ->
+      ignore (H.merge (mk []) (H.create ~bounds:[| 5.0 |] ())))
+
+let test_exemplars_deterministic_and_bucketed () =
+  let run () =
+    let h = H.create ~bounds:[| 1.0; 2.0 |] ~exemplar_slots:2 () in
+    let rand = Vobs.Srand.create ~seed:77 in
+    for trace = 1 to 10 do
+      H.observe ~trace ~rand h 0.5
+    done;
+    h
+  in
+  let a = run () in
+  let ex = H.exemplars a 0 in
+  if List.length ex < 1 || List.length ex > 2 then
+    Alcotest.failf "reservoir held %d exemplars, slots 2" (List.length ex);
+  List.iter
+    (fun e ->
+      if e.H.trace < 1 || e.H.trace > 10 then
+        Alcotest.failf "exemplar trace %d never observed" e.H.trace;
+      Alcotest.(check (float 1e-9)) "exemplar value" 0.5 e.H.value)
+    ex;
+  Alcotest.(check (list int))
+    "only the target bucket holds exemplars" []
+    (List.map (fun e -> e.H.trace) (H.exemplars a 1) @ List.map (fun e -> e.H.trace) (H.exemplars a 2));
+  let b = run () in
+  Alcotest.(check (list int))
+    "seeded reservoir is deterministic"
+    (List.map (fun e -> e.H.trace) (H.exemplars a 0))
+    (List.map (fun e -> e.H.trace) (H.exemplars b 0))
+
+(* --- time series: downsampling and the series cap --- *)
+
+let test_timeseries_downsample () =
+  let ts = Ts.create ~capacity:4 ~bucket_ms:1.0 () in
+  for i = 0 to 31 do
+    Ts.sample ts "q" Ts.Gauge ~now:(float_of_int i) (float_of_int i)
+  done;
+  let pts = Ts.points ts "q" in
+  if List.length pts > 4 then
+    Alcotest.failf "capacity 4 holds %d points" (List.length pts);
+  (match Ts.bucket_ms ts "q" with
+  | Some w when w >= 8.0 -> ()
+  | Some w -> Alcotest.failf "bucket width %.1f never doubled to cover 32ms" w
+  | None -> Alcotest.fail "series vanished");
+  (match List.rev pts with
+  | (_, v) :: _ ->
+      Alcotest.(check (float 1e-9)) "gauge keeps the window peak" 31.0 v
+  | [] -> Alcotest.fail "no points");
+  Alcotest.(check bool) "sparkline renders" true (Ts.sparkline ts "q" <> "")
+
+let test_timeseries_series_cap () =
+  let ts = Ts.create ~max_series:2 () in
+  List.iter
+    (fun name -> Ts.sample ts name Ts.Counter ~now:0.0 1.0)
+    [ "a"; "b"; "c" ];
+  Alcotest.(check int) "cap admits two" 2 (Ts.series_count ts);
+  Alcotest.(check int) "third refusal counted" 1 (Ts.series_dropped ts);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "refused series holds nothing" [] (Ts.points ts "c")
+
+(* --- eventlog: bounded store surfaces its losses --- *)
+
+let test_eventlog_drop_hook () =
+  let log = Vobs.Eventlog.create ~capacity:4 () in
+  Vobs.Eventlog.set_enabled log true;
+  let hooked = ref 0 in
+  Vobs.Eventlog.set_on_drop log (fun n -> hooked := !hooked + n);
+  for i = 1 to 10 do
+    Vobs.Eventlog.record log ~at:(float_of_int i) ~cat:Vobs.Eventlog.Kernel
+      ~host:"h" "e"
+  done;
+  Alcotest.(check int) "drop hook saw every trimmed event"
+    (Vobs.Eventlog.dropped log) !hooked;
+  if Vobs.Eventlog.dropped log = 0 then
+    Alcotest.fail "capacity 4 never trimmed under 10 records";
+  Alcotest.(check int)
+    "stored + dropped = recorded" 10
+    (Vobs.Eventlog.count log + Vobs.Eventlog.dropped log)
+
+(* --- deferred-scrape counters: flush moves deltas exactly once --- *)
+
+let test_flush_metrics_deferred_and_idempotent () =
+  let eng = Vsim.Engine.create () in
+  let net = E.create ~config:C.ethernet_3mbit eng in
+  let domain = K.create_domain ~cost eng net in
+  let hub = Vobs.Hub.create () in
+  K.set_obs domain hub;
+  E.set_obs net hub;
+  let server_host = K.boot_host domain ~name:"srv" 1 in
+  let client_host = K.boot_host domain ~name:"cli" 2 in
+  let server =
+    K.spawn server_host ~name:"echo" (fun self ->
+        let rec loop () =
+          let msg, sender = K.receive self in
+          ignore (K.reply self ~to_:sender msg);
+          loop ()
+        in
+        loop ())
+  in
+  ignore
+    (K.spawn client_host ~name:"client" (fun self ->
+         for _ = 1 to 3 do
+           match K.send self server "ping" with
+           | Ok _ -> ()
+           | Error e -> Alcotest.failf "send failed: %a" K.pp_error e
+         done));
+  Vsim.Engine.run eng;
+  let m = Vobs.Hub.metrics hub in
+  let sends () =
+    Vobs.Metrics.counter_value m ~host:"cli" ~server:"kernel" ~op:"send"
+  in
+  (* The IPC counters accumulate on the host record; the registry sees
+     nothing until a scrape point flushes the deltas. *)
+  Alcotest.(check int) "registry empty before the flush" 0 (sends ());
+  K.flush_metrics domain;
+  Alcotest.(check int) "flush lands the send count" 3 (sends ());
+  Alcotest.(check int) "server receives flushed too" 3
+    (Vobs.Metrics.counter_value m ~host:"srv" ~server:"kernel" ~op:"receive");
+  K.flush_metrics domain;
+  Alcotest.(check int) "second flush adds nothing" 3 (sends ())
+
+(* --- metric handles survive a registry mode switch --- *)
+
+let test_handle_rebinds_across_set_rollup () =
+  let m = Vobs.Metrics.create () in
+  let c = Vobs.Metrics.counter m ~host:"h1" ~server:"kernel" ~op:"send" in
+  Vobs.Metrics.add c;
+  Alcotest.(check int) "flat mode counts flat" 1
+    (Vobs.Metrics.counter_value m ~host:"h1" ~server:"kernel" ~op:"send");
+  let r = R.create ~group_of:(fun _ -> Some "edge0") () in
+  Vobs.Metrics.set_rollup m (Some r);
+  (* The stale handle must notice the generation change and rebind to
+     the rollup rather than keep feeding the abandoned flat cell. *)
+  Vobs.Metrics.add ~by:2 c;
+  let fleet_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (R.counters r Fleet)
+  in
+  Alcotest.(check int) "post-switch adds land in the rollup" 2 fleet_total;
+  Alcotest.(check int) "flat cell keeps only the pre-switch count" 1
+    (Vobs.Metrics.counter_value m ~host:"h1" ~server:"kernel" ~op:"send")
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "telemetry",
+      [
+      Alcotest.test_case "sampling rate and exhaustive keep" `Quick
+        test_sampling_rate;
+      Alcotest.test_case "rollup cap + drop accounting" `Quick
+        test_rollup_cap_and_drop_accounting;
+      Alcotest.test_case "histogram overflow bucket" `Quick
+        test_histogram_overflow;
+      Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+      Alcotest.test_case "exemplar reservoirs" `Quick
+        test_exemplars_deterministic_and_bucketed;
+      Alcotest.test_case "timeseries downsampling" `Quick
+        test_timeseries_downsample;
+      Alcotest.test_case "timeseries series cap" `Quick
+        test_timeseries_series_cap;
+      Alcotest.test_case "eventlog drop hook" `Quick test_eventlog_drop_hook;
+      Alcotest.test_case "flush_metrics deferred + idempotent" `Quick
+        test_flush_metrics_deferred_and_idempotent;
+      Alcotest.test_case "handle rebind across set_rollup" `Quick
+        test_handle_rebinds_across_set_rollup;
+        qcheck prop_sampling_deterministic;
+        qcheck prop_rollup_merge_associative;
+      ] );
+  ]
